@@ -1,0 +1,59 @@
+// Ablation: depth-first conjugate-pair FFT vs breadth-first Cooley-Tukey
+// (paper section 4.1's dataflow argument). Reports twiddle-factor loads,
+// bit-reversal swaps, and wall-clock per transform for both flows.
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "fft/cp_fft.h"
+#include "fft/double_fft.h"
+
+int main() {
+  using namespace matcha;
+  const int n = 1024;
+  Rng rng(9);
+  TorusPolynomial p(n);
+  for (auto& c : p.coeffs) c = rng.uniform_torus();
+
+  std::printf("Ablation: FFT dataflow (N=%d, M=%d)\n", n, n / 2);
+
+  // Twiddle loads: CPFFT needs one root per radix-4 butterfly pair; the
+  // breadth-first radix-2 flow reads one root per butterfly.
+  {
+    CpFft cp(n / 2, +1);
+    std::vector<std::complex<double>> in(n / 2), out(n / 2);
+    for (auto& v : in) v = {rng.uniform_double(), rng.uniform_double()};
+    cp.transform(in.data(), out.data());
+    const auto& st = cp.stats();
+    const int m = n / 2;
+    const int64_t radix2_loads =
+        static_cast<int64_t>(m) / 2 * [](int x) { int l = 0; while (x >>= 1) ++l; return l; }(m);
+    std::printf("twiddle loads: CPFFT %lld vs breadth-first radix-2 %lld "
+                "(%.2fx fewer)\n",
+                static_cast<long long>(st.twiddle_loads),
+                static_cast<long long>(radix2_loads),
+                static_cast<double>(radix2_loads) / st.twiddle_loads);
+    std::printf("butterflies: %lld\n", static_cast<long long>(st.butterflies));
+  }
+
+  // Bit-reversal overhead and wall-clock.
+  for (auto flow : {FftFlow::kBreadthFirstCooleyTukey,
+                    FftFlow::kDepthFirstConjugatePair}) {
+    DoubleFftEngine eng(n, flow);
+    SpectralD s;
+    constexpr int kReps = 2000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r) eng.to_spectral_torus(p, s);
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      kReps;
+    std::printf("%-28s %8.2f us/transform, bitrev swaps/transform = %lld\n",
+                flow == FftFlow::kDepthFirstConjugatePair
+                    ? "depth-first conjugate-pair"
+                    : "breadth-first Cooley-Tukey",
+                us,
+                static_cast<long long>(eng.counters().bitrev_swaps / kReps));
+  }
+  return 0;
+}

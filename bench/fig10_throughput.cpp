@@ -1,0 +1,20 @@
+// Regenerates Fig. 10: NAND gate processing throughput (gate/s).
+#include "bench/fig_common.h"
+
+int main() {
+  matcha::bench::print_platform_sweep(
+      "Figure 10: NAND gate throughput", "gate/s",
+      [](const matcha::platform::PlatformPoint& pt) { return pt.gates_per_s; });
+  {
+    using namespace matcha;
+    const TfheParams p = TfheParams::security110();
+    double best_gpu = 0, best_matcha = 0;
+    for (int m = 1; m <= 4; ++m) {
+      best_gpu = std::max(best_gpu, platform::gpu_eval(p, m).gates_per_s);
+      best_matcha = std::max(best_matcha, platform::matcha_eval(p, m).gates_per_s);
+    }
+    std::printf("\nMATCHA best / GPU best = %.2fx (paper: 2.3x)\n",
+                best_matcha / best_gpu);
+  }
+  return 0;
+}

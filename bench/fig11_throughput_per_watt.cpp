@@ -1,0 +1,28 @@
+// Regenerates Fig. 11: NAND gate throughput per Watt (op/s/W).
+#include "bench/fig_common.h"
+
+int main() {
+  matcha::bench::print_platform_sweep(
+      "Figure 11: NAND gate throughput per Watt", "op/s/W",
+      [](const matcha::platform::PlatformPoint& pt) {
+        return pt.gates_per_s_per_w;
+      });
+  {
+    using namespace matcha;
+    const TfheParams p = TfheParams::security110();
+    double best_matcha = 0, best_gpu = 0;
+    for (int m = 1; m <= 4; ++m) {
+      best_matcha = std::max(best_matcha,
+                             platform::matcha_eval(p, m).gates_per_s_per_w);
+      best_gpu = std::max(best_gpu, platform::gpu_eval(p, m).gates_per_s_per_w);
+    }
+    const double asic = platform::asic_eval(p, 1).gates_per_s_per_w;
+    const double cpu1 = platform::cpu_eval(p, 1).gates_per_s_per_w;
+    const double fpga = platform::fpga_eval(p, 1).gates_per_s_per_w;
+    std::printf("\nMATCHA/ASIC = %.1fx (paper: 6.3x);  ASIC/CPU = %.1fx "
+                "(paper: 8.3x);  FPGA/CPU = %.1fx (paper: 2.4x);  GPU best = "
+                "%.2fx ASIC (paper: 0.58x)\n",
+                best_matcha / asic, asic / cpu1, fpga / cpu1, best_gpu / asic);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Fig. 1: per-gate latency breakdown (gate linear part, IFFT,
+// FFT, other) for AND/OR/NAND/XOR/XNOR, measured live on the software TFHE
+// library with the double-precision engine (the paper's CPU setup).
+#include <cstdio>
+
+#include "fft/double_fft.h"
+#include "tfhe/keyset.h"
+
+int main() {
+  using namespace matcha;
+  Rng rng(3);
+  const TfheParams p = TfheParams::security110();
+  const SecretKeyset sk = SecretKeyset::generate(p, rng);
+  const CloudKeyset ck = make_cloud_keyset(sk, /*unroll_m=*/1, rng);
+  DoubleFftEngine eng(p.ring.n_ring);
+  const auto dk = load_device_keyset(eng, ck);
+  auto ev = dk.make_evaluator(eng, p.mu(), BlindRotateMode::kClassicCMux);
+
+  constexpr int kReps = 4;
+  const GateKind kinds[] = {GateKind::kAnd, GateKind::kOr, GateKind::kNand,
+                            GateKind::kXor, GateKind::kXnor};
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int r = 0; r < kReps / 4 + 1; ++r) {
+        const LweSample ca = sk.encrypt_bit(a, rng);
+        const LweSample cb = sk.encrypt_bit(b, rng);
+        (void)ev.gate_and(ca, cb);
+        (void)ev.gate_or(ca, cb);
+        (void)ev.gate_nand(ca, cb);
+        (void)ev.gate_xor(ca, cb);
+        (void)ev.gate_xnor(ca, cb);
+      }
+    }
+  }
+
+  std::printf("Figure 1: gate latency breakdown (%% of total; measured, "
+              "110-bit params, classic CMux, double FFT)\n");
+  std::printf("%-6s %10s %8s %8s %8s %8s %12s\n", "gate", "total(ms)", "gate%",
+              "IFFT%", "FFT%", "other%", "(gates run)");
+  for (GateKind k : kinds) {
+    const auto& bd = ev.breakdown(k);
+    const double total = static_cast<double>(bd.total_ns);
+    std::printf("%-6s %10.2f %8.2f %8.2f %8.2f %8.2f %12lld\n", gate_name(k),
+                total / bd.gates / 1e6, 100.0 * bd.linear_ns / total,
+                100.0 * bd.ifft_ns / total, 100.0 * bd.fft_ns / total,
+                100.0 * bd.other_ns / total,
+                static_cast<long long>(bd.gates));
+  }
+  std::printf("Paper: bootstrapping (IFFT+FFT+other) is ~99%% of every "
+              "two-input gate; FFT+IFFT are ~80%% of the bootstrap.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared table printing for the Fig. 9-11 platform sweeps.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "platform/platforms.h"
+
+namespace matcha::bench {
+
+inline void print_platform_sweep(
+    const char* title, const char* unit,
+    const std::function<double(const platform::PlatformPoint&)>& metric) {
+  const TfheParams p = TfheParams::security110();
+  std::printf("%s\n", title);
+  std::printf("%-8s", "m");
+  for (const char* n : {"CPU", "GPU", "MATCHA", "FPGA", "ASIC"}) {
+    std::printf("%12s", n);
+  }
+  std::printf("   (%s)\n", unit);
+  for (int m = 1; m <= 4; ++m) {
+    std::printf("m=%-6d", m);
+    for (const auto& pt : platform::evaluate_all(p, m)) {
+      if (!pt.supported) {
+        std::printf("%12s", "-");
+      } else {
+        std::printf("%12.4g", metric(pt));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace matcha::bench

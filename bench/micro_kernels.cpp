@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks of the library's kernels: the FFT engines
+// (both flows, several DVQTF widths), external products, bundle
+// construction, and whole gates at the fast test parameters.
+#include <benchmark/benchmark.h>
+
+#include "bku/bundle.h"
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+#include "tfhe/keyset.h"
+
+namespace {
+
+using namespace matcha;
+
+constexpr int kRingN = 1024;
+
+TorusPolynomial random_torus_poly(Rng& rng, int n) {
+  TorusPolynomial p(n);
+  for (auto& c : p.coeffs) c = rng.uniform_torus();
+  return p;
+}
+
+IntPolynomial random_digit_poly(Rng& rng, int n) {
+  IntPolynomial p(n);
+  for (auto& c : p.coeffs) c = static_cast<int>(rng.uniform_below(1024)) - 512;
+  return p;
+}
+
+void BM_ToSpectral_Double_BreadthFirst(benchmark::State& state) {
+  Rng rng(1);
+  DoubleFftEngine eng(kRingN, FftFlow::kBreadthFirstCooleyTukey);
+  const TorusPolynomial p = random_torus_poly(rng, kRingN);
+  SpectralD s;
+  for (auto _ : state) {
+    eng.to_spectral_torus(p, s);
+    benchmark::DoNotOptimize(s.v.data());
+  }
+}
+BENCHMARK(BM_ToSpectral_Double_BreadthFirst);
+
+void BM_ToSpectral_Double_DepthFirstCP(benchmark::State& state) {
+  Rng rng(1);
+  DoubleFftEngine eng(kRingN, FftFlow::kDepthFirstConjugatePair);
+  const TorusPolynomial p = random_torus_poly(rng, kRingN);
+  SpectralD s;
+  for (auto _ : state) {
+    eng.to_spectral_torus(p, s);
+    benchmark::DoNotOptimize(s.v.data());
+  }
+}
+BENCHMARK(BM_ToSpectral_Double_DepthFirstCP);
+
+void BM_ToSpectral_Lift(benchmark::State& state) {
+  Rng rng(1);
+  LiftFftEngine eng(kRingN, static_cast<int>(state.range(0)));
+  const TorusPolynomial p = random_torus_poly(rng, kRingN);
+  SpectralI s;
+  for (auto _ : state) {
+    eng.to_spectral_torus(p, s);
+    benchmark::DoNotOptimize(s.re.data());
+  }
+}
+BENCHMARK(BM_ToSpectral_Lift)->Arg(38)->Arg(64);
+
+void BM_FromSpectralAcc_Lift(benchmark::State& state) {
+  Rng rng(1);
+  LiftFftEngine eng(kRingN, 64);
+  SpectralI sa, sb;
+  SpectralAccI acc;
+  eng.to_spectral_int(random_digit_poly(rng, kRingN), sa);
+  eng.to_spectral_torus(random_torus_poly(rng, kRingN), sb);
+  eng.acc_init(acc);
+  eng.mac(acc, sa, sb);
+  TorusPolynomial out(kRingN);
+  for (auto _ : state) {
+    eng.from_spectral_acc(acc, out);
+    benchmark::DoNotOptimize(out.coeffs.data());
+  }
+}
+BENCHMARK(BM_FromSpectralAcc_Lift);
+
+template <class Engine>
+struct EpFixtureState {
+  TfheParams params = TfheParams::security110();
+  Rng rng{17};
+  SecretKeyset sk = SecretKeyset::generate(params, rng);
+  Engine eng{params.ring.n_ring};
+  TGswSpectral<Engine> tgsw;
+  TLweSample acc{params.ring.n_ring};
+  ExternalProductWorkspace<Engine> ws{eng, params.gadget};
+
+  EpFixtureState() {
+    DoubleFftEngine enc_eng(params.ring.n_ring);
+    SpectralD key_spec;
+    enc_eng.to_spectral_int(sk.tlwe.s, key_spec);
+    const TGswSample raw = tgsw_encrypt(enc_eng, sk.tlwe, key_spec,
+                                        params.gadget, 1, params.ring.sigma,
+                                        rng);
+    tgsw = tgsw_to_spectral(eng, raw);
+    for (auto& c : acc.a.coeffs) c = rng.uniform_torus();
+    for (auto& c : acc.b.coeffs) c = rng.uniform_torus();
+  }
+};
+
+void BM_ExternalProduct_Double(benchmark::State& state) {
+  static EpFixtureState<DoubleFftEngine> f;
+  for (auto _ : state) {
+    external_product(f.eng, f.params.gadget, f.tgsw, f.acc, f.ws);
+    benchmark::DoNotOptimize(f.acc.b.coeffs.data());
+  }
+}
+BENCHMARK(BM_ExternalProduct_Double);
+
+void BM_ExternalProduct_Lift64(benchmark::State& state) {
+  static EpFixtureState<LiftFftEngine> f;
+  for (auto _ : state) {
+    external_product(f.eng, f.params.gadget, f.tgsw, f.acc, f.ws);
+    benchmark::DoNotOptimize(f.acc.b.coeffs.data());
+  }
+}
+BENCHMARK(BM_ExternalProduct_Lift64);
+
+struct GateFixtureState {
+  TfheParams params = TfheParams::test_small();
+  Rng rng{23};
+  SecretKeyset sk = SecretKeyset::generate(params, rng);
+  CloudKeyset ck = make_cloud_keyset(sk, 2, rng);
+  DoubleFftEngine eng{params.ring.n_ring};
+  DeviceKeyset<DoubleFftEngine> dk = load_device_keyset(eng, ck);
+  GateEvaluator<DoubleFftEngine> ev = dk.make_evaluator(eng, params.mu());
+  LweSample ca = sk.encrypt_bit(1, rng), cb = sk.encrypt_bit(0, rng);
+};
+
+void BM_GateNand_TestParams_m2(benchmark::State& state) {
+  static GateFixtureState f;
+  for (auto _ : state) {
+    LweSample out = f.ev.gate_nand(f.ca, f.cb);
+    benchmark::DoNotOptimize(out.b);
+  }
+}
+BENCHMARK(BM_GateNand_TestParams_m2)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Architecture explorer: drives the cycle-level simulator across unroll
+// factors and design variants (EP-core MAC width, TGSW-cluster lanes, HBM
+// bandwidth) -- the design-space walk an architect would do on top of this
+// library before committing to the paper's configuration.
+#include <cstdio>
+
+#include "sim/matcha_sim.h"
+
+int main() {
+  using namespace matcha;
+  const TfheParams p = TfheParams::security110();
+
+  std::printf("MATCHA design-space exploration (110-bit TFHE)\n\n");
+  std::printf("Baseline configuration (paper):\n");
+  std::printf("%2s %10s %10s %10s %8s %8s %8s %8s\n", "m", "lat(ms)", "gate/s",
+              "op/s/W", "utilTGSW", "utilEP", "utilHBM", "MB/gate");
+  for (int m = 1; m <= 5; ++m) {
+    const auto r = sim::simulate_gate(p, m);
+    std::printf("%2d %10.3f %10.0f %10.1f %8.2f %8.2f %8.2f %8.1f\n", m,
+                r.latency_ms, r.gates_per_s, r.gates_per_s_per_w, r.util_tgsw,
+                r.util_ep, r.util_hbm, r.hbm_mb);
+  }
+
+  std::printf("\nVariant: 2x EP-core MAC width (8 complex slices):\n");
+  hw::MatchaConfig wide;
+  wide.ep_mults = 8;
+  wide.ep_adders = 8;
+  for (int m = 1; m <= 4; ++m) {
+    const auto r = sim::simulate_gate(p, m, wide);
+    std::printf("  m=%d lat=%.3f ms, %0.f gate/s\n", m, r.latency_ms,
+                r.gates_per_s);
+  }
+
+  std::printf("\nVariant: half HBM bandwidth (320 GB/s):\n");
+  hw::MatchaConfig slow_mem;
+  slow_mem.hbm_gbps = 320.0;
+  for (int m = 1; m <= 4; ++m) {
+    const auto r = sim::simulate_gate(p, m, slow_mem);
+    std::printf("  m=%d lat=%.3f ms, %0.f gate/s (HBM util %.2f)\n", m,
+                r.latency_ms, r.gates_per_s, r.util_hbm);
+  }
+
+  std::printf("\nVariant: 16 pipelines:\n");
+  hw::MatchaConfig big;
+  big.pipelines = 16;
+  for (int m = 1; m <= 4; ++m) {
+    const auto r = sim::simulate_gate(p, m, big);
+    std::printf("  m=%d lat=%.3f ms, %0.f gate/s, %0.1f op/s/W\n", m,
+                r.latency_ms, r.gates_per_s, r.gates_per_s_per_w);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "bku/bundle.h"
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+
+namespace matcha {
+
+void group_subset_exponents(const Torus32* a_group, int mg, int n_ring,
+                            std::vector<int32_t>& out) {
+  const uint32_t count = 1u << mg;
+  out.resize(count - 1);
+  // subset_sum[mask] built incrementally: strip the lowest bit.
+  std::vector<Torus32> sums(count, 0);
+  for (uint32_t mask = 1; mask < count; ++mask) {
+    const uint32_t low = mask & (~mask + 1);
+    const int j = __builtin_ctz(mask);
+    sums[mask] = sums[mask ^ low] + a_group[j];
+    out[mask - 1] = mod_switch_to_2n(sums[mask], n_ring);
+  }
+}
+
+template bool build_bundle<DoubleFftEngine>(const DoubleFftEngine&,
+                                            const DeviceBootstrapKey<DoubleFftEngine>&,
+                                            int, const std::vector<int32_t>&,
+                                            TGswSpectral<DoubleFftEngine>&);
+template bool build_bundle<LiftFftEngine>(const LiftFftEngine&,
+                                          const DeviceBootstrapKey<LiftFftEngine>&,
+                                          int, const std::vector<int32_t>&,
+                                          TGswSpectral<LiftFftEngine>&);
+
+} // namespace matcha

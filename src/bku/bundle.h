@@ -1,0 +1,78 @@
+// Bootstrapping-key-bundle construction (paper Fig. 5 / Fig. 6 step 1).
+//
+// For one group of m secret bits with mod-switched mask values a_i, the
+// bundle is the spectral-domain TGSW
+//     BKB = H + sum_{S != 0} (X^{c_S} - 1) * BK_S,
+// where c_S = ModSwitch(sum_{i in S} a_i) is rounded ONCE per subset -- this
+// is why the rounding noise scales as RO/m in Table 3 (one rounding per
+// group on the active pattern instead of m independent roundings).
+//
+// In MATCHA this is the TGSW cluster's job: each TGSW scale unit computes one
+// (X^{c_S} - 1) * BK_S term with plain integer multipliers, and the adder
+// tree sums the terms. An EP core then computes ACC <- BKB (x) ACC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bku/unrolled_key.h"
+#include "math/decompose.h"
+
+namespace matcha {
+
+/// Subset exponents for one group: out[mask-1] = ModSwitch_{2N}(sum_{i in
+/// mask} a_i), mask in [1, 2^mg). Single rounding per subset.
+void group_subset_exponents(const Torus32* a_group, int mg, int n_ring,
+                            std::vector<int32_t>& out);
+
+/// Build the bundle for group `g` given the subset exponents. `bundle` must
+/// be pre-sized (2l rows x 2 cols of engine spectra). Returns false when all
+/// exponents are zero (bundle would be the identity H; caller can skip the
+/// external product entirely, as the TFHE library does for barai == 0).
+template <class Engine>
+bool build_bundle(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+                  int g, const std::vector<int32_t>& exponents,
+                  TGswSpectral<Engine>& bundle) {
+  const auto& gadget = key.gadget;
+  const int rows = 2 * gadget.l;
+  bool any = false;
+  for (int r = 0; r < rows; ++r) {
+    bundle.rows[r][0].clear();
+    bundle.rows[r][1].clear();
+  }
+  for (size_t idx = 0; idx < exponents.size(); ++idx) {
+    const int32_t c = exponents[idx];
+    if (c == 0) continue; // (X^0 - 1) = 0
+    any = true;
+    const auto& bk = key.groups[g][idx];
+    for (int r = 0; r < rows; ++r) {
+      // Blind rotation multiplies ACC by X^{+c}; rot_scale_add applies
+      // (X^{-c} - 1), hence the negated exponent.
+      eng.rot_scale_add(bundle.rows[r][0], bk.rows[r][0], -static_cast<int64_t>(c));
+      eng.rot_scale_add(bundle.rows[r][1], bk.rows[r][1], -static_cast<int64_t>(c));
+    }
+  }
+  if (!any) return false;
+  // Add the gadget identity H (constant polynomials Bg^{-(j+1)}).
+  for (int j = 0; j < gadget.l; ++j) {
+    const Torus32 gj = 1u << (32 - (j + 1) * gadget.bg_bits);
+    eng.add_constant(bundle.rows[j][0], gj);
+    eng.add_constant(bundle.rows[gadget.l + j][1], gj);
+  }
+  return true;
+}
+
+/// Allocate a bundle with the right shape for `key` under `eng`.
+template <class Engine>
+TGswSpectral<Engine> make_bundle_storage(const Engine& eng,
+                                         const GadgetParams& gadget) {
+  TGswSpectral<Engine> b;
+  b.rows.resize(2 * gadget.l);
+  for (auto& row : b.rows) {
+    row[0] = typename Engine::Spectral(eng.spectral_size());
+    row[1] = typename Engine::Spectral(eng.spectral_size());
+  }
+  return b;
+}
+
+} // namespace matcha

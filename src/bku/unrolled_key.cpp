@@ -1,0 +1,63 @@
+#include "bku/unrolled_key.h"
+
+#include <cassert>
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+
+namespace matcha {
+
+int UnrolledBootstrapKey::members(int g) const {
+  const int start = g * unroll_m;
+  const int end = start + unroll_m;
+  return end <= n_lwe ? unroll_m : n_lwe - start;
+}
+
+int UnrolledBootstrapKey::total_tgsw() const {
+  int total = 0;
+  for (const auto& g : groups) total += static_cast<int>(g.size());
+  return total;
+}
+
+UnrolledBootstrapKey make_unrolled_bootstrap_key(const LweKey& lwe_key,
+                                                 const TLweKey& ring_key,
+                                                 const GadgetParams& gadget,
+                                                 int unroll_m, Rng& rng) {
+  assert(unroll_m >= 1);
+  UnrolledBootstrapKey key;
+  key.unroll_m = unroll_m;
+  key.n_lwe = lwe_key.params.n;
+  key.ring = ring_key.params;
+  key.gadget = gadget;
+
+  // Client-side encryption always uses the exact double engine.
+  DoubleFftEngine eng(ring_key.params.n_ring);
+  SpectralD key_spec;
+  eng.to_spectral_int(ring_key.s, key_spec);
+
+  const int num_groups = (key.n_lwe + unroll_m - 1) / unroll_m;
+  key.groups.resize(num_groups);
+  for (int g = 0; g < num_groups; ++g) {
+    const int start = g * unroll_m;
+    const int mg = key.members(g);
+    key.groups[g].reserve((1u << mg) - 1);
+    for (uint32_t mask = 1; mask < (1u << mg); ++mask) {
+      int32_t ind = 1;
+      for (int j = 0; j < mg; ++j) {
+        const int bit = lwe_key.s[start + j];
+        ind &= (mask >> j) & 1 ? bit : 1 - bit;
+      }
+      key.groups[g].push_back(tgsw_encrypt(eng, ring_key, key_spec, gadget,
+                                           ind, ring_key.params.sigma, rng));
+    }
+  }
+  return key;
+}
+
+// Explicit instantiations of the device-load path.
+template DeviceBootstrapKey<DoubleFftEngine> load_bootstrap_key<DoubleFftEngine>(
+    const DoubleFftEngine&, const UnrolledBootstrapKey&);
+template DeviceBootstrapKey<LiftFftEngine> load_bootstrap_key<LiftFftEngine>(
+    const LiftFftEngine&, const UnrolledBootstrapKey&);
+
+} // namespace matcha

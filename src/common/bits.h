@@ -1,0 +1,62 @@
+// Bit-manipulation helpers shared by the integer FFT (CSD twiddle encodings)
+// and the hardware cost model (shift-add counting).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace matcha {
+
+/// Canonical signed-digit (CSD) recoding of a signed integer.
+/// Returns the list of (bit position, sign) nonzero digits such that
+/// value == sum sign_i * 2^pos_i, with no two adjacent nonzero digits.
+/// CSD minimizes the number of adders needed to realize a constant multiplier
+/// as a shift-add network -- which is exactly how MATCHA's lifting butterflies
+/// implement dyadic twiddle multiplication (paper Fig. 3(b)).
+struct CsdDigit {
+  int pos;
+  int sign; // +1 or -1
+};
+
+inline std::vector<CsdDigit> csd_encode(int64_t value) {
+  std::vector<CsdDigit> digits;
+  // Classic CSD: scan LSB to MSB, replace runs of 1s with (+1, carry, -1).
+  int64_t v = value;
+  int pos = 0;
+  while (v != 0) {
+    if (v & 1) {
+      // two's-bit trick: remainder in {-1, +1} chosen so (v - r) divisible by 4
+      const int r = ((v & 3) == 3) ? -1 : 1;
+      digits.push_back({pos, r});
+      v -= r;
+    }
+    v >>= 1;
+    ++pos;
+  }
+  return digits;
+}
+
+/// Number of adders a CSD shift-add network needs for a constant multiply.
+/// k nonzero digits need k-1 additions (0 digits -> multiply by 0 -> 0 adders).
+inline int csd_adder_count(int64_t value) {
+  const auto d = csd_encode(value);
+  return d.empty() ? 0 : static_cast<int>(d.size()) - 1;
+}
+
+/// Number of nonzero CSD digits (shifter count in the network).
+inline int csd_digit_count(int64_t value) {
+  return static_cast<int>(csd_encode(value).size());
+}
+
+/// true iff x is a power of two (x > 0).
+inline bool is_pow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x > 0.
+inline int ilog2(uint64_t x) {
+  int l = -1;
+  while (x) { x >>= 1; ++l; }
+  return l;
+}
+
+} // namespace matcha

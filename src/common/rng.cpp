@@ -1,0 +1,69 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace matcha {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seed expander recommended by the xoshiro authors.
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+} // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint32_t Rng::next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+uint32_t Rng::uniform_below(uint32_t bound) {
+  // Rejection-free Lemire reduction.
+  uint64_t m = static_cast<uint64_t>(next_u32()) * bound;
+  return static_cast<uint32_t>(m >> 32);
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::gaussian() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  double u1 = uniform_double();
+  while (u1 <= 1e-300) u1 = uniform_double();
+  const double u2 = uniform_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(theta);
+  have_cached_ = true;
+  return r * std::cos(theta);
+}
+
+Torus32 Rng::gaussian_torus(double sigma, Torus32 mean) {
+  const double noise = gaussian() * sigma;
+  return mean + double_to_torus32(noise);
+}
+
+} // namespace matcha

@@ -1,0 +1,42 @@
+// Deterministic random number generation for keys, masks, and noise.
+//
+// We use xoshiro256** (public-domain construction by Blackman & Vigna) rather
+// than std::mt19937 so that the generator is identical across standard
+// libraries and fast enough for the bulk uniform-mask sampling a bootstrapping
+// key generation performs. Cryptographic quality is NOT claimed -- this is a
+// research reproduction; swap `Rng` for a CSPRNG for real deployments.
+#pragma once
+
+#include <cstdint>
+#include "common/types.h"
+
+namespace matcha {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64 uniform bits.
+  uint64_t next_u64();
+  /// Uniform 32-bit value (high half of next_u64).
+  uint32_t next_u32();
+  /// Uniform torus element.
+  Torus32 uniform_torus() { return next_u32(); }
+  /// Uniform bit.
+  int uniform_bit() { return static_cast<int>(next_u64() >> 63); }
+  /// Uniform integer in [0, bound).
+  uint32_t uniform_below(uint32_t bound);
+  /// Uniform real in [0, 1).
+  double uniform_double();
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian();
+  /// Torus element sampled from N(mean, sigma^2) mod 1; sigma in torus units.
+  Torus32 gaussian_torus(double sigma, Torus32 mean = 0);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+} // namespace matcha

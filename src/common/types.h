@@ -1,0 +1,50 @@
+// Core scalar types for the MATCHA / TFHE reproduction.
+//
+// TFHE's "scale-invariant" scheme is defined over the real torus T = R/Z.
+// Following the reference implementation (Chillotti et al., J. Cryptology
+// 2020, section "Torus Implementation"), torus elements are rescaled by 2^32
+// and stored as 32-bit integers; all additions wrap modulo 2^32, which
+// realizes the torus addition for free.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace matcha {
+
+/// A torus element T = R/Z, fixed-point encoded: t represents t / 2^32.
+/// Wrap-around (unsigned overflow) implements the torus group law.
+using Torus32 = uint32_t;
+
+/// 128-bit intermediates for exact wide multiply-accumulate. The hardware
+/// analogue is a 64-bit MAC datapath with guard bits; see DESIGN.md.
+using int128 = __int128;
+using uint128 = unsigned __int128;
+
+/// Convert a real in [-0.5, 0.5) (or any real; value is taken mod 1) to its
+/// fixed-point torus representation.
+inline Torus32 double_to_torus32(double d) {
+  const double frac = d - std::floor(d); // in [0,1)
+  // Round-to-nearest of frac * 2^32, wrapped.
+  return static_cast<Torus32>(static_cast<uint64_t>(std::llround(frac * 4294967296.0)));
+}
+
+/// Interpret a Torus32 as a real in [-0.5, 0.5).
+inline double torus32_to_double(Torus32 t) {
+  return static_cast<double>(static_cast<int32_t>(t)) / 4294967296.0;
+}
+
+/// The torus constant 1/denom (denom must divide 2^32 exactly for an exact
+/// representation; other values are rounded).
+inline Torus32 torus_fraction(int64_t numer, int64_t denom) {
+  // numer/denom mod 1, computed in exact 64-bit arithmetic when possible.
+  const int64_t q = (static_cast<int64_t>(1) << 32) / denom;
+  return static_cast<Torus32>(numer * q);
+}
+
+/// Absolute torus distance |a - b| as a real in [0, 0.5].
+inline double torus_distance(Torus32 a, Torus32 b) {
+  return std::fabs(torus32_to_double(static_cast<Torus32>(a - b)));
+}
+
+} // namespace matcha

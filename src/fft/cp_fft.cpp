@@ -1,0 +1,68 @@
+#include "fft/cp_fft.h"
+
+#include <cassert>
+
+#include "common/bits.h"
+#include "fft/tables.h"
+
+namespace matcha {
+
+CpFft::CpFft(int n, int sign) : n_(n), sign_(sign) {
+  assert(is_pow2(static_cast<uint64_t>(n)) && n >= 1);
+  assert(sign == 1 || sign == -1);
+  roots_ = dft_roots(n, sign);
+  scratch_.resize(n);
+}
+
+void CpFft::transform(const std::complex<double>* in, std::complex<double>* out) const {
+  recurse(out, in, 0, 1, n_);
+}
+
+void CpFft::recurse(std::complex<double>* out, const std::complex<double>* in,
+                    int64_t base, int64_t stride, int n) const {
+  const int64_t mask = n_ - 1; // cyclic indexing into the original input
+  if (n == 1) {
+    out[0] = in[base & mask];
+    return;
+  }
+  if (n == 2) {
+    const auto a = in[base & mask];
+    const auto b = in[(base + stride) & mask];
+    out[0] = a + b;
+    out[1] = a - b;
+    stats_.butterflies += 1;
+    return;
+  }
+  const int q = n / 4;
+  // Depth-first: each child completes before the next starts.
+  recurse(out, in, base, 2 * stride, n / 2);              // E  = even samples
+  recurse(out + n / 2, in, base + stride, 4 * stride, q); // O1 = x[4t+1]
+  recurse(out + n / 2 + q, in, base - stride, 4 * stride, q); // O2 = x[4t-1]
+
+  // Copy the odd halves out of the way; the combine overwrites their slots.
+  std::complex<double>* o1 = scratch_.data();
+  std::complex<double>* o2 = scratch_.data() + q;
+  for (int k = 0; k < q; ++k) o1[k] = out[n / 2 + k];
+  for (int k = 0; k < q; ++k) o2[k] = out[n / 2 + q + k];
+
+  const int root_step = n_ / n;
+  const std::complex<double> si{0.0, static_cast<double>(sign_)}; // sign * i
+  for (int k = 0; k < q; ++k) {
+    // Single twiddle load; its conjugate is free (conjugate-pair property).
+    const std::complex<double> w = roots_[static_cast<size_t>(k) * root_step];
+    stats_.twiddle_loads += 1;
+    stats_.butterflies += 2;
+    const std::complex<double> t1 = w * o1[k];
+    const std::complex<double> t2 = std::conj(w) * o2[k];
+    const std::complex<double> sum = t1 + t2;
+    const std::complex<double> dif = si * (t1 - t2);
+    const std::complex<double> ek = out[k];
+    const std::complex<double> eq = out[k + q];
+    out[k] = ek + sum;
+    out[k + n / 2] = ek - sum;
+    out[k + q] = eq + dif;
+    out[k + 3 * q] = eq - dif;
+  }
+}
+
+} // namespace matcha

@@ -1,0 +1,42 @@
+// Shared per-engine instrumentation. The Fig. 1 latency breakdown and the
+// simulator's activity factors are regenerated from these counters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace matcha {
+
+struct EngineCounters {
+  int64_t to_spectral_calls = 0;   ///< paper "IFFT" kernel invocations
+  int64_t from_spectral_calls = 0; ///< paper "FFT" kernel invocations
+  int64_t to_spectral_ns = 0;
+  int64_t from_spectral_ns = 0;
+  int64_t bitrev_swaps = 0; ///< breadth-first flow only
+  int64_t lift_steps = 0;   ///< integer engine: executed lifting steps
+  int64_t adds = 0;         ///< integer engine: butterfly additions
+
+  void reset() { *this = {}; }
+};
+
+/// RAII timer accumulating into a counter (nanoseconds).
+class ScopedTimer {
+ public:
+  ScopedTimer(int64_t& sink, int64_t& calls) : sink_(sink) {
+    ++calls;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    sink_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace matcha

@@ -1,0 +1,30 @@
+#include "fft/spectral.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fft/spectral_util.h"
+
+namespace matcha {
+
+double spectral_rel_error(const SpectralD& ref, const SpectralI& got, double got_scale) {
+  assert(ref.size() == got.size());
+  double err2 = 0.0, ref2 = 0.0;
+  for (int k = 0; k < ref.size(); ++k) {
+    const double gr = static_cast<double>(got.re[k]) * got_scale;
+    const double gi = static_cast<double>(got.im[k]) * got_scale;
+    const double dr = gr - ref.v[k].real();
+    const double di = gi - ref.v[k].imag();
+    err2 += dr * dr + di * di;
+    ref2 += std::norm(ref.v[k]);
+  }
+  if (ref2 == 0.0) return err2 == 0.0 ? 0.0 : 1e300;
+  return std::sqrt(err2 / ref2);
+}
+
+double to_decibel(double rel) {
+  if (rel <= 0.0) return -300.0;
+  return 20.0 * std::log10(rel);
+}
+
+} // namespace matcha

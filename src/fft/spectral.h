@@ -1,0 +1,61 @@
+// Spectral-domain ("Lagrange half-complex") representations.
+//
+// A real negacyclic polynomial p in T_N[X] (or Z_N[X]) is represented by its
+// N/2 complex evaluations at the odd 2N-th roots of unity
+//     omega_k = exp(i*pi*(4k+1)/N),  k in [0, N/2)
+// (these plus their conjugates are exactly the N roots of X^N + 1, so the
+// folded transform is information-preserving). Multiplication mod X^N + 1 is
+// pointwise in this domain. The paper calls the coefficients->spectral
+// direction "IFFT" and spectral->coefficients "FFT", matching the TFHE
+// library's naming; our method names are to_spectral / from_spectral with the
+// paper's terms noted in comments.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace matcha {
+
+/// Spectral data for the double-precision engines.
+struct SpectralD {
+  std::vector<std::complex<double>> v;
+
+  SpectralD() = default;
+  explicit SpectralD(int m) : v(m) {}
+  int size() const { return static_cast<int>(v.size()); }
+  void clear() { std::fill(v.begin(), v.end(), std::complex<double>{0.0, 0.0}); }
+};
+
+/// Spectral data for the integer lifting engine (structure-of-arrays so the
+/// pointwise MAC vectorizes). Values are exact 64-bit integers; see DESIGN.md
+/// for the scaling ledger that keeps every intermediate in range.
+struct SpectralI {
+  std::vector<int64_t> re, im;
+
+  SpectralI() = default;
+  explicit SpectralI(int m) : re(m, 0), im(m, 0) {}
+  int size() const { return static_cast<int>(re.size()); }
+  void clear() {
+    std::fill(re.begin(), re.end(), 0);
+    std::fill(im.begin(), im.end(), 0);
+  }
+};
+
+/// 128-bit accumulator for the integer engine's pointwise multiply-accumulate
+/// (the hardware analogue is a 64-bit MAC datapath with guard bits).
+struct SpectralAccI {
+  std::vector<int128> re, im;
+
+  SpectralAccI() = default;
+  explicit SpectralAccI(int m) : re(m, 0), im(m, 0) {}
+  int size() const { return static_cast<int>(re.size()); }
+  void clear() {
+    std::fill(re.begin(), re.end(), int128{0});
+    std::fill(im.begin(), im.end(), int128{0});
+  }
+};
+
+} // namespace matcha

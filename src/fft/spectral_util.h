@@ -1,0 +1,15 @@
+// Diagnostics shared by tests and the Fig. 8 error bench.
+#pragma once
+
+#include "fft/spectral.h"
+
+namespace matcha {
+
+/// Relative RMS error between a double-precision reference spectrum and an
+/// integer spectrum scaled by `got_scale` (e.g. 2^-kDigitPreShift).
+double spectral_rel_error(const SpectralD& ref, const SpectralI& got, double got_scale);
+
+/// 20*log10(rel): the dB convention of the paper's Fig. 8.
+double to_decibel(double rel);
+
+} // namespace matcha

@@ -1,0 +1,124 @@
+#include "fft/tables.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "common/bits.h"
+
+namespace matcha {
+
+std::vector<std::complex<double>> dft_roots(int m, int sign) {
+  std::vector<std::complex<double>> w(m);
+  for (int k = 0; k < m; ++k) {
+    const double theta = sign * 2.0 * std::numbers::pi * k / m;
+    w[k] = {std::cos(theta), std::sin(theta)};
+  }
+  return w;
+}
+
+std::vector<std::complex<double>> twist_factors(int n_ring, int sign) {
+  const int m = n_ring / 2;
+  std::vector<std::complex<double>> t(m);
+  for (int j = 0; j < m; ++j) {
+    const double theta = sign * std::numbers::pi * j / n_ring;
+    t[j] = {std::cos(theta), std::sin(theta)};
+  }
+  return t;
+}
+
+int LiftRotation::csd_adders() const {
+  // Two multiplies by c_num and one by s_num per rotation triple; the lifting
+  // step itself adds the rounded product to the partner (one more adder each).
+  return 2 * (csd_adder_count(c_num) + 1) + (csd_adder_count(s_num) + 1);
+}
+
+int LiftRotation::csd_shifters() const {
+  return 2 * csd_digit_count(c_num) + csd_digit_count(s_num);
+}
+
+std::complex<double> LiftRotation::effective() const {
+  const double scale = std::ldexp(1.0, -shift);
+  const double c = static_cast<double>(c_num) * scale;
+  const double s = static_cast<double>(s_num) * scale;
+  // Composite lifting matrix [[1+cs, c(2+cs)], [s, 1+cs]] followed by the
+  // exact quadrant rotation.
+  const double m00 = 1.0 + c * s;
+  const double m01 = c * (2.0 + c * s);
+  // Effective complex factor applied to x+iy is (m00 + i*s) for a true
+  // rotation; with quantization m01 != -s in general, so report the average
+  // of the two off-diagonal estimates for error analysis.
+  std::complex<double> r{m00, s};
+  std::complex<double> r2{m00, -m01};
+  std::complex<double> avg = 0.5 * (r + r2);
+  // Apply quadrant: multiply by i^quadrant.
+  static const std::complex<double> kI[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  return avg * kI[quadrant & 3];
+}
+
+LiftRotation make_lift_rotation(double theta, int twiddle_bits) {
+  // alpha = round(coeff * 2^(t-1)) with |coeff| < 0.708 stays below 2^63 for
+  // t up to 64, so 64-bit DVQTFs (the paper's choice) are representable.
+  assert(twiddle_bits >= 2 && twiddle_bits <= 64);
+  const double pi = std::numbers::pi;
+  // Reduce theta into [-pi/4, pi/4] plus a quadrant count.
+  double t = std::fmod(theta, 2.0 * pi);
+  if (t < 0) t += 2.0 * pi;
+  int quadrant = static_cast<int>(std::lround(t / (pi / 2.0))) & 3;
+  const double phi = t - quadrant * (pi / 2.0); // in [-pi/4, pi/4]
+
+  LiftRotation rot;
+  rot.quadrant = quadrant;
+  rot.shift = twiddle_bits - 1;
+  const double scale = std::ldexp(1.0, rot.shift);
+  rot.c_num = static_cast<int64_t>(std::llround(-std::tan(phi / 2.0) * scale));
+  rot.s_num = static_cast<int64_t>(std::llround(std::sin(phi) * scale));
+  return rot;
+}
+
+LiftTables make_lift_tables(int n_ring, int twiddle_bits) {
+  assert(is_pow2(static_cast<uint64_t>(n_ring)) && n_ring >= 4);
+  LiftTables tbl;
+  tbl.n_ring = n_ring;
+  tbl.m = n_ring / 2;
+  tbl.twiddle_bits = twiddle_bits;
+
+  const int stages = ilog2(static_cast<uint64_t>(tbl.m));
+  tbl.stage_rot.resize(stages);
+  tbl.stage_rot_inv.resize(stages);
+  const double pi = std::numbers::pi;
+  for (int s = 0; s < stages; ++s) {
+    const int half = 1 << s; // butterfly half-size at this stage (DIT order)
+    tbl.stage_rot[s].resize(half);
+    tbl.stage_rot_inv[s].resize(half);
+    for (int j = 0; j < half; ++j) {
+      const double theta = 2.0 * pi * j / (2.0 * half);
+      tbl.stage_rot[s][j] = make_lift_rotation(theta, twiddle_bits);
+      tbl.stage_rot_inv[s][j] = make_lift_rotation(-theta, twiddle_bits);
+    }
+  }
+
+  tbl.twist_fwd.resize(tbl.m);
+  tbl.twist_inv.resize(tbl.m);
+  for (int j = 0; j < tbl.m; ++j) {
+    const double theta = pi * j / n_ring;
+    tbl.twist_fwd[j] = make_lift_rotation(theta, twiddle_bits);
+    tbl.twist_inv[j] = make_lift_rotation(-theta, twiddle_bits);
+  }
+  return tbl;
+}
+
+int64_t LiftTables::total_csd_adders_forward() const {
+  int64_t total = 0;
+  for (size_t s = 0; s < stage_rot.size(); ++s) {
+    const int half = 1 << s;
+    const int blocks = m / (2 * half);
+    for (int j = 0; j < half; ++j) {
+      total += static_cast<int64_t>(stage_rot[s][j].csd_adders()) * blocks;
+    }
+  }
+  for (const auto& r : twist_fwd) total += r.csd_adders();
+  return total;
+}
+
+} // namespace matcha

@@ -1,0 +1,73 @@
+// Twiddle-factor tables.
+//
+// TwiddleTables: exact double-precision roots of unity for the size-M complex
+// DFT plus the negacyclic twist factors exp(+-i*pi*j/N).
+//
+// LiftRotation / LiftTables: every complex rotation in the integer engine is
+// reduced to a quadrant flip (exact) plus a residual rotation by
+// phi in [-pi/4, pi/4], realized as three lifting steps
+//     x += round(c*y); y += round(s*x); x += round(c*y)
+// with c = -tan(phi/2), s = sin(phi)  (both |.| < 0.708), each quantized to a
+// dyadic value alpha / 2^(t-1) with |alpha| < 2^(t-1) -- the paper's t-bit
+// DVQTF (dyadic-value-quantized twiddle factor). A dyadic multiply is a CSD
+// shift-add network in hardware; we compute the numerically identical
+// (alpha*y + 2^(t-2)) >> (t-1) and count the CSD adders for the energy model.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace matcha {
+
+/// Double-precision roots: w[k] = exp(sign * 2*pi*i*k/M).
+std::vector<std::complex<double>> dft_roots(int m, int sign);
+
+/// Negacyclic twist: t[j] = exp(sign * i*pi*j/N) for j in [0, N/2).
+std::vector<std::complex<double>> twist_factors(int n_ring, int sign);
+
+/// One quantized rotation e^{i*theta} for the lifting engine.
+struct LiftRotation {
+  int quadrant = 0;      ///< exact pre-rotation by quadrant * pi/2
+  int64_t c_num = 0;     ///< c = -tan(phi/2) quantized: c_num / 2^shift
+  int64_t s_num = 0;     ///< s = sin(phi)  quantized: s_num / 2^shift
+  int shift = 0;         ///< t - 1 fraction bits
+
+  /// Number of CSD adders+shifters to realize both dyadic multiplies of one
+  /// lifting-step triple (3 constant multiplies per rotation). Used by the
+  /// hardware cost model.
+  int csd_adders() const;
+  int csd_shifters() const;
+
+  /// The rotation this object actually implements (including quantization),
+  /// as a complex double -- for error analysis in tests.
+  std::complex<double> effective() const;
+};
+
+/// Build the quantized rotation for angle theta with t-bit DVQTFs.
+LiftRotation make_lift_rotation(double theta, int twiddle_bits);
+
+/// All rotations the integer engine needs for ring size N:
+///  - DFT butterfly twiddles for each stage of the size-M=N/2 radix-2 flow
+///  - twist rotations (forward and inverse)
+/// `sign` = +1 for the forward (to-spectral) convention used here.
+struct LiftTables {
+  int n_ring = 0;
+  int m = 0;
+  int twiddle_bits = 0;
+  /// stage_rot[s][j]: rotation for butterfly pair distance 2^s, twiddle index
+  /// j in [0, 2^s). Forward convention exp(+2*pi*i*j/2^{s+1}).
+  std::vector<std::vector<LiftRotation>> stage_rot;
+  /// Same angles negated (for the inverse DFT).
+  std::vector<std::vector<LiftRotation>> stage_rot_inv;
+  std::vector<LiftRotation> twist_fwd; ///< exp(+i*pi*j/N)
+  std::vector<LiftRotation> twist_inv; ///< exp(-i*pi*j/N)
+
+  /// Total CSD adder count across one full forward transform (for the power
+  /// model's activity factors).
+  int64_t total_csd_adders_forward() const;
+};
+
+LiftTables make_lift_tables(int n_ring, int twiddle_bits);
+
+} // namespace matcha

@@ -1,0 +1,58 @@
+// Analytic 16 nm area/power cost model (the reproduction's stand-in for the
+// paper's RTL synthesis + CACTI flow; see DESIGN.md "Substitutions").
+//
+// The model has the same structure as the original methodology -- per-unit
+// energy/area constants composed by unit counts, plus an SRAM geometry model
+// with per-bank port overhead -- with technology constants fitted so the
+// composed totals reproduce Table 2. All constants are in this header's
+// companion .cpp and are clearly marked as calibrated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace matcha::hw {
+
+/// Operating point.
+struct Process {
+  double clock_ghz = 2.0;
+  /// 16 nm PTM, as in the paper.
+  std::string node = "16nm PTM";
+};
+
+/// Combinational / arithmetic unit types in the MATCHA datapath.
+enum class Unit {
+  kMult32,   ///< 32-bit integer multiplier (TGSW scale, EP manipulation)
+  kAdd32,    ///< 32-bit integer adder
+  kAdd64,    ///< 64-bit integer adder (butterfly core)
+  kShift64,  ///< 64-bit barrel shifter (butterfly core)
+  kAluCmp,   ///< polynomial-unit adder/comparator/logic slice
+};
+
+/// Peak dynamic power of one unit instance at the given clock (Watt).
+double unit_power_w(Unit u, const Process& p);
+/// Area of one unit instance (mm^2).
+double unit_area_mm2(Unit u);
+/// Energy of one operation on the unit (Joule) -- used by the simulator's
+/// activity-based energy accounting.
+double unit_energy_j(Unit u, const Process& p);
+
+/// SRAM structure classes (different cell/periphery regimes, as in CACTI).
+enum class SramClass {
+  kRegFileSmall, ///< highly-ported KB-scale register banks (TGSW cluster)
+  kRegFileLarge, ///< wide multi-bank register files (EP cores)
+  kScratchpad,   ///< MB-scale SPM banks
+};
+
+double sram_power_w(SramClass c, double kilobytes, int banks, const Process& p);
+double sram_area_mm2(SramClass c, double kilobytes, int banks);
+
+/// Crossbar (bit-sliced) cost: `ports_in x ports_out`, `bits` wide.
+double crossbar_power_w(int ports_in, int ports_out, int bits, const Process& p);
+double crossbar_area_mm2(int ports_in, int ports_out, int bits);
+
+/// Memory controller + HBM2 PHY (fixed macro, per the paper).
+double memctrl_power_w();
+double memctrl_area_mm2();
+
+} // namespace matcha::hw

@@ -1,0 +1,125 @@
+#include "hw/matcha_design.h"
+
+namespace matcha::hw {
+
+namespace {
+/// Lanes in a TGSW cluster / polynomial unit (SIMD datapaths).
+int tgsw_lanes(const MatchaConfig& cfg) { return cfg.tgsw_mults * cfg.tgsw_simd; }
+int poly_lanes(const MatchaConfig& cfg) { return cfg.poly_alus * cfg.poly_simd; }
+} // namespace
+
+double tgsw_cluster_power_w(const MatchaConfig& cfg) {
+  const auto& p = cfg.process;
+  return tgsw_lanes(cfg) * (unit_power_w(Unit::kMult32, p) +
+                            unit_power_w(Unit::kAdd32, p)) +
+         sram_power_w(SramClass::kRegFileSmall, cfg.tgsw_regfile_kb,
+                      cfg.tgsw_regfile_banks, p);
+}
+
+double tgsw_cluster_area_mm2(const MatchaConfig& cfg) {
+  return tgsw_lanes(cfg) * (unit_area_mm2(Unit::kMult32) +
+                            unit_area_mm2(Unit::kAdd32)) +
+         sram_area_mm2(SramClass::kRegFileSmall, cfg.tgsw_regfile_kb,
+                       cfg.tgsw_regfile_banks);
+}
+
+double ep_core_power_w(const MatchaConfig& cfg) {
+  const auto& p = cfg.process;
+  const int fft_cores = cfg.ep_ifft_cores + cfg.ep_fft_cores;
+  return fft_cores * cfg.butterflies_per_fft_core *
+             (2 * unit_power_w(Unit::kAdd64, p) +
+              2 * unit_power_w(Unit::kShift64, p)) +
+         cfg.ep_mults * unit_power_w(Unit::kMult32, p) +
+         cfg.ep_adders * unit_power_w(Unit::kAdd32, p) +
+         sram_power_w(SramClass::kRegFileLarge, cfg.ep_regfile_kb,
+                      cfg.ep_regfile_banks, p);
+}
+
+double ep_core_area_mm2(const MatchaConfig& cfg) {
+  const int fft_cores = cfg.ep_ifft_cores + cfg.ep_fft_cores;
+  return fft_cores * cfg.butterflies_per_fft_core *
+             (2 * unit_area_mm2(Unit::kAdd64) + 2 * unit_area_mm2(Unit::kShift64)) +
+         cfg.ep_mults * unit_area_mm2(Unit::kMult32) +
+         cfg.ep_adders * unit_area_mm2(Unit::kAdd32) +
+         sram_area_mm2(SramClass::kRegFileLarge, cfg.ep_regfile_kb,
+                       cfg.ep_regfile_banks);
+}
+
+double poly_unit_power_w(const MatchaConfig& cfg) {
+  const auto& p = cfg.process;
+  return poly_lanes(cfg) * unit_power_w(Unit::kAluCmp, p) +
+         sram_power_w(SramClass::kRegFileSmall, cfg.poly_regfile_kb,
+                      cfg.poly_regfile_banks, p);
+}
+
+double uncore_power_w(const MatchaConfig& cfg) {
+  const auto& p = cfg.process;
+  return sram_power_w(SramClass::kScratchpad, cfg.spm_kb, cfg.spm_banks, p) +
+         crossbar_power_w(cfg.pipelines, cfg.spm_banks, cfg.xbar_bits, p) +
+         crossbar_power_w(cfg.spm_banks, cfg.pipelines, cfg.xbar_bits, p) +
+         crossbar_power_w(cfg.pipelines, cfg.pipelines, cfg.xbar_bits, p) +
+         memctrl_power_w();
+}
+
+DesignCost compute_design_cost(const MatchaConfig& cfg) {
+  const auto& p = cfg.process;
+  DesignCost d;
+
+  const double tgsw_pw = tgsw_cluster_power_w(cfg);
+  const double tgsw_area = tgsw_cluster_area_mm2(cfg);
+  d.rows.push_back({"TGSW cluster",
+                    "x16 multipliers & adders, and a 16KB, 2-bank reg. file",
+                    tgsw_pw, tgsw_area});
+
+  const double ep_pw = ep_core_power_w(cfg);
+  const double ep_area = ep_core_area_mm2(cfg);
+  d.rows.push_back(
+      {"EP core",
+       "4 IFFT, 1 FFT, x4 multipliers & adders, and a 256KB, 8-bank reg. file",
+       ep_pw, ep_area});
+
+  d.rows.push_back({"Sub-total", "x8 EP cores and TGSW clusters",
+                    cfg.pipelines * (tgsw_pw + ep_pw),
+                    cfg.pipelines * (tgsw_area + ep_area)});
+
+  const double poly_pw = poly_unit_power_w(cfg);
+  const double poly_area =
+      poly_lanes(cfg) * unit_area_mm2(Unit::kAluCmp) +
+      sram_area_mm2(SramClass::kRegFileSmall, cfg.poly_regfile_kb,
+                    cfg.poly_regfile_banks);
+  d.rows.push_back({"polynomial unit",
+                    "x32 adders & cmps & logic units, and a 8KB, 2-bank reg. file",
+                    poly_pw, poly_area});
+
+  const double xbar_pw =
+      crossbar_power_w(cfg.pipelines, cfg.spm_banks, cfg.xbar_bits, p) +
+      crossbar_power_w(cfg.spm_banks, cfg.pipelines, cfg.xbar_bits, p) +
+      crossbar_power_w(cfg.pipelines, cfg.pipelines, cfg.xbar_bits, p);
+  const double xbar_area =
+      crossbar_area_mm2(cfg.pipelines, cfg.spm_banks, cfg.xbar_bits) +
+      crossbar_area_mm2(cfg.spm_banks, cfg.pipelines, cfg.xbar_bits) +
+      crossbar_area_mm2(cfg.pipelines, cfg.pipelines, cfg.xbar_bits);
+  d.rows.push_back({"crossbar 1/2", "8x32/8 NoCs (256b bit-sliced)", xbar_pw,
+                    xbar_area});
+
+  d.rows.push_back(
+      {"SPM", "a 4MB, 32-bank SPM",
+       sram_power_w(SramClass::kScratchpad, cfg.spm_kb, cfg.spm_banks, p),
+       sram_area_mm2(SramClass::kScratchpad, cfg.spm_kb, cfg.spm_banks)});
+
+  d.rows.push_back({"mem ctrl", "memory controller and HBM2 PHY",
+                    memctrl_power_w(), memctrl_area_mm2()});
+
+  d.total_power_w = cfg.pipelines * (tgsw_pw + ep_pw) + poly_pw + xbar_pw +
+                    sram_power_w(SramClass::kScratchpad, cfg.spm_kb,
+                                 cfg.spm_banks, p) +
+                    memctrl_power_w();
+  d.total_area_mm2 = cfg.pipelines * (tgsw_area + ep_area) + poly_area +
+                     xbar_area +
+                     sram_area_mm2(SramClass::kScratchpad, cfg.spm_kb,
+                                   cfg.spm_banks) +
+                     memctrl_area_mm2();
+  return d;
+}
+
+} // namespace matcha::hw

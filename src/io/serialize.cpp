@@ -1,0 +1,286 @@
+#include "io/serialize.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace matcha::io {
+
+namespace {
+
+constexpr uint32_t kVersion = 1;
+
+void put_raw(std::ostream& os, const void* p, size_t n) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  if (!os) throw std::runtime_error("matcha::io: write failed");
+}
+
+void get_raw(std::istream& is, void* p, size_t n) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("matcha::io: read failed / truncated");
+}
+
+template <class T>
+void put(std::ostream& os, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_raw(os, &v, sizeof(v));
+}
+
+template <class T>
+T get(std::istream& is) {
+  T v;
+  get_raw(is, &v, sizeof(v));
+  return v;
+}
+
+void put_header(std::ostream& os, uint32_t magic) {
+  put(os, magic);
+  put(os, kVersion);
+}
+
+void check_header(std::istream& is, uint32_t magic, const char* what) {
+  if (get<uint32_t>(is) != magic) {
+    throw std::runtime_error(std::string("matcha::io: bad magic for ") + what);
+  }
+  if (get<uint32_t>(is) != kVersion) {
+    throw std::runtime_error(std::string("matcha::io: version skew for ") + what);
+  }
+}
+
+template <class T>
+void put_vec(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put(os, static_cast<uint64_t>(v.size()));
+  if (!v.empty()) put_raw(os, v.data(), v.size() * sizeof(T));
+}
+
+template <class T>
+std::vector<T> get_vec(std::istream& is) {
+  const uint64_t n = get<uint64_t>(is);
+  if (n > (1ULL << 32)) throw std::runtime_error("matcha::io: absurd length");
+  std::vector<T> v(n);
+  if (n) get_raw(is, v.data(), n * sizeof(T));
+  return v;
+}
+
+constexpr uint32_t kMagicParams = 0x4D504152; // "MPAR"
+constexpr uint32_t kMagicLwe = 0x4D4C5745;    // "MLWE"
+constexpr uint32_t kMagicLweKey = 0x4D4C4B59; // "MLKY"
+constexpr uint32_t kMagicTlweKey = 0x4D544B59;
+constexpr uint32_t kMagicTgsw = 0x4D475357;
+constexpr uint32_t kMagicKs = 0x4D4B5357;
+constexpr uint32_t kMagicBk = 0x4D424B31;
+constexpr uint32_t kMagicSecret = 0x4D534B53;
+constexpr uint32_t kMagicCloud = 0x4D434B53;
+
+void put_tlwe(std::ostream& os, const TLweSample& s) {
+  put_vec(os, s.a.coeffs);
+  put_vec(os, s.b.coeffs);
+}
+
+TLweSample get_tlwe(std::istream& is) {
+  TLweSample s;
+  s.a.coeffs = get_vec<Torus32>(is);
+  s.b.coeffs = get_vec<Torus32>(is);
+  return s;
+}
+
+} // namespace
+
+void write_params(std::ostream& os, const TfheParams& p) {
+  put_header(os, kMagicParams);
+  put(os, static_cast<int32_t>(p.lwe.n));
+  put(os, p.lwe.sigma);
+  put(os, static_cast<int32_t>(p.ring.n_ring));
+  put(os, static_cast<int32_t>(p.ring.k));
+  put(os, p.ring.sigma);
+  put(os, static_cast<int32_t>(p.gadget.bg_bits));
+  put(os, static_cast<int32_t>(p.gadget.l));
+  put(os, static_cast<int32_t>(p.ks.basebit));
+  put(os, static_cast<int32_t>(p.ks.t));
+  put(os, p.ks.sigma);
+}
+
+TfheParams read_params(std::istream& is) {
+  check_header(is, kMagicParams, "TfheParams");
+  TfheParams p;
+  p.lwe.n = get<int32_t>(is);
+  p.lwe.sigma = get<double>(is);
+  p.ring.n_ring = get<int32_t>(is);
+  p.ring.k = get<int32_t>(is);
+  p.ring.sigma = get<double>(is);
+  p.gadget.bg_bits = get<int32_t>(is);
+  p.gadget.l = get<int32_t>(is);
+  p.ks.basebit = get<int32_t>(is);
+  p.ks.t = get<int32_t>(is);
+  p.ks.sigma = get<double>(is);
+  return p;
+}
+
+void write_lwe_sample(std::ostream& os, const LweSample& c) {
+  put_header(os, kMagicLwe);
+  put_vec(os, c.a);
+  put(os, c.b);
+}
+
+LweSample read_lwe_sample(std::istream& is) {
+  check_header(is, kMagicLwe, "LweSample");
+  LweSample c;
+  c.a = get_vec<Torus32>(is);
+  c.b = get<Torus32>(is);
+  return c;
+}
+
+void write_lwe_key(std::ostream& os, const LweKey& k) {
+  put_header(os, kMagicLweKey);
+  put(os, static_cast<int32_t>(k.params.n));
+  put(os, k.params.sigma);
+  put_vec(os, k.s);
+}
+
+LweKey read_lwe_key(std::istream& is) {
+  check_header(is, kMagicLweKey, "LweKey");
+  LweKey k;
+  k.params.n = get<int32_t>(is);
+  k.params.sigma = get<double>(is);
+  k.s = get_vec<int32_t>(is);
+  return k;
+}
+
+void write_tlwe_key(std::ostream& os, const TLweKey& k) {
+  put_header(os, kMagicTlweKey);
+  put(os, static_cast<int32_t>(k.params.n_ring));
+  put(os, static_cast<int32_t>(k.params.k));
+  put(os, k.params.sigma);
+  put_vec(os, k.s.coeffs);
+}
+
+TLweKey read_tlwe_key(std::istream& is) {
+  check_header(is, kMagicTlweKey, "TLweKey");
+  TLweKey k;
+  k.params.n_ring = get<int32_t>(is);
+  k.params.k = get<int32_t>(is);
+  k.params.sigma = get<double>(is);
+  k.s.coeffs = get_vec<int32_t>(is);
+  return k;
+}
+
+void write_tgsw(std::ostream& os, const TGswSample& s) {
+  put_header(os, kMagicTgsw);
+  put(os, static_cast<uint32_t>(s.rows.size()));
+  for (const auto& row : s.rows) put_tlwe(os, row);
+}
+
+TGswSample read_tgsw(std::istream& is) {
+  check_header(is, kMagicTgsw, "TGswSample");
+  TGswSample s;
+  const uint32_t rows = get<uint32_t>(is);
+  s.rows.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) s.rows.push_back(get_tlwe(is));
+  return s;
+}
+
+void write_keyswitch_key(std::ostream& os, const KeySwitchKey& k) {
+  put_header(os, kMagicKs);
+  put(os, static_cast<int32_t>(k.params.basebit));
+  put(os, static_cast<int32_t>(k.params.t));
+  put(os, k.params.sigma);
+  put(os, static_cast<int32_t>(k.n_in));
+  put(os, static_cast<int32_t>(k.n_out));
+  put(os, static_cast<uint64_t>(k.table.size()));
+  for (const auto& s : k.table) {
+    put_vec(os, s.a);
+    put(os, s.b);
+  }
+}
+
+KeySwitchKey read_keyswitch_key(std::istream& is) {
+  check_header(is, kMagicKs, "KeySwitchKey");
+  KeySwitchKey k;
+  k.params.basebit = get<int32_t>(is);
+  k.params.t = get<int32_t>(is);
+  k.params.sigma = get<double>(is);
+  k.n_in = get<int32_t>(is);
+  k.n_out = get<int32_t>(is);
+  const uint64_t count = get<uint64_t>(is);
+  k.table.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LweSample s;
+    s.a = get_vec<Torus32>(is);
+    s.b = get<Torus32>(is);
+    k.table.push_back(std::move(s));
+  }
+  return k;
+}
+
+void write_bootstrap_key(std::ostream& os, const UnrolledBootstrapKey& k) {
+  put_header(os, kMagicBk);
+  put(os, static_cast<int32_t>(k.unroll_m));
+  put(os, static_cast<int32_t>(k.n_lwe));
+  put(os, static_cast<int32_t>(k.ring.n_ring));
+  put(os, static_cast<int32_t>(k.ring.k));
+  put(os, k.ring.sigma);
+  put(os, static_cast<int32_t>(k.gadget.bg_bits));
+  put(os, static_cast<int32_t>(k.gadget.l));
+  put(os, static_cast<uint32_t>(k.groups.size()));
+  for (const auto& grp : k.groups) {
+    put(os, static_cast<uint32_t>(grp.size()));
+    for (const auto& tgsw : grp) write_tgsw(os, tgsw);
+  }
+}
+
+UnrolledBootstrapKey read_bootstrap_key(std::istream& is) {
+  check_header(is, kMagicBk, "UnrolledBootstrapKey");
+  UnrolledBootstrapKey k;
+  k.unroll_m = get<int32_t>(is);
+  k.n_lwe = get<int32_t>(is);
+  k.ring.n_ring = get<int32_t>(is);
+  k.ring.k = get<int32_t>(is);
+  k.ring.sigma = get<double>(is);
+  k.gadget.bg_bits = get<int32_t>(is);
+  k.gadget.l = get<int32_t>(is);
+  const uint32_t groups = get<uint32_t>(is);
+  k.groups.resize(groups);
+  for (auto& grp : k.groups) {
+    const uint32_t count = get<uint32_t>(is);
+    grp.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) grp.push_back(read_tgsw(is));
+  }
+  return k;
+}
+
+void write_secret_keyset(std::ostream& os, const SecretKeyset& sk) {
+  put_header(os, kMagicSecret);
+  write_params(os, sk.params);
+  write_lwe_key(os, sk.lwe);
+  write_tlwe_key(os, sk.tlwe);
+}
+
+SecretKeyset read_secret_keyset(std::istream& is) {
+  check_header(is, kMagicSecret, "SecretKeyset");
+  SecretKeyset sk;
+  sk.params = read_params(is);
+  sk.lwe = read_lwe_key(is);
+  sk.tlwe = read_tlwe_key(is);
+  sk.extracted = sk.tlwe.extract_lwe_key();
+  return sk;
+}
+
+void write_cloud_keyset(std::ostream& os, const CloudKeyset& ck) {
+  put_header(os, kMagicCloud);
+  write_params(os, ck.params);
+  write_bootstrap_key(os, ck.bk);
+  write_keyswitch_key(os, ck.ks);
+}
+
+CloudKeyset read_cloud_keyset(std::istream& is) {
+  check_header(is, kMagicCloud, "CloudKeyset");
+  CloudKeyset ck;
+  ck.params = read_params(is);
+  ck.bk = read_bootstrap_key(is);
+  ck.ks = read_keyswitch_key(is);
+  return ck;
+}
+
+} // namespace matcha::io

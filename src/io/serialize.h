@@ -1,0 +1,45 @@
+// Binary serialization of parameters, ciphertexts, and key material, so a
+// client can ship cloud keysets to a server/accelerator and ciphertexts back
+// and forth. Format: little-endian, versioned magic header per object.
+// Spectral device keys are intentionally NOT serialized -- they are an
+// engine-specific cache regenerated at load time (load_device_keyset).
+#pragma once
+
+#include <iosfwd>
+
+#include "bku/unrolled_key.h"
+#include "tfhe/keyset.h"
+
+namespace matcha::io {
+
+// Every write_* throws std::runtime_error on stream failure; every read_*
+// throws std::runtime_error on stream failure, bad magic, or version skew.
+
+void write_params(std::ostream& os, const TfheParams& p);
+TfheParams read_params(std::istream& is);
+
+void write_lwe_sample(std::ostream& os, const LweSample& c);
+LweSample read_lwe_sample(std::istream& is);
+
+void write_lwe_key(std::ostream& os, const LweKey& k);
+LweKey read_lwe_key(std::istream& is);
+
+void write_tlwe_key(std::ostream& os, const TLweKey& k);
+TLweKey read_tlwe_key(std::istream& is);
+
+void write_tgsw(std::ostream& os, const TGswSample& s);
+TGswSample read_tgsw(std::istream& is);
+
+void write_keyswitch_key(std::ostream& os, const KeySwitchKey& k);
+KeySwitchKey read_keyswitch_key(std::istream& is);
+
+void write_bootstrap_key(std::ostream& os, const UnrolledBootstrapKey& k);
+UnrolledBootstrapKey read_bootstrap_key(std::istream& is);
+
+void write_secret_keyset(std::ostream& os, const SecretKeyset& sk);
+SecretKeyset read_secret_keyset(std::istream& is);
+
+void write_cloud_keyset(std::ostream& os, const CloudKeyset& ck);
+CloudKeyset read_cloud_keyset(std::istream& is);
+
+} // namespace matcha::io

@@ -1,0 +1,53 @@
+// Gadget (signed base-Bg) decomposition and modulus switching.
+//
+// External products TGSW (x) TLWE require decomposing each torus polynomial
+// of the TLWE sample into `l` digit polynomials with signed digits in
+// (-Bg/2, Bg/2], such that  sum_j digit_j * Bg^{-j}  approximates the torus
+// coefficient to within half an LSB of the gadget. Mod-switching rescales a
+// Torus32 to Z_{2N} for the blind-rotate exponents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "math/polynomial.h"
+
+namespace matcha {
+
+/// Parameters of the signed gadget decomposition.
+struct GadgetParams {
+  int bg_bits = 10; ///< log2(Bg)
+  int l = 3;        ///< number of digits; l * bg_bits must be <= 32
+
+  uint32_t bg() const { return 1u << bg_bits; }
+  /// Rounding offset added before digit extraction (TFHE library trick):
+  /// sum_{j=1..l} Bg/2 * 2^{32 - j*bg_bits}.
+  Torus32 rounding_offset() const;
+  /// Worst-case decomposition error epsilon = 2^{-(l*bg_bits+1)} in torus
+  /// units (half LSB of the gadget).
+  double epsilon() const { return 0.5 / static_cast<double>(1ULL << (static_cast<unsigned>(l) * bg_bits)); }
+};
+
+/// Decompose one torus coefficient into l signed digits (LSB-first is digit
+/// l-1; digits[0] is the most significant). Satisfies
+///   | t - sum_j digits[j] * 2^{32 - (j+1)*bg_bits} | <= Bg^{-l}/2 * 2^32.
+void decompose_coefficient(const GadgetParams& g, Torus32 t, int32_t* digits);
+
+/// Decompose a torus polynomial into l digit polynomials.
+/// `digits` must point at l IntPolynomials of the same size as p.
+void decompose_polynomial(const GadgetParams& g, const TorusPolynomial& p,
+                          IntPolynomial* digits);
+inline void decompose_polynomial(const GadgetParams& g, const TorusPolynomial& p,
+                                 std::vector<IntPolynomial>& digits) {
+  decompose_polynomial(g, p, digits.data());
+}
+
+/// Round a torus element to Z_{2N}: returns round(t * 2N) mod 2N.
+/// This is line 2 of the paper's Algorithm 1.
+int32_t mod_switch_to_2n(Torus32 t, int n_ring);
+
+/// Recompose digits back to the torus (for tests): sum digit_j * Bg^{-(j+1)}.
+Torus32 recompose_coefficient(const GadgetParams& g, const int32_t* digits);
+
+} // namespace matcha

@@ -1,0 +1,94 @@
+#include "math/polynomial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace matcha {
+
+void IntPolynomial::clear() { std::fill(coeffs.begin(), coeffs.end(), 0); }
+
+int64_t IntPolynomial::norm_inf() const {
+  int64_t m = 0;
+  for (int32_t c : coeffs) m = std::max<int64_t>(m, std::llabs(static_cast<int64_t>(c)));
+  return m;
+}
+
+void TorusPolynomial::clear() { std::fill(coeffs.begin(), coeffs.end(), 0); }
+
+TorusPolynomial& TorusPolynomial::operator+=(const TorusPolynomial& rhs) {
+  assert(size() == rhs.size());
+  for (int i = 0; i < size(); ++i) coeffs[i] += rhs.coeffs[i];
+  return *this;
+}
+
+TorusPolynomial& TorusPolynomial::operator-=(const TorusPolynomial& rhs) {
+  assert(size() == rhs.size());
+  for (int i = 0; i < size(); ++i) coeffs[i] -= rhs.coeffs[i];
+  return *this;
+}
+
+void multiply_by_xpower(TorusPolynomial& result, const TorusPolynomial& p, int64_t k) {
+  const int n = p.size();
+  assert(result.size() == n);
+  assert(&result != &p);
+  // Reduce k mod 2N; X^(N) == -1.
+  int64_t kk = k % (2 * n);
+  if (kk < 0) kk += 2 * n;
+  const bool flip = kk >= n;
+  const int shift = static_cast<int>(flip ? kk - n : kk);
+  for (int i = 0; i < n; ++i) {
+    const int j = i + shift;
+    if (j < n) {
+      result.coeffs[j] = flip ? static_cast<Torus32>(-p.coeffs[i]) : p.coeffs[i];
+    } else {
+      result.coeffs[j - n] = flip ? p.coeffs[i] : static_cast<Torus32>(-p.coeffs[i]);
+    }
+  }
+}
+
+void multiply_by_xpower_minus_one(TorusPolynomial& result, const TorusPolynomial& p, int64_t k) {
+  const int n = p.size();
+  assert(result.size() == n);
+  multiply_by_xpower(result, p, k);
+  for (int i = 0; i < n; ++i) result.coeffs[i] -= p.coeffs[i];
+}
+
+void negacyclic_multiply_add_reference(TorusPolynomial& result,
+                                       const IntPolynomial& a,
+                                       const TorusPolynomial& b) {
+  const int n = b.size();
+  assert(a.size() == n && result.size() == n);
+  for (int i = 0; i < n; ++i) {
+    const int64_t ai = a.coeffs[i];
+    if (ai == 0) continue;
+    for (int j = 0; j < n; ++j) {
+      const Torus32 prod = static_cast<Torus32>(
+          static_cast<uint64_t>(ai) * static_cast<uint64_t>(b.coeffs[j]));
+      const int idx = i + j;
+      if (idx < n) {
+        result.coeffs[idx] += prod;
+      } else {
+        result.coeffs[idx - n] -= prod;
+      }
+    }
+  }
+}
+
+void negacyclic_multiply_reference(TorusPolynomial& result,
+                                   const IntPolynomial& a,
+                                   const TorusPolynomial& b) {
+  result.clear();
+  negacyclic_multiply_add_reference(result, a, b);
+}
+
+double max_torus_distance(const TorusPolynomial& a, const TorusPolynomial& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (int i = 0; i < a.size(); ++i) {
+    m = std::max(m, torus_distance(a.coeffs[i], b.coeffs[i]));
+  }
+  return m;
+}
+
+} // namespace matcha

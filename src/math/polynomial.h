@@ -1,0 +1,68 @@
+// Polynomial algebra over Z_N[X] = Z[X]/(X^N+1) and T_N[X] (torus
+// coefficients). These are the basic objects of the ring variant of TFHE:
+// TLWE masks/bodies are TorusPolynomials, gadget-decomposition digits are
+// IntPolynomials. N is a power of two so the quotient X^N + 1 is the 2N-th
+// cyclotomic and multiplication is a negacyclic convolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace matcha {
+
+/// Polynomial with signed integer coefficients, degree < N, mod X^N + 1.
+struct IntPolynomial {
+  std::vector<int32_t> coeffs;
+
+  IntPolynomial() = default;
+  explicit IntPolynomial(int n) : coeffs(n, 0) {}
+  int size() const { return static_cast<int>(coeffs.size()); }
+
+  void clear();
+  /// l-infinity norm.
+  int64_t norm_inf() const;
+};
+
+/// Polynomial with torus coefficients (fixed-point, wrap mod 2^32).
+struct TorusPolynomial {
+  std::vector<Torus32> coeffs;
+
+  TorusPolynomial() = default;
+  explicit TorusPolynomial(int n) : coeffs(n, 0) {}
+  int size() const { return static_cast<int>(coeffs.size()); }
+
+  void clear();
+
+  TorusPolynomial& operator+=(const TorusPolynomial& rhs);
+  TorusPolynomial& operator-=(const TorusPolynomial& rhs);
+  friend TorusPolynomial operator+(TorusPolynomial a, const TorusPolynomial& b) { a += b; return a; }
+  friend TorusPolynomial operator-(TorusPolynomial a, const TorusPolynomial& b) { a -= b; return a; }
+  bool operator==(const TorusPolynomial&) const = default;
+};
+
+/// result = p * X^k mod X^N+1, for any k (taken mod 2N; negacyclic wrap flips
+/// sign). This is the "rotation" every blind-rotate step performs.
+void multiply_by_xpower(TorusPolynomial& result, const TorusPolynomial& p, int64_t k);
+
+/// result = p * (X^k - 1) mod X^N+1. Fused form used when building
+/// bootstrapping-key bundles (paper Fig. 5).
+void multiply_by_xpower_minus_one(TorusPolynomial& result, const TorusPolynomial& p, int64_t k);
+
+/// Exact negacyclic product of an integer and a torus polynomial,
+/// schoolbook O(N^2). This is the correctness reference against which all
+/// FFT engines are validated; the library never calls it on the hot path.
+void negacyclic_multiply_reference(TorusPolynomial& result,
+                                   const IntPolynomial& a,
+                                   const TorusPolynomial& b);
+
+/// result += a *_negacyclic b (schoolbook reference).
+void negacyclic_multiply_add_reference(TorusPolynomial& result,
+                                       const IntPolynomial& a,
+                                       const TorusPolynomial& b);
+
+/// Maximum absolute torus distance between two polynomials (as reals).
+double max_torus_distance(const TorusPolynomial& a, const TorusPolynomial& b);
+
+} // namespace matcha

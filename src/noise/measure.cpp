@@ -1,0 +1,20 @@
+#include "noise/measure.h"
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+
+namespace matcha::noise {
+
+double phase_error(const SecretKeyset& sk, const LweSample& c, int expected_bit) {
+  const Torus32 phase = lwe_phase(sk.lwe, c);
+  const Torus32 ideal = expected_bit ? sk.params.mu()
+                                     : static_cast<Torus32>(-sk.params.mu());
+  return torus32_to_double(static_cast<Torus32>(phase - ideal));
+}
+
+template PhaseStats measure_gate_noise<DoubleFftEngine>(
+    const SecretKeyset&, GateEvaluator<DoubleFftEngine>&, int, Rng&);
+template PhaseStats measure_gate_noise<LiftFftEngine>(
+    const SecretKeyset&, GateEvaluator<LiftFftEngine>&, int, Rng&);
+
+} // namespace matcha::noise

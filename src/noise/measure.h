@@ -1,0 +1,50 @@
+// Empirical noise metering: decrypt-side phase-error statistics of gate
+// outputs, and decryption-failure counting (the paper's 10^8-gate test,
+// scaled down).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tfhe/keyset.h"
+
+namespace matcha::noise {
+
+struct PhaseStats {
+  double mean = 0;
+  double stddev = 0;
+  double max_abs = 0;
+  int samples = 0;
+  int failures = 0; ///< wrong decryptions observed
+};
+
+/// Phase error of a gate output: distance from the ideal +-mu message.
+double phase_error(const SecretKeyset& sk, const LweSample& c, int expected_bit);
+
+/// Run `count` NAND gates on random fresh inputs with the given evaluator and
+/// collect output phase-error statistics.
+template <class Engine>
+PhaseStats measure_gate_noise(const SecretKeyset& sk,
+                              GateEvaluator<Engine>& ev, int count, Rng& rng) {
+  PhaseStats st;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < count; ++i) {
+    const int a = rng.uniform_bit(), b = rng.uniform_bit();
+    const int want = !(a && b);
+    const LweSample ca = sk.encrypt_bit(a, rng);
+    const LweSample cb = sk.encrypt_bit(b, rng);
+    const LweSample out = ev.gate_nand(ca, cb);
+    if (sk.decrypt_bit(out) != want) ++st.failures;
+    const double e = phase_error(sk, out, want);
+    sum += e;
+    sum2 += e * e;
+    if (std::abs(e) > st.max_abs) st.max_abs = std::abs(e);
+    ++st.samples;
+  }
+  st.mean = sum / count;
+  st.stddev = std::sqrt(std::max(0.0, sum2 / count - st.mean * st.mean));
+  return st;
+}
+
+} // namespace matcha::noise

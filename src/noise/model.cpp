@@ -1,0 +1,70 @@
+#include "noise/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matcha::noise {
+
+BootstrapNoise predict(const TfheParams& p, int unroll_m) {
+  BootstrapNoise out;
+  const int n = p.lwe.n;
+  const int groups = (n + unroll_m - 1) / unroll_m;
+  const int big_n = p.ring.n_ring;
+  const double bg = static_cast<double>(p.gadget.bg());
+  const int l = p.gadget.l;
+  const int terms = (1 << unroll_m) - 1;
+  out.bk_count_factor = terms;
+
+  // Bundle key noise: each of the 2^m - 1 terms contributes a rotated
+  // (X^c - 1)-scaled key sample; (X^c - 1) doubles the variance.
+  const double sigma_bkb2 = 2.0 * terms * p.ring.sigma * p.ring.sigma;
+  // One external product: 2l digit polynomials of N coefficients, digit
+  // variance Bg^2/12, against the bundle rows.
+  const double var_ep_unit = 2.0 * l * big_n * (bg * bg / 12.0) * sigma_bkb2;
+  out.ep_std = std::sqrt(groups * var_ep_unit);
+
+  // Mod-switch rounding: one rounding per group (single-rounding subsets)
+  // plus the rounding of b; each uniform in +-1/(4N).
+  const double var_round = 1.0 / (12.0 * 4.0 * big_n * big_n);
+  out.rounding_std = std::sqrt((groups + 1) * var_round);
+
+  // Gadget-precision drift of the identity path (the bundle contains H, so
+  // every group re-decomposes ACC): epsilon^2 * (1 + N) per group.
+  const double eps = p.gadget.epsilon();
+  out.decomp_std = std::sqrt(groups * (1.0 + big_n) * eps * eps);
+
+  // Key switch: N*t samples with fresh noise sigma_ks, plus the truncation
+  // of each coefficient to t*basebit bits against the N/2 expected key bits.
+  const double var_ks = big_n * p.ks.t * p.ks.sigma * p.ks.sigma;
+  const double trunc = std::pow(2.0, -(p.ks.t * p.ks.basebit)) / std::sqrt(12.0);
+  const double var_trunc = big_n / 2.0 * trunc * trunc;
+  out.ks_std = std::sqrt(var_ks + var_trunc);
+
+  out.total_std = std::sqrt(out.ep_std * out.ep_std +
+                            out.rounding_std * out.rounding_std +
+                            out.decomp_std * out.decomp_std +
+                            out.ks_std * out.ks_std);
+  return out;
+}
+
+double failure_probability(double phase_std) {
+  // Margin: the bootstrap decision flips when |noise| > 1/16 (the distance
+  // from +-1/8 +- combo noise to the quadrant boundary used by gates).
+  const double margin = 1.0 / 16.0;
+  if (phase_std <= 0) return 0.0;
+  return std::erfc(margin / (phase_std * std::sqrt(2.0)));
+}
+
+double fft_error_db(int twiddle_bits) {
+  // Quantization-limited: ~ -6.02 dB/bit with an implementation offset;
+  // saturated near full scale at very low widths and floored by the integer
+  // round-off of the fixed scaling ledger at high widths.
+  const double quant = -6.02 * twiddle_bits + 78.0;
+  const double floor_db = -150.0;
+  const double ceil_db = -5.0;
+  return std::min(ceil_db, std::max(floor_db, quant));
+}
+
+double fft_error_db_double() { return -150.0; }
+
+} // namespace matcha::noise

@@ -1,0 +1,41 @@
+// Analytic noise model of the bootstrapping (paper Table 3).
+//
+// For unroll factor m the per-bootstrap noise decomposes into:
+//  * EP noise:       n/m external products, each injecting
+//                    2l*N*(Bg^2/12)*sigma_BKB^2  variance -- "delta/m";
+//  * rounding noise: one mod-switch rounding per *group* (the active subset's
+//                    exponent is rounded once, section "bundle.h") -- "RO/m";
+//  * key noise:      the bundle sums 2^m - 1 rotated keys, so
+//                    sigma_BKB^2 = 2*(2^m - 1)*sigma_bk^2 -- "(2^m - 1) BK";
+//  * FFT noise:      the approximate-transform error floor, from the
+//                    measured Fig. 8 curve (about -141 dB at 64-bit DVQTFs
+//                    vs about -150 dB for double precision).
+#pragma once
+
+#include "tfhe/params.h"
+
+namespace matcha::noise {
+
+struct BootstrapNoise {
+  double ep_std = 0;        ///< torus units
+  double rounding_std = 0;
+  double decomp_std = 0;    ///< gadget-precision drift through the h path
+  double ks_std = 0;        ///< key-switch contribution
+  double total_std = 0;
+  double bk_count_factor = 0; ///< (2^m - 1): key material blowup
+};
+
+/// Analytic prediction for unroll factor m (m >= 1).
+BootstrapNoise predict(const TfheParams& p, int unroll_m);
+
+/// Decryption-failure probability of a gate given the phase noise stddev:
+/// the margin to the decision boundary is 1/16 on each side of +-1/8.
+double failure_probability(double phase_std);
+
+/// Approximate-FFT noise in dB for a given DVQTF bit width -- an analytic fit
+/// of the measured Fig. 8 curve (quantization-limited region + round-off
+/// floor). bench/fig8_fft_error measures the real curve.
+double fft_error_db(int twiddle_bits);
+double fft_error_db_double(); ///< the double-precision reference (~ -150 dB)
+
+} // namespace matcha::noise

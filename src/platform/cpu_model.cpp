@@ -1,0 +1,42 @@
+#include "platform/cpu_model.h"
+
+#include <cmath>
+
+namespace matcha::platform {
+
+namespace {
+/// Flop count of one double-precision negacyclic transform (split-radix-ish
+/// 5 N log2 N on the folded size-N/2 complex DFT plus twist).
+double transform_flops(int n_ring) {
+  const int m = n_ring / 2;
+  return 5.0 * m * std::log2(static_cast<double>(m)) + 6.0 * m;
+}
+} // namespace
+
+double CpuModel::latency_ms(const TfheParams& p, int unroll_m) const {
+  const int n = p.lwe.n;
+  const int groups = (n + unroll_m - 1) / unroll_m;
+  const int rows = 2 * p.gadget.l;
+  // Per blind-rotate iteration: 2l IFFTs + 2 FFTs, the pointwise MAC of
+  // 2l x 2 spectra, decomposition, and the accumulator update.
+  const double flops_per_group =
+      (rows + 2) * transform_flops(p.ring.n_ring) +
+      rows * 2 * (p.ring.n_ring / 2) * 8.0 + // complex MAC
+      p.ring.n_ring * (2.0 * p.gadget.l + 4.0); // decompose + update
+  const double gflops = freq_ghz * flops_per_cycle;
+  const double group_us = flops_per_group / gflops * 1e-3;
+  // Key switch: ~ (1-1/base) * N * t vector subtractions of width n+1.
+  const double ks_us =
+      (1.0 - 1.0 / (1 << p.ks.basebit)) * p.ring.n_ring * p.ks.t * (n + 1) /
+      (gflops * 1e3) * 2.0;
+  const double blind_us = groups * group_us / bku_efficiency(unroll_m);
+  return (blind_us + ks_us) * 1e-3;
+}
+
+double CpuModel::gates_per_s(const TfheParams& p, int unroll_m) const {
+  // Independent gate streams, one per core (the BKU term-level parallelism
+  // competes with this; the efficiency table already accounts for it).
+  return cores * thread_efficiency / (latency_ms(p, unroll_m) * 1e-3);
+}
+
+} // namespace matcha::platform

@@ -1,0 +1,30 @@
+// Structural CPU performance model (Xeon E-2288G + TFHE library).
+#pragma once
+
+#include "tfhe/params.h"
+
+namespace matcha::platform {
+
+struct CpuModel {
+  int cores = 8;
+  double freq_ghz = 3.7;
+  double flops_per_cycle = 3.7; ///< effective AVX2 double throughput
+  double tdp_w = 95.0;
+  /// Effective concurrent gate streams (hyper-threaded cores degraded by
+  /// shared-LLC key streaming).
+  double thread_efficiency = 0.8;
+  /// Per-m implementation scaling fitted to the paper's measurements; the
+  /// losses beyond m=2 are the fork-join communication, LLC conflicts from
+  /// the exponentially larger key, and the unpipelined bundle construction
+  /// that section 4.2 analyzes.
+  double bku_efficiency(int m) const {
+    static constexpr double kEff[] = {1.0, 1.0, 1.02, 0.55, 0.34, 0.22};
+    return m <= 5 ? kEff[m] : kEff[5] * (5.0 / m);
+  }
+
+  /// Single-gate latency, milliseconds.
+  double latency_ms(const TfheParams& p, int unroll_m) const;
+  double gates_per_s(const TfheParams& p, int unroll_m) const;
+};
+
+} // namespace matcha::platform

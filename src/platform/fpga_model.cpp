@@ -1,0 +1,26 @@
+#include "platform/fpga_model.h"
+
+#include <cmath>
+
+namespace matcha::platform {
+
+double TveModel::latency_ms(const TfheParams& p) const {
+  // TVE executes the blind rotation with a vector engine of `vector_lanes`
+  // 32-bit lanes and unpipelined double-precision FFT calls on soft cores:
+  // per iteration, 2l+2 transforms of (N/2 log N/2) butterflies at one
+  // butterfly per lane-group per cycle, plus the MAC.
+  const int n = p.lwe.n;
+  const int rows = 2 * p.gadget.l;
+  const int m_spec = p.ring.n_ring / 2;
+  const double butterflies =
+      (rows + 2) * (m_spec / 2.0) * std::log2(static_cast<double>(m_spec));
+  const double mac_ops = rows * 2.0 * m_spec;
+  // 2 lanes cooperate per butterfly; no overlap between kernels (the "no
+  // pipelined design" the paper calls out).
+  const double cycles_per_iter =
+      butterflies / (vector_lanes / 2.0) + mac_ops / vector_lanes * 4.0;
+  const double cycles = n * cycles_per_iter * 1.18; // +18% control/DDR stalls
+  return cycles / (clock_mhz * 1e6) * 1e3;
+}
+
+} // namespace matcha::platform

@@ -1,0 +1,24 @@
+#include "platform/gpu_model.h"
+
+#include <cmath>
+
+namespace matcha::platform {
+
+double GpuModel::latency_ms(const TfheParams& p, int unroll_m) const {
+  const int n = p.lwe.n;
+  const int groups = (n + unroll_m - 1) / unroll_m;
+  const int rows = 2 * p.gadget.l;
+  const int m_spec = p.ring.n_ring / 2;
+  const double flops_per_group =
+      (rows + 2) * (5.0 * m_spec * std::log2(static_cast<double>(m_spec))) +
+      rows * 2 * m_spec * 8.0;
+  const double group_us =
+      flops_per_group / (fp64_tflops * 1e12 * kernel_efficiency) * 1e6;
+  return groups * group_us * bku_slowdown(unroll_m) * 1e-3;
+}
+
+double GpuModel::gates_per_s(const TfheParams& p, int unroll_m) const {
+  return batch_factor / (latency_ms(p, unroll_m) * 1e-3);
+}
+
+} // namespace matcha::platform

@@ -1,0 +1,74 @@
+#include "platform/platforms.h"
+
+#include "platform/cpu_model.h"
+#include "platform/fpga_model.h"
+#include "platform/gpu_model.h"
+
+namespace matcha::platform {
+
+namespace {
+PlatformPoint finish(PlatformPoint pt) {
+  pt.gates_per_s_per_w = pt.watts > 0 ? pt.gates_per_s / pt.watts : 0.0;
+  return pt;
+}
+} // namespace
+
+PlatformPoint cpu_eval(const TfheParams& p, int unroll_m) {
+  CpuModel m;
+  PlatformPoint pt{.name = "CPU", .unroll_m = unroll_m};
+  pt.latency_ms = m.latency_ms(p, unroll_m);
+  pt.gates_per_s = m.gates_per_s(p, unroll_m);
+  pt.watts = m.tdp_w;
+  return finish(pt);
+}
+
+PlatformPoint gpu_eval(const TfheParams& p, int unroll_m) {
+  GpuModel m;
+  PlatformPoint pt{.name = "GPU", .unroll_m = unroll_m};
+  pt.latency_ms = m.latency_ms(p, unroll_m);
+  pt.gates_per_s = m.gates_per_s(p, unroll_m);
+  pt.watts = m.tdp_w;
+  return finish(pt);
+}
+
+PlatformPoint fpga_eval(const TfheParams& p, int unroll_m) {
+  TveModel m;
+  PlatformPoint pt{.name = "FPGA", .unroll_m = unroll_m};
+  pt.supported = unroll_m == 1; // TVE has no BKU datapath
+  if (pt.supported) {
+    pt.latency_ms = m.latency_ms(p);
+    pt.gates_per_s = m.gates_per_s(p);
+  }
+  pt.watts = m.power_w;
+  return finish(pt);
+}
+
+PlatformPoint asic_eval(const TfheParams& p, int unroll_m) {
+  TveAsicModel m;
+  PlatformPoint pt{.name = "ASIC", .unroll_m = unroll_m};
+  pt.supported = unroll_m == 1;
+  if (pt.supported) {
+    pt.latency_ms = m.latency_ms(p);
+    pt.gates_per_s = m.gates_per_s(p);
+  }
+  pt.watts = m.power_w;
+  return finish(pt);
+}
+
+PlatformPoint matcha_eval(const TfheParams& p, int unroll_m,
+                          const hw::MatchaConfig& cfg) {
+  const sim::GateSimResult r = sim::simulate_gate(p, unroll_m, cfg);
+  PlatformPoint pt{.name = "MATCHA", .unroll_m = unroll_m};
+  pt.latency_ms = r.latency_ms;
+  pt.gates_per_s = r.gates_per_s;
+  pt.watts = hw::compute_design_cost(cfg).total_power_w;
+  return finish(pt);
+}
+
+std::vector<PlatformPoint> evaluate_all(const TfheParams& p, int unroll_m) {
+  return {cpu_eval(p, unroll_m), gpu_eval(p, unroll_m),
+          matcha_eval(p, unroll_m), fpga_eval(p, unroll_m),
+          asic_eval(p, unroll_m)};
+}
+
+} // namespace matcha::platform

@@ -1,0 +1,48 @@
+// Performance/power models of the paper's four baseline platforms (section
+// 5): an 8-core Xeon E-2288G running the TFHE library, a Tesla V100 running
+// cuFHE, 8 copies of the TVE vector engine on a Stratix-10 FPGA, and the same
+// design synthesized at 16 nm as an ASIC.
+//
+// Substitution note (DESIGN.md): we do not have the physical testbeds. Each
+// model computes latency from structural parameters (cores, clocks, kernel
+// op counts from our own library) scaled by a per-m implementation-efficiency
+// table fitted to the paper's reported measurements; the fitted tables encode
+// the effects the paper attributes to limited cores, cache conflicts, and the
+// lack of pipelining (section 4.2). FPGA/ASIC support only m = 1 (no BKU).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/matcha_sim.h"
+#include "tfhe/params.h"
+
+namespace matcha::platform {
+
+struct PlatformPoint {
+  std::string name;
+  int unroll_m = 1;
+  bool supported = true;  ///< false when the platform cannot run this m
+  double latency_ms = 0;  ///< single NAND gate latency
+  double gates_per_s = 0; ///< sustained gate throughput
+  double watts = 0;
+  double gates_per_s_per_w = 0;
+};
+
+/// CPU: 8-core 3.7 GHz Xeon E-2288G + TFHE library (with BKU patches).
+PlatformPoint cpu_eval(const TfheParams& p, int unroll_m);
+/// GPU: 5120-core Tesla V100 + cuFHE (with BKU patches).
+PlatformPoint gpu_eval(const TfheParams& p, int unroll_m);
+/// FPGA: 8x TVE on Stratix-10 GX2800; m = 1 only.
+PlatformPoint fpga_eval(const TfheParams& p, int unroll_m);
+/// ASIC: the FPGA design synthesized at 16 nm PTM; m = 1 only.
+PlatformPoint asic_eval(const TfheParams& p, int unroll_m);
+/// MATCHA: from the cycle-level simulator.
+PlatformPoint matcha_eval(const TfheParams& p, int unroll_m,
+                          const hw::MatchaConfig& cfg = {});
+
+/// All five platforms at one m (the column of Figs. 9-11).
+std::vector<PlatformPoint> evaluate_all(const TfheParams& p, int unroll_m);
+
+} // namespace matcha::platform

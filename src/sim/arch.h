@@ -1,0 +1,110 @@
+// Simulation-facing architecture description (the "AD" of the paper's
+// OpenCGRA methodology): derives per-operation service times in cycles from
+// the structural MatchaConfig and the TFHE parameters.
+//
+// Calibration notes (documented, per DESIGN.md):
+//  * an FFT/IFFT core retires `butterflies_per_fft_core` radix-2 butterflies
+//    per cycle with a 12-cycle pipeline depth (depth-first CPFFT flow);
+//  * the EP core's "x4 multipliers & adders" are modeled as 4 fused
+//    complex-MAC slices (1 complex multiply-accumulate per slice per cycle);
+//  * the TGSW cluster's 16 multipliers are 8-lane SIMD, i.e. 32 complex
+//    scale lanes, matching the bundle-vs-EP balance the paper reports
+//    ("workloads ... approximately balanced by adjusting m").
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.h"
+#include "hw/matcha_design.h"
+#include "tfhe/params.h"
+
+namespace matcha::sim {
+
+struct SimParams {
+  hw::MatchaConfig hw;
+  TfheParams tfhe;
+  int unroll_m = 1;
+
+  int n_ring() const { return tfhe.ring.n_ring; }
+  int m_spec() const { return n_ring() / 2; } ///< spectral size M = N/2
+  int l() const { return tfhe.gadget.l; }
+  int rows() const { return 2 * l(); }
+  int n_lwe() const { return tfhe.lwe.n; }
+  int num_groups() const { return (n_lwe() + unroll_m - 1) / unroll_m; }
+  int terms_per_group() const { return (1 << unroll_m) - 1; }
+
+  double cycles_per_second() const { return hw.process.clock_ghz * 1e9; }
+  double hbm_bytes_per_cycle() const {
+    return hw.hbm_gbps * 1e9 / cycles_per_second();
+  }
+
+  // -- Service times (cycles) -------------------------------------------
+  /// One negacyclic transform on one FFT/IFFT core.
+  int transform_cycles() const {
+    const int butterflies = (m_spec() / 2) * ilog2(static_cast<uint64_t>(m_spec()));
+    return (butterflies + hw.butterflies_per_fft_core - 1) /
+               hw.butterflies_per_fft_core +
+           12; // pipeline fill/drain
+  }
+  /// Digit decomposition of ACC on the EP core's scalar datapath.
+  int decompose_cycles() const { return 64; }
+  /// 2l IFFTs spread over the EP core's IFFT cores (waves).
+  int ep_ifft_wave_cycles() const {
+    const int waves = (rows() + hw.ep_ifft_cores - 1) / hw.ep_ifft_cores;
+    return waves * transform_cycles();
+  }
+  /// Pointwise MAC of 2l x 2 spectra on the complex-MAC slices
+  /// (one complex MAC per slice per cycle).
+  int ep_mac_cycles() const { return rows() * 2 * m_spec() / hw.ep_mults; }
+  /// Two result columns back through the single FFT core.
+  int ep_fft_cycles() const { return 2 * transform_cycles(); }
+  /// Full EP service time (decompose -> IFFT wave -> MAC -> FFT).
+  int ep_cycles() const {
+    return decompose_cycles() + ep_ifft_wave_cycles() + ep_mac_cycles() +
+           ep_fft_cycles();
+  }
+  /// One (X^c - 1)*BK_S term on the TGSW cluster's scale lanes
+  /// (4 SIMD multiplier lanes form one complex-scale lane).
+  int bundle_term_cycles() const {
+    const int complex_lanes = hw.tgsw_mults * hw.tgsw_simd / 4;
+    return rows() * 2 * m_spec() / complex_lanes;
+  }
+  /// Whole bundle: all terms plus the adder-tree drain.
+  int bundle_cycles() const { return terms_per_group() * bundle_term_cycles() + 16; }
+  /// Prologue on the polynomial unit (mod switches + test vector rotate).
+  int prologue_cycles() const {
+    const int lanes = hw.poly_alus * hw.poly_simd;
+    return (n_lwe() + 1 + lanes - 1) / lanes + n_ring() / hw.poly_alus + 32;
+  }
+  int extract_cycles() const { return n_ring() / hw.poly_alus; }
+  /// Key switch on the polynomial unit: ~ (1 - 1/base) * N * t sample
+  /// subtractions, each a (n+1)-wide vector op on the SIMD lanes.
+  int keyswitch_cycles() const {
+    const int lanes = hw.poly_alus * hw.poly_simd;
+    const double nonzero = 1.0 - 1.0 / (1 << tfhe.ks.basebit);
+    const double samples = nonzero * n_ring() * tfhe.ks.t;
+    const int per_sample = (n_lwe() + 1 + lanes - 1) / lanes;
+    return static_cast<int>(samples * per_sample) + 64;
+  }
+
+  // -- Off-chip traffic ---------------------------------------------------
+  /// Spectral TGSW bytes (2l x 2 polynomials, 32-bit Lagrange half-complex).
+  int64_t tgsw_bytes() const { return static_cast<int64_t>(rows()) * 2 * n_ring() * 4; }
+  int64_t group_bk_bytes() const { return terms_per_group() * tgsw_bytes(); }
+  int64_t bootstrap_bk_bytes() const {
+    // Tail group may have fewer members; count exactly.
+    int64_t total = 0;
+    for (int g = 0; g < num_groups(); ++g) {
+      const int start = g * unroll_m;
+      const int mg = start + unroll_m <= n_lwe() ? unroll_m : n_lwe() - start;
+      total += ((1 << mg) - 1) * tgsw_bytes();
+    }
+    return total;
+  }
+  /// Key-switch key traffic (stored unexpanded; v applied with adders).
+  int64_t ks_bytes() const {
+    return static_cast<int64_t>(n_ring()) * tfhe.ks.t * (n_lwe() + 1) * 4;
+  }
+};
+
+} // namespace matcha::sim

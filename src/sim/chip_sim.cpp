@@ -1,0 +1,124 @@
+#include "sim/chip_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace matcha::sim {
+
+Netlist ripple_adder_netlist(int width) {
+  // Full adder i: axb = XOR(a,b); sum = XOR(axb, cin); and1 = AND(a,b);
+  // and2 = AND(cin, axb); cout = OR(and1, and2). Dependencies: sum/and2 on
+  // axb and previous cout; cout on and1+and2.
+  Netlist n;
+  int carry = -1;
+  for (int i = 0; i < width; ++i) {
+    const int axb = n.size();
+    n.deps.push_back({}); // XOR(a_i, b_i): fresh inputs
+    std::vector<int> sum_deps{axb};
+    if (carry >= 0) sum_deps.push_back(carry);
+    n.deps.push_back(sum_deps); // sum_i
+    n.deps.push_back({});       // and1 = AND(a_i, b_i)
+    const int and1 = n.size() - 1;
+    std::vector<int> and2_deps{axb};
+    if (carry >= 0) and2_deps.push_back(carry);
+    n.deps.push_back(and2_deps); // and2
+    const int and2 = n.size() - 1;
+    n.deps.push_back({and1, and2}); // cout
+    carry = n.size() - 1;
+  }
+  return n;
+}
+
+Netlist array_multiplier_netlist(int width) {
+  Netlist n;
+  // AND matrix: width^2 independent gates.
+  std::vector<std::vector<int>> pp(width, std::vector<int>(width));
+  for (int j = 0; j < width; ++j) {
+    for (int i = 0; i < width; ++i) {
+      pp[j][i] = n.size();
+      n.deps.push_back({});
+    }
+  }
+  // Row accumulation: each row adds into the accumulator with a ripple
+  // chain (5 gates per bit, depending on the row's partial products and the
+  // previous accumulator gates). Modeled coarsely: per row, width full
+  // adders in sequence, each depending on the row's AND gate and the
+  // previous row's corresponding adder output.
+  std::vector<int> prev_row(width, -1);
+  for (int j = 1; j < width; ++j) {
+    int carry = -1;
+    for (int i = 0; i < width; ++i) {
+      std::vector<int> deps{pp[j][i]};
+      if (prev_row[i] >= 0) deps.push_back(prev_row[i]);
+      if (carry >= 0) deps.push_back(carry);
+      // XOR, XOR, AND, AND, OR of a full adder, collapsed to the two
+      // latency-relevant gates (sum, carry) plus three parallel ones.
+      const int sum = n.size();
+      n.deps.push_back(deps);
+      n.deps.push_back(deps); // parallel AND
+      n.deps.push_back(deps); // parallel AND
+      const int carry_gate = n.size();
+      n.deps.push_back({sum, sum + 1, sum + 2});
+      n.deps.push_back({carry_gate}); // OR finalize
+      carry = n.size() - 1;
+      prev_row[i] = sum;
+    }
+  }
+  return n;
+}
+
+CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
+                                  const Netlist& netlist,
+                                  const hw::MatchaConfig& cfg) {
+  const GateSimResult gate = simulate_gate(tfhe, unroll_m, cfg);
+  CircuitSimResult out;
+  out.gates = netlist.size();
+  out.gate_latency_ms = gate.latency_ms;
+
+  // Effective per-gate service time when k pipelines are busy: the shared
+  // HBM stream stretches it once k * traffic exceeds the bandwidth.
+  const double traffic_s = gate.hbm_mb * 1e6 / (cfg.hbm_gbps * 1e9);
+  auto service_ms = [&](int busy) {
+    return std::max(gate.latency_ms, traffic_s * busy * 1e3);
+  };
+
+  // Critical path.
+  std::vector<int> depth(netlist.size(), 1);
+  for (int i = 0; i < netlist.size(); ++i) {
+    for (int d : netlist.deps[i]) {
+      assert(d < i);
+      depth[i] = std::max(depth[i], depth[d] + 1);
+    }
+  }
+  out.critical_path = netlist.size() == 0
+                          ? 0
+                          : *std::max_element(depth.begin(), depth.end());
+
+  // List schedule: ready gates issue to the earliest-free pipeline; the HBM
+  // stretch uses the number of concurrently busy pipelines at issue time.
+  std::vector<double> ready(netlist.size(), 0.0);
+  std::vector<double> done(netlist.size(), 0.0);
+  std::vector<double> pipe_free(cfg.pipelines, 0.0);
+  // Process gates in topological (index) order; within the order, issue to
+  // min(pipe_free). This is a standard greedy list schedule.
+  for (int i = 0; i < netlist.size(); ++i) {
+    for (int d : netlist.deps[i]) ready[i] = std::max(ready[i], done[d]);
+    auto it = std::min_element(pipe_free.begin(), pipe_free.end());
+    const double start = std::max(*it, ready[i]);
+    int busy = 0;
+    for (double f : pipe_free) busy += f > start ? 1 : 0;
+    const double t = service_ms(busy + 1);
+    done[i] = start + t;
+    *it = done[i];
+  }
+  out.time_ms = netlist.size() == 0
+                    ? 0.0
+                    : *std::max_element(done.begin(), done.end());
+  if (out.time_ms > 0) {
+    out.effective_parallelism = out.gates * gate.latency_ms / out.time_ms;
+  }
+  return out;
+}
+
+} // namespace matcha::sim

@@ -1,0 +1,41 @@
+// Chip-level projection: schedule a whole Boolean *circuit* (a DAG of TFHE
+// gates) onto MATCHA's 8 bootstrapping pipelines, respecting gate
+// dependencies and the shared HBM key stream. This answers the paper's
+// motivating question -- how fast does an encrypted adder/CPU step run -- on
+// top of the single-gate cycle simulation.
+#pragma once
+
+#include <vector>
+
+#include "sim/matcha_sim.h"
+
+namespace matcha::sim {
+
+/// A circuit netlist: node i depends on the listed earlier nodes. Every node
+/// is one bootstrapping gate (MUX counts as two nodes).
+struct Netlist {
+  std::vector<std::vector<int>> deps;
+
+  int size() const { return static_cast<int>(deps.size()); }
+};
+
+/// Builders for the workloads the examples use.
+Netlist ripple_adder_netlist(int width);      ///< 5 gates per full adder
+Netlist array_multiplier_netlist(int width);  ///< AND matrix + adder rows
+
+struct CircuitSimResult {
+  int gates = 0;
+  int critical_path = 0;      ///< longest dependency chain (gates)
+  double gate_latency_ms = 0; ///< one bootstrapping on one pipeline
+  double time_ms = 0;         ///< circuit makespan on the chip
+  double effective_parallelism = 0; ///< gates * gate_latency / time
+};
+
+/// List-schedule the netlist onto `cfg.pipelines` pipelines. Per-gate service
+/// time comes from simulate_gate(); when all pipelines stream keys
+/// concurrently the HBM bandwidth stretches the service time.
+CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
+                                  const Netlist& netlist,
+                                  const hw::MatchaConfig& cfg = {});
+
+} // namespace matcha::sim

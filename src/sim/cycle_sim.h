@@ -1,0 +1,33 @@
+// Minimal discrete-event resource timeline used by the list scheduler:
+// tracks, per resource, when it next becomes free and how many cycles it has
+// been busy (for utilization and activity-based energy).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/dfg.h"
+
+namespace matcha::sim {
+
+class ResourceTimeline {
+ public:
+  /// Claim `cycles` on resource `r`, starting no earlier than `ready`.
+  /// Returns the completion time.
+  int64_t claim(Resource r, int64_t ready, int64_t cycles) {
+    auto& free_at = free_[static_cast<int>(r)];
+    const int64_t start = ready > free_at ? ready : free_at;
+    free_at = start + cycles;
+    busy_[static_cast<int>(r)] += cycles;
+    return free_at;
+  }
+
+  int64_t busy(Resource r) const { return busy_[static_cast<int>(r)]; }
+  int64_t free_at(Resource r) const { return free_[static_cast<int>(r)]; }
+
+ private:
+  std::array<int64_t, static_cast<int>(Resource::kCount)> free_{};
+  std::array<int64_t, static_cast<int>(Resource::kCount)> busy_{};
+};
+
+} // namespace matcha::sim

@@ -1,0 +1,91 @@
+#include "sim/dfg.h"
+
+#include <algorithm>
+
+namespace matcha::sim {
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kPolyUnit: return "poly-unit";
+    case Resource::kTgswCluster: return "tgsw-cluster";
+    case Resource::kEpCore: return "ep-core";
+    case Resource::kHbm: return "hbm";
+    case Resource::kCount: break;
+  }
+  return "?";
+}
+
+int Dfg::add(OpKind kind, Resource res, int group, int64_t cycles,
+             int64_t bytes, std::vector<int> deps) {
+  DfgNode n;
+  n.id = static_cast<int>(nodes.size());
+  n.kind = kind;
+  n.resource = res;
+  n.group = group;
+  n.cycles = cycles;
+  n.bytes = bytes;
+  n.deps = std::move(deps);
+  nodes.push_back(std::move(n));
+  return n.id;
+}
+
+Dfg build_bootstrap_dfg(const SimParams& p) {
+  Dfg g;
+  const double bpc = p.hbm_bytes_per_cycle();
+  const int prologue =
+      g.add(OpKind::kPrologue, Resource::kPolyUnit, -1, p.prologue_cycles(), 0, {});
+
+  // Prefetch window: half the SPM double-buffers upcoming BK slices, so a
+  // group's load may run at most `window` groups ahead of its consumer.
+  const int64_t spm_half = static_cast<int64_t>(p.hw.spm_kb) * 1024 / 2;
+  const int window =
+      std::max<int>(2, static_cast<int>(spm_half / std::max<int64_t>(
+                                                       1, p.group_bk_bytes())));
+  // The KS key streams concurrently with the bootstrapping-key stream: the
+  // memory controller interleaves one KS chunk after every 4th group load.
+  const int ks_chunks = std::max(1, p.num_groups() / 4);
+  const int64_t ks_chunk_bytes = (p.ks_bytes() + ks_chunks - 1) / ks_chunks;
+  const int64_t ks_chunk_cycles =
+      static_cast<int64_t>(ks_chunk_bytes / bpc) + 1;
+  int ks_emitted = 0;
+  int last_ks_chunk = -1;
+
+  std::vector<int> ep_ids;
+  int prev_ep = prologue;
+  for (int grp = 0; grp < p.num_groups(); ++grp) {
+    const int start = grp * p.unroll_m;
+    const int mg = start + p.unroll_m <= p.n_lwe() ? p.unroll_m
+                                                   : p.n_lwe() - start;
+    const int64_t bytes = ((1LL << mg) - 1) * p.tgsw_bytes();
+    const int64_t load_cycles = static_cast<int64_t>(bytes / bpc) + 1;
+    std::vector<int> load_deps;
+    if (grp >= window) load_deps.push_back(ep_ids[grp - window]);
+    const int load = g.add(OpKind::kHbmLoad, Resource::kHbm, grp, load_cycles,
+                           bytes, std::move(load_deps));
+    const int64_t bundle_cycles =
+        ((1LL << mg) - 1) * p.bundle_term_cycles() + 16;
+    const int bundle = g.add(OpKind::kBundle, Resource::kTgswCluster, grp,
+                             bundle_cycles, 0, {load});
+    prev_ep = g.add(OpKind::kExternalProd, Resource::kEpCore, grp,
+                    p.ep_cycles(), 0, {bundle, prev_ep});
+    ep_ids.push_back(prev_ep);
+    if (grp % 4 == 3 && ks_emitted < ks_chunks) {
+      last_ks_chunk = g.add(OpKind::kKsLoad, Resource::kHbm, -1,
+                            ks_chunk_cycles, ks_chunk_bytes, {});
+      ++ks_emitted;
+    }
+  }
+  while (ks_emitted < ks_chunks) {
+    last_ks_chunk = g.add(OpKind::kKsLoad, Resource::kHbm, -1, ks_chunk_cycles,
+                          ks_chunk_bytes, {});
+    ++ks_emitted;
+  }
+
+  const int extract = g.add(OpKind::kExtract, Resource::kPolyUnit, -1,
+                            p.extract_cycles(), 0, {prev_ep});
+  g.add(OpKind::kKeySwitch, Resource::kPolyUnit, -1, p.keyswitch_cycles(), 0,
+        {extract, last_ks_chunk});
+  return g;
+}
+
+} // namespace matcha::sim

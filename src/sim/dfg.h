@@ -1,0 +1,58 @@
+// Data-flow graph of one TFHE gate bootstrapping, at the granularity MATCHA's
+// pipeline schedules (paper section 5: "OpenCGRA first compiles a TFHE logic
+// operation into a data flow graph of the operations supported by MATCHA,
+// solves its dependencies, and removes structural hazards").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/arch.h"
+
+namespace matcha::sim {
+
+enum class Resource {
+  kPolyUnit,
+  kTgswCluster,
+  kEpCore,
+  kHbm,
+  kCount,
+};
+
+const char* resource_name(Resource r);
+
+enum class OpKind {
+  kPrologue,    ///< mod switches + test-vector rotation (poly unit)
+  kHbmLoad,     ///< stream one group's bootstrapping-key slice
+  kBundle,      ///< TGSW cluster: build the bootstrapping key bundle
+  kExternalProd,///< EP core: decompose + IFFTs + MAC + FFTs
+  kExtract,     ///< SampleExtract (poly unit)
+  kKsLoad,      ///< stream the key-switching key
+  kKeySwitch,   ///< key switch (poly unit)
+};
+
+struct DfgNode {
+  int id = 0;
+  OpKind kind{};
+  Resource resource{};
+  int group = -1;          ///< blind-rotate group index, -1 for pro/epilogue
+  int64_t cycles = 0;      ///< service time
+  int64_t bytes = 0;       ///< HBM traffic (kHbmLoad/kKsLoad)
+  std::vector<int> deps;   ///< node ids that must complete first
+};
+
+struct Dfg {
+  std::vector<DfgNode> nodes;
+
+  int add(OpKind kind, Resource res, int group, int64_t cycles, int64_t bytes,
+          std::vector<int> deps);
+};
+
+/// Build the bootstrapping DFG for the given parameters. Data dependencies:
+/// EP_g depends on bundle_g and EP_{g-1} (the accumulator is sequential);
+/// bundle_g depends only on its HBM slice, so bundles pipeline ahead of EPs
+/// (Fig. 6(b)); the key switch depends on the extract.
+Dfg build_bootstrap_dfg(const SimParams& p);
+
+} // namespace matcha::sim

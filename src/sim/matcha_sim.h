@@ -1,0 +1,34 @@
+// Top-level MATCHA performance/energy simulation: one gate = one
+// TGSW-cluster + EP-core pipeline (blind rotation is sequential in the
+// accumulator, so a single gate cannot spread across pipelines); the chip
+// runs `pipelines` independent gates, throughput additionally capped by the
+// HBM2 stream of bootstrapping/key-switching keys.
+#pragma once
+
+#include "sim/arch.h"
+#include "sim/dfg.h"
+#include "sim/scheduler.h"
+
+namespace matcha::sim {
+
+struct GateSimResult {
+  int unroll_m = 1;
+  int64_t cycles = 0;        ///< single-gate latency in cycles
+  double latency_ms = 0;     ///< at the configured clock
+  double hbm_mb = 0;         ///< per-gate off-chip traffic
+  double util_tgsw = 0, util_ep = 0, util_poly = 0, util_hbm = 0;
+  double energy_mj = 0;      ///< per-gate energy (activity-based)
+  double energy_tgsw_mj = 0; ///< ... broken down by component
+  double energy_ep_mj = 0;
+  double energy_poly_mj = 0;
+  double energy_uncore_mj = 0;
+  double avg_power_w = 0;
+  double gates_per_s = 0;    ///< chip throughput (pipelines, HBM-capped)
+  double gates_per_s_per_w = 0;
+};
+
+/// Simulate one gate bootstrapping with unroll factor m.
+GateSimResult simulate_gate(const TfheParams& tfhe, int unroll_m,
+                            const hw::MatchaConfig& cfg = {});
+
+} // namespace matcha::sim

@@ -1,0 +1,30 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace matcha::sim {
+
+ScheduleResult schedule(const Dfg& dfg) {
+  ScheduleResult r;
+  const size_t n = dfg.nodes.size();
+  r.start.assign(n, 0);
+  r.end.assign(n, 0);
+  ResourceTimeline timeline;
+  for (const auto& node : dfg.nodes) {
+    int64_t ready = 0;
+    for (int d : node.deps) {
+      assert(d < node.id && "DFG must be emitted in topological order");
+      if (r.end[d] > ready) ready = r.end[d];
+    }
+    const int64_t done = timeline.claim(node.resource, ready, node.cycles);
+    r.start[node.id] = done - node.cycles;
+    r.end[node.id] = done;
+    if (done > r.makespan) r.makespan = done;
+  }
+  for (int i = 0; i < static_cast<int>(Resource::kCount); ++i) {
+    r.busy[i] = timeline.busy(static_cast<Resource>(i));
+  }
+  return r;
+}
+
+} // namespace matcha::sim

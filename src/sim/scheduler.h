@@ -1,0 +1,32 @@
+// In-order list scheduler: maps the bootstrapping DFG onto the architecture's
+// resources respecting data dependencies and structural hazards (the
+// OpenCGRA "scheduling and mapping the DFG onto the AD" step).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/cycle_sim.h"
+#include "sim/dfg.h"
+
+namespace matcha::sim {
+
+struct ScheduleResult {
+  int64_t makespan = 0;
+  std::vector<int64_t> start, end;
+  std::array<int64_t, static_cast<int>(Resource::kCount)> busy{};
+
+  double utilization(Resource r) const {
+    return makespan == 0
+               ? 0.0
+               : static_cast<double>(busy[static_cast<int>(r)]) / makespan;
+  }
+};
+
+/// Schedule the DFG. Nodes are issued in id order per resource (the DFG
+/// builder emits them in pipeline order), which matches the hardware's
+/// in-order FIFOs between the TGSW cluster and EP core (Fig. 6(b)).
+ScheduleResult schedule(const Dfg& dfg);
+
+} // namespace matcha::sim

@@ -1,0 +1,42 @@
+#include "tfhe/bootstrap.h"
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+
+namespace matcha {
+
+template struct BootstrapWorkspace<DoubleFftEngine>;
+template struct BootstrapWorkspace<LiftFftEngine>;
+
+template void blind_rotate<DoubleFftEngine>(const DoubleFftEngine&,
+                                            const DeviceBootstrapKey<DoubleFftEngine>&,
+                                            const LweSample&, const TorusPolynomial&,
+                                            BootstrapWorkspace<DoubleFftEngine>&,
+                                            BlindRotateMode);
+template void blind_rotate<LiftFftEngine>(const LiftFftEngine&,
+                                          const DeviceBootstrapKey<LiftFftEngine>&,
+                                          const LweSample&, const TorusPolynomial&,
+                                          BootstrapWorkspace<LiftFftEngine>&,
+                                          BlindRotateMode);
+
+template LweSample bootstrap_wo_keyswitch<DoubleFftEngine>(
+    const DoubleFftEngine&, const DeviceBootstrapKey<DoubleFftEngine>&, Torus32,
+    const LweSample&, BootstrapWorkspace<DoubleFftEngine>&, BlindRotateMode);
+template LweSample bootstrap_wo_keyswitch<LiftFftEngine>(
+    const LiftFftEngine&, const DeviceBootstrapKey<LiftFftEngine>&, Torus32,
+    const LweSample&, BootstrapWorkspace<LiftFftEngine>&, BlindRotateMode);
+
+template LweSample bootstrap<DoubleFftEngine>(const DoubleFftEngine&,
+                                              const DeviceBootstrapKey<DoubleFftEngine>&,
+                                              const KeySwitchKey&, Torus32,
+                                              const LweSample&,
+                                              BootstrapWorkspace<DoubleFftEngine>&,
+                                              BlindRotateMode);
+template LweSample bootstrap<LiftFftEngine>(const LiftFftEngine&,
+                                            const DeviceBootstrapKey<LiftFftEngine>&,
+                                            const KeySwitchKey&, Torus32,
+                                            const LweSample&,
+                                            BootstrapWorkspace<LiftFftEngine>&,
+                                            BlindRotateMode);
+
+} // namespace matcha

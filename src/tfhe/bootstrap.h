@@ -1,0 +1,98 @@
+// Gate bootstrapping (paper Algorithm 1): blind rotation of a test vector,
+// sample extraction, and key switching. The blind rotation consumes the
+// (possibly unrolled) bootstrapping key one group at a time; with
+// BlindRotateMode::kBundle it builds the spectral bootstrapping-key bundle
+// per group (MATCHA's datapath, any m >= 1), with kClassicCMux it runs the
+// TFHE library's CMux chain (m == 1 only; the Fig. 1 CPU baseline).
+#pragma once
+
+#include "bku/bundle.h"
+#include "bku/unrolled_key.h"
+#include "tfhe/keyswitch.h"
+#include "tfhe/tgsw.h"
+
+namespace matcha {
+
+enum class BlindRotateMode {
+  kBundle,      ///< spectral BKB construction + one EP per group (MATCHA)
+  kClassicCMux, ///< ACC += BK_i (x) ((X^{a_i} - 1) ACC); requires m == 1
+};
+
+template <class Engine>
+struct BootstrapWorkspace {
+  ExternalProductWorkspace<Engine> ep;
+  TGswSpectral<Engine> bundle;
+  TLweSample acc;
+  TLweSample tmp;
+  TorusPolynomial testv, testv_rot;
+  std::vector<int32_t> exponents;
+
+  BootstrapWorkspace(const Engine& eng, const GadgetParams& g)
+      : ep(eng, g),
+        bundle(make_bundle_storage(eng, g)),
+        acc(eng.ring_n()),
+        tmp(eng.ring_n()),
+        testv(eng.ring_n()),
+        testv_rot(eng.ring_n()) {}
+};
+
+/// ACC <- X^{-b + sum a_i s_i} * (0, testv), evaluated homomorphically.
+template <class Engine>
+void blind_rotate(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+                  const LweSample& x, const TorusPolynomial& testv,
+                  BootstrapWorkspace<Engine>& ws,
+                  BlindRotateMode mode = BlindRotateMode::kBundle) {
+  const int n_ring = eng.ring_n();
+  const int barb = mod_switch_to_2n(x.b, n_ring);
+  // ACC = (0, testv * X^{-barb}).
+  multiply_by_xpower(ws.testv_rot, testv, 2 * n_ring - barb);
+  ws.acc.a.clear();
+  ws.acc.b = ws.testv_rot;
+
+  if (mode == BlindRotateMode::kClassicCMux) {
+    // The TFHE library's loop; identical math to a 1-wide bundle but keeps
+    // the identity path exact (no decomposition error when a_i == 0).
+    for (int i = 0; i < key.n_lwe; ++i) {
+      const int barai = mod_switch_to_2n(x.a[i], n_ring);
+      if (barai == 0) continue;
+      // tmp = (X^{barai} - 1) * ACC; ACC += BK_i (x) tmp.
+      multiply_by_xpower_minus_one(ws.tmp.a, ws.acc.a, barai);
+      multiply_by_xpower_minus_one(ws.tmp.b, ws.acc.b, barai);
+      external_product(eng, key.gadget, key.groups[i][0], ws.tmp, ws.ep);
+      ws.acc += ws.tmp;
+    }
+    return;
+  }
+
+  for (int g = 0; g < key.num_groups(); ++g) {
+    const int mg = key.members(g);
+    group_subset_exponents(x.a.data() + g * key.unroll_m, mg, n_ring,
+                           ws.exponents);
+    if (!build_bundle(eng, key, g, ws.exponents, ws.bundle)) continue;
+    external_product(eng, key.gadget, ws.bundle, ws.acc, ws.ep);
+  }
+}
+
+/// Bootstrap without the final key switch: returns an N-LWE sample under the
+/// extracted ring key whose phase is +-mu depending on sign(phase(x)).
+template <class Engine>
+LweSample bootstrap_wo_keyswitch(const Engine& eng,
+                                 const DeviceBootstrapKey<Engine>& key,
+                                 Torus32 mu, const LweSample& x,
+                                 BootstrapWorkspace<Engine>& ws,
+                                 BlindRotateMode mode = BlindRotateMode::kBundle) {
+  for (auto& c : ws.testv.coeffs) c = mu;
+  blind_rotate(eng, key, x, ws.testv, ws, mode);
+  return sample_extract(ws.acc);
+}
+
+/// Full gate bootstrap: blind rotate, extract, key switch back to n-LWE.
+template <class Engine>
+LweSample bootstrap(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+                    const KeySwitchKey& ks, Torus32 mu, const LweSample& x,
+                    BootstrapWorkspace<Engine>& ws,
+                    BlindRotateMode mode = BlindRotateMode::kBundle) {
+  return key_switch(ks, bootstrap_wo_keyswitch(eng, key, mu, x, ws, mode));
+}
+
+} // namespace matcha

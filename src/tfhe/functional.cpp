@@ -1,0 +1,44 @@
+#include "tfhe/functional.h"
+
+#include <cassert>
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+
+namespace matcha {
+
+TorusPolynomial make_lut_testvector(int n_ring,
+                                    std::span<const Torus32> values) {
+  const int slots = static_cast<int>(values.size());
+  assert(slots > 0 && n_ring % slots == 0);
+  TorusPolynomial testv(n_ring);
+  // Phase p in slot i satisfies round(2N p) in [i*N/slots, (i+1)*N/slots):
+  // fill that coefficient band with values[i].
+  const int band = n_ring / slots;
+  for (int i = 0; i < slots; ++i) {
+    for (int j = 0; j < band; ++j) {
+      testv.coeffs[i * band + j] = values[i];
+    }
+  }
+  return testv;
+}
+
+LweSample encrypt_message(const LweKey& key, int value, int slots, double sigma,
+                          Rng& rng) {
+  return lwe_encrypt(key, encode_message(value, slots), sigma, rng);
+}
+
+int decrypt_message(const LweKey& key, const LweSample& c, int slots) {
+  return decode_message(lwe_phase(key, c), slots);
+}
+
+template LweSample functional_bootstrap<DoubleFftEngine>(
+    const DoubleFftEngine&, const DeviceBootstrapKey<DoubleFftEngine>&,
+    const KeySwitchKey&, const TorusPolynomial&, const LweSample&,
+    BootstrapWorkspace<DoubleFftEngine>&, BlindRotateMode);
+template LweSample functional_bootstrap<LiftFftEngine>(
+    const LiftFftEngine&, const DeviceBootstrapKey<LiftFftEngine>&,
+    const KeySwitchKey&, const TorusPolynomial&, const LweSample&,
+    BootstrapWorkspace<LiftFftEngine>&, BlindRotateMode);
+
+} // namespace matcha

@@ -1,0 +1,63 @@
+// Programmable (functional) bootstrapping: the gate bootstrap generalized to
+// evaluate an arbitrary lookup table during noise refresh -- the mechanism
+// behind TFHE-based encrypted neural inference (the paper's reference [4])
+// and multi-valued logic. The test vector's coefficients hold the LUT; blind
+// rotation lands the coefficient indexed by the (mod-switched) phase in slot
+// zero, so extraction yields f(m) with *fresh* noise.
+//
+// Message encoding: `slots` values are placed at phases (2i+1)/(4*slots),
+// all inside (0, 1/2) -- the half-torus restriction sidesteps the negacyclic
+// antisymmetry (testv[j + N] = -testv[j]) that would otherwise constrain f.
+#pragma once
+
+#include <span>
+
+#include "tfhe/bootstrap.h"
+
+namespace matcha {
+
+/// Canonical slot encoding on the half-torus.
+inline Torus32 encode_message(int value, int slots) {
+  return torus_fraction(2 * value + 1, 4 * slots);
+}
+
+/// Nearest-slot decode of a (noisy) phase.
+inline int decode_message(Torus32 phase, int slots) {
+  const double p = torus32_to_double(phase);
+  int best = 0;
+  double best_d = 1.0;
+  for (int i = 0; i < slots; ++i) {
+    const double d = std::fabs(p - (2.0 * i + 1.0) / (4.0 * slots));
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Build the LUT test vector: slot i of the half-torus maps to `values[i]`.
+/// values[i] is the *output* torus encoding (use encode_message to keep the
+/// result chainable).
+TorusPolynomial make_lut_testvector(int n_ring, std::span<const Torus32> values);
+
+/// Bootstrap x through the LUT: returns LWE(f(m)) with fresh noise, under
+/// the gate key (key switch included).
+template <class Engine>
+LweSample functional_bootstrap(const Engine& eng,
+                               const DeviceBootstrapKey<Engine>& key,
+                               const KeySwitchKey& ks,
+                               const TorusPolynomial& testv,
+                               const LweSample& x,
+                               BootstrapWorkspace<Engine>& ws,
+                               BlindRotateMode mode = BlindRotateMode::kBundle) {
+  blind_rotate(eng, key, x, testv, ws, mode);
+  return key_switch(ks, sample_extract(ws.acc));
+}
+
+/// Convenience: encrypt/decrypt multi-valued messages at the gate LWE layer.
+LweSample encrypt_message(const LweKey& key, int value, int slots, double sigma,
+                          Rng& rng);
+int decrypt_message(const LweKey& key, const LweSample& c, int slots);
+
+} // namespace matcha

@@ -1,0 +1,25 @@
+#include "tfhe/gates.h"
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+
+namespace matcha {
+
+const char* gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kNand: return "NAND";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kNor: return "NOR";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kXnor: return "XNOR";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kMux: return "MUX";
+  }
+  return "?";
+}
+
+template class GateEvaluator<DoubleFftEngine>;
+template class GateEvaluator<LiftFftEngine>;
+
+} // namespace matcha

@@ -1,0 +1,167 @@
+// Homomorphic Boolean gates (paper section 2, "Logic"): each binary gate is
+// a linear combination of the input ciphertexts followed by a gate
+// bootstrapping. Message convention follows the TFHE library: true = +1/8,
+// false = -1/8, decryption tests the sign of the phase.
+//
+// The evaluator keeps a wall-clock breakdown {gate linear part, IFFT, FFT,
+// other} per gate type -- exactly the Fig. 1 decomposition.
+#pragma once
+
+#include <array>
+#include <chrono>
+
+#include "tfhe/bootstrap.h"
+
+namespace matcha {
+
+enum class GateKind { kNand, kAnd, kOr, kNor, kXor, kXnor, kNot, kMux };
+
+const char* gate_name(GateKind kind);
+
+/// Cumulative per-kind latency decomposition (nanoseconds).
+struct GateBreakdown {
+  int64_t gates = 0;
+  int64_t linear_ns = 0; ///< ciphertext additions ("gate" slice of Fig. 1)
+  int64_t ifft_ns = 0;   ///< to-spectral kernels
+  int64_t fft_ns = 0;    ///< from-spectral kernels
+  int64_t other_ns = 0;  ///< everything else in the bootstrapping
+  int64_t total_ns = 0;
+
+  void clear() { *this = {}; }
+};
+
+template <class Engine>
+class GateEvaluator {
+ public:
+  GateEvaluator(const Engine& eng, const DeviceBootstrapKey<Engine>& bk,
+                const KeySwitchKey& ks, Torus32 mu,
+                BlindRotateMode mode = BlindRotateMode::kBundle)
+      : eng_(eng), bk_(bk), ks_(ks), mu_(mu), mode_(mode), ws_(eng, bk.gadget) {}
+
+  LweSample gate_nand(const LweSample& a, const LweSample& b) {
+    const auto t0 = clock_now();
+    LweSample combo = trivial(mu_) - a - b;
+    return binary_gate(GateKind::kNand, std::move(combo), ns_since(t0));
+  }
+  LweSample gate_and(const LweSample& a, const LweSample& b) {
+    const auto t0 = clock_now();
+    LweSample combo = trivial(static_cast<Torus32>(-mu_)) + a + b;
+    return binary_gate(GateKind::kAnd, std::move(combo), ns_since(t0));
+  }
+  LweSample gate_or(const LweSample& a, const LweSample& b) {
+    const auto t0 = clock_now();
+    LweSample combo = trivial(mu_) + a + b;
+    return binary_gate(GateKind::kOr, std::move(combo), ns_since(t0));
+  }
+  LweSample gate_nor(const LweSample& a, const LweSample& b) {
+    const auto t0 = clock_now();
+    LweSample combo = trivial(static_cast<Torus32>(-mu_)) - a - b;
+    return binary_gate(GateKind::kNor, std::move(combo), ns_since(t0));
+  }
+  LweSample gate_xor(const LweSample& a, const LweSample& b) {
+    const auto t0 = clock_now();
+    LweSample combo = a + b;
+    combo.scale(2);
+    combo.b += 2 * mu_; // offset +1/4
+    return binary_gate(GateKind::kXor, std::move(combo), ns_since(t0));
+  }
+  LweSample gate_xnor(const LweSample& a, const LweSample& b) {
+    const auto t0 = clock_now();
+    LweSample combo = a + b;
+    combo.scale(-2);
+    combo.b -= 2 * mu_; // offset -1/4
+    return binary_gate(GateKind::kXnor, std::move(combo), ns_since(t0));
+  }
+  /// NOT is a ciphertext negation -- no bootstrapping (Fig. 1's outlier).
+  LweSample gate_not(const LweSample& a) {
+    const auto t0 = clock_now();
+    LweSample r = a;
+    r.negate();
+    auto& bd = breakdown_[static_cast<int>(GateKind::kNot)];
+    bd.gates += 1;
+    const int64_t dt = ns_since(t0);
+    bd.linear_ns += dt;
+    bd.total_ns += dt;
+    return r;
+  }
+  /// MUX(sel, c1, c0) = sel ? c1 : c0 -- two bootstraps + one key switch
+  /// (the TFHE library's construction).
+  LweSample gate_mux(const LweSample& sel, const LweSample& c1, const LweSample& c0);
+
+  const GateBreakdown& breakdown(GateKind kind) const {
+    return breakdown_[static_cast<int>(kind)];
+  }
+  void reset_breakdowns() {
+    for (auto& b : breakdown_) b.clear();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point clock_now() { return Clock::now(); }
+  static int64_t ns_since(Clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+        .count();
+  }
+
+  LweSample trivial(Torus32 mu) const { return LweSample::trivial(bk_.n_lwe, mu); }
+
+  LweSample binary_gate(GateKind kind, LweSample combo, int64_t linear_ns) {
+    auto& bd = breakdown_[static_cast<int>(kind)];
+    bd.gates += 1;
+    bd.linear_ns += linear_ns;
+    auto& ctr = eng_.counters();
+    const int64_t to0 = ctr.to_spectral_ns;
+    const int64_t from0 = ctr.from_spectral_ns;
+    const auto t0 = clock_now();
+    LweSample out = bootstrap(eng_, bk_, ks_, mu_, combo, ws_, mode_);
+    const int64_t boot = ns_since(t0);
+    const int64_t ifft = ctr.to_spectral_ns - to0;
+    const int64_t fft = ctr.from_spectral_ns - from0;
+    bd.total_ns += linear_ns + boot;
+    bd.ifft_ns += ifft;
+    bd.fft_ns += fft;
+    bd.other_ns += boot - ifft - fft;
+    return out;
+  }
+
+  const Engine& eng_;
+  const DeviceBootstrapKey<Engine>& bk_;
+  const KeySwitchKey& ks_;
+  Torus32 mu_;
+  BlindRotateMode mode_;
+  BootstrapWorkspace<Engine> ws_;
+  std::array<GateBreakdown, 8> breakdown_{};
+};
+
+template <class Engine>
+LweSample GateEvaluator<Engine>::gate_mux(const LweSample& sel,
+                                          const LweSample& c1,
+                                          const LweSample& c0) {
+  auto& bd = breakdown_[static_cast<int>(GateKind::kMux)];
+  bd.gates += 1;
+  auto& ctr = eng_.counters();
+  const int64_t to0 = ctr.to_spectral_ns;
+  const int64_t from0 = ctr.from_spectral_ns;
+  const auto t0 = clock_now();
+  // u1 = BS(AND(sel, c1)), u2 = BS(AND(NOT sel, c0)) without key switch,
+  // then MUX = KS(u1 + u2 + (0, 1/8)).
+  LweSample and1 = trivial(static_cast<Torus32>(-mu_)) + sel + c1;
+  LweSample u1 = bootstrap_wo_keyswitch(eng_, bk_, mu_, and1, ws_, mode_);
+  LweSample nsel = sel;
+  nsel.negate();
+  LweSample and2 = trivial(static_cast<Torus32>(-mu_)) + nsel + c0;
+  LweSample u2 = bootstrap_wo_keyswitch(eng_, bk_, mu_, and2, ws_, mode_);
+  u1 += u2;
+  u1.b += mu_;
+  LweSample out = key_switch(ks_, u1);
+  const int64_t total = ns_since(t0);
+  const int64_t ifft = ctr.to_spectral_ns - to0;
+  const int64_t fft = ctr.from_spectral_ns - from0;
+  bd.total_ns += total;
+  bd.ifft_ns += ifft;
+  bd.fft_ns += fft;
+  bd.other_ns += total - ifft - fft;
+  return out;
+}
+
+} // namespace matcha

@@ -1,0 +1,54 @@
+// Key bundles mirroring the TFHE deployment model:
+//   SecretKeyset -- client-side: LWE key, ring key, extracted key.
+//   CloudKeyset  -- server-side, coefficient domain: unrolled bootstrapping
+//                   key (for a chosen m) + key-switching key.
+//   DeviceKeyset -- accelerator-resident, spectral domain, per engine.
+#pragma once
+
+#include "bku/unrolled_key.h"
+#include "tfhe/gates.h"
+#include "tfhe/keyswitch.h"
+#include "tfhe/params.h"
+
+namespace matcha {
+
+struct SecretKeyset {
+  TfheParams params;
+  LweKey lwe;
+  TLweKey tlwe;
+  LweKey extracted; ///< KeyExtract(tlwe): the key SampleExtract outputs under
+
+  static SecretKeyset generate(const TfheParams& p, Rng& rng);
+
+  /// Encrypt / decrypt one bit at the gate level.
+  LweSample encrypt_bit(int bit, Rng& rng) const;
+  int decrypt_bit(const LweSample& c) const;
+};
+
+struct CloudKeyset {
+  TfheParams params;
+  UnrolledBootstrapKey bk;
+  KeySwitchKey ks;
+};
+
+/// Build the cloud keys with unroll factor m (client side, exact engine).
+CloudKeyset make_cloud_keyset(const SecretKeyset& sk, int unroll_m, Rng& rng);
+
+template <class Engine>
+struct DeviceKeyset {
+  DeviceBootstrapKey<Engine> bk;
+  const KeySwitchKey* ks = nullptr;
+
+  GateEvaluator<Engine> make_evaluator(
+      const Engine& eng, Torus32 mu,
+      BlindRotateMode mode = BlindRotateMode::kBundle) const {
+    return GateEvaluator<Engine>(eng, bk, *ks, mu, mode);
+  }
+};
+
+template <class Engine>
+DeviceKeyset<Engine> load_device_keyset(const Engine& eng, const CloudKeyset& ck) {
+  return DeviceKeyset<Engine>{load_bootstrap_key(eng, ck.bk), &ck.ks};
+}
+
+} // namespace matcha

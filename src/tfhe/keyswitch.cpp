@@ -1,0 +1,49 @@
+#include "tfhe/keyswitch.h"
+
+#include <cassert>
+
+namespace matcha {
+
+KeySwitchKey make_keyswitch_key(const LweKey& in, const LweKey& out,
+                                const KeySwitchParams& p, Rng& rng) {
+  KeySwitchKey ks;
+  ks.params = p;
+  ks.n_in = in.params.n;
+  ks.n_out = out.params.n;
+  const uint32_t base = p.base();
+  ks.table.reserve(static_cast<size_t>(ks.n_in) * p.t * base);
+  for (int i = 0; i < ks.n_in; ++i) {
+    for (int j = 0; j < p.t; ++j) {
+      for (uint32_t v = 0; v < base; ++v) {
+        if (v == 0) {
+          ks.table.push_back(LweSample(ks.n_out)); // placeholder, never used
+          continue;
+        }
+        // message: v * s_in[i] / base^{j+1}
+        const Torus32 mu = static_cast<Torus32>(v) * in.s[i]
+                           * (1u << (32 - (j + 1) * p.basebit));
+        ks.table.push_back(lwe_encrypt(out, mu, p.sigma, rng));
+      }
+    }
+  }
+  return ks;
+}
+
+LweSample key_switch(const KeySwitchKey& ks, const LweSample& c) {
+  assert(c.n() == ks.n_in);
+  LweSample out(ks.n_out);
+  out.b = c.b;
+  const int prec_bits = ks.params.t * ks.params.basebit;
+  const Torus32 round_offset = 1u << (32 - prec_bits - 1);
+  const uint32_t mask = ks.params.base() - 1;
+  for (int i = 0; i < ks.n_in; ++i) {
+    const Torus32 ai = c.a[i] + round_offset;
+    for (int j = 0; j < ks.params.t; ++j) {
+      const uint32_t v = (ai >> (32 - (j + 1) * ks.params.basebit)) & mask;
+      if (v != 0) out -= ks.at(i, j, v);
+    }
+  }
+  return out;
+}
+
+} // namespace matcha

@@ -1,0 +1,33 @@
+// LWE key switching (paper Algorithm 1, line 9): maps the N-dimensional LWE
+// sample extracted from the accumulator back to the n-dimensional gate key.
+// Standard TFHE construction: precomputed table ks[i][j][v] encrypting
+// v * s_in[i] / base^{j+1} so the switch is pure additions.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tfhe/lwe.h"
+
+namespace matcha {
+
+struct KeySwitchKey {
+  KeySwitchParams params;
+  int n_in = 0;  ///< dimension of the source key (N)
+  int n_out = 0; ///< dimension of the target key (n)
+  /// Flattened [n_in][t][base]; v = 0 entries are unused placeholders.
+  std::vector<LweSample> table;
+
+  const LweSample& at(int i, int j, uint32_t v) const {
+    return table[(static_cast<size_t>(i) * params.t + j) * params.base() + v];
+  }
+};
+
+KeySwitchKey make_keyswitch_key(const LweKey& in, const LweKey& out,
+                                const KeySwitchParams& p, Rng& rng);
+
+/// result = KeySwitch(c): an LWE sample under the target key with the same
+/// (noisier) message.
+LweSample key_switch(const KeySwitchKey& ks, const LweSample& c);
+
+} // namespace matcha

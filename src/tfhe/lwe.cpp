@@ -1,0 +1,75 @@
+#include "tfhe/lwe.h"
+
+#include <cassert>
+
+namespace matcha {
+
+LweKey LweKey::generate(const LweParams& p, Rng& rng) {
+  LweKey key;
+  key.params = p;
+  key.s.resize(p.n);
+  for (auto& bit : key.s) bit = rng.uniform_bit();
+  return key;
+}
+
+LweSample LweSample::trivial(int n, Torus32 mu) {
+  LweSample c(n);
+  c.b = mu;
+  return c;
+}
+
+LweSample& LweSample::operator+=(const LweSample& rhs) {
+  assert(n() == rhs.n());
+  for (int i = 0; i < n(); ++i) a[i] += rhs.a[i];
+  b += rhs.b;
+  return *this;
+}
+
+LweSample& LweSample::operator-=(const LweSample& rhs) {
+  assert(n() == rhs.n());
+  for (int i = 0; i < n(); ++i) a[i] -= rhs.a[i];
+  b -= rhs.b;
+  return *this;
+}
+
+void LweSample::negate() {
+  for (auto& ai : a) ai = static_cast<Torus32>(-ai);
+  b = static_cast<Torus32>(-b);
+}
+
+void LweSample::scale(int32_t c) {
+  for (auto& ai : a) ai = static_cast<Torus32>(static_cast<int64_t>(c) * ai);
+  b = static_cast<Torus32>(static_cast<int64_t>(c) * b);
+}
+
+LweSample lwe_encrypt(const LweKey& key, Torus32 mu, double sigma, Rng& rng) {
+  LweSample c(key.params.n);
+  Torus32 dot = 0;
+  for (int i = 0; i < key.params.n; ++i) {
+    c.a[i] = rng.uniform_torus();
+    if (key.s[i]) dot += c.a[i];
+  }
+  c.b = dot + rng.gaussian_torus(sigma, mu);
+  return c;
+}
+
+Torus32 lwe_phase(const LweKey& key, const LweSample& c) {
+  assert(c.n() == key.params.n);
+  Torus32 dot = 0;
+  for (int i = 0; i < key.params.n; ++i) {
+    if (key.s[i]) dot += c.a[i];
+  }
+  return c.b - dot;
+}
+
+LweSample lwe_encrypt_bit(const LweKey& key, int bit, Torus32 mu, double sigma, Rng& rng) {
+  const Torus32 m = bit ? mu : static_cast<Torus32>(-mu);
+  return lwe_encrypt(key, m, sigma, rng);
+}
+
+int lwe_decrypt_bit(const LweKey& key, const LweSample& c) {
+  const Torus32 phase = lwe_phase(key, c);
+  return static_cast<int32_t>(phase) > 0 ? 1 : 0;
+}
+
+} // namespace matcha

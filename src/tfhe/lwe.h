@@ -1,0 +1,54 @@
+// Scalar LWE over the torus: the layer TFHE gate ciphertexts live in.
+//
+// A ciphertext of a bit m in {0,1} is an LWE sample (a, b) with
+// b = a.s + e + mu_m, mu_m = +-1/8. Decryption tests the sign of the phase
+// b - a.s; correctness requires |e| < 1/8.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "tfhe/params.h"
+
+namespace matcha {
+
+struct LweKey {
+  LweParams params;
+  std::vector<int32_t> s; ///< binary secret
+
+  static LweKey generate(const LweParams& p, Rng& rng);
+};
+
+struct LweSample {
+  std::vector<Torus32> a;
+  Torus32 b = 0;
+
+  LweSample() = default;
+  explicit LweSample(int n) : a(n, 0) {}
+  int n() const { return static_cast<int>(a.size()); }
+
+  /// Noiseless encryption of mu: (0, mu).
+  static LweSample trivial(int n, Torus32 mu);
+
+  LweSample& operator+=(const LweSample& rhs);
+  LweSample& operator-=(const LweSample& rhs);
+  friend LweSample operator+(LweSample x, const LweSample& y) { x += y; return x; }
+  friend LweSample operator-(LweSample x, const LweSample& y) { x -= y; return x; }
+  /// Negate in place (homomorphic NOT at the ciphertext level).
+  void negate();
+  /// Multiply by a small integer scalar (e.g. 2 for XOR/XNOR combos).
+  void scale(int32_t c);
+};
+
+/// Fresh encryption of the torus message mu with noise stddev sigma.
+LweSample lwe_encrypt(const LweKey& key, Torus32 mu, double sigma, Rng& rng);
+
+/// Phase b - a.s (the noisy message).
+Torus32 lwe_phase(const LweKey& key, const LweSample& c);
+
+/// Gate-level bit encryption/decryption (mu = +-1/8, sign test).
+LweSample lwe_encrypt_bit(const LweKey& key, int bit, Torus32 mu, double sigma, Rng& rng);
+int lwe_decrypt_bit(const LweKey& key, const LweSample& c);
+
+} // namespace matcha

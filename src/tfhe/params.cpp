@@ -1,0 +1,23 @@
+#include "tfhe/params.h"
+
+namespace matcha {
+
+TfheParams TfheParams::security110() {
+  TfheParams p;
+  p.lwe = {.n = 630, .sigma = 3.0517578125e-05};           // 2^-15
+  p.ring = {.n_ring = 1024, .k = 1, .sigma = 3.7252902984619141e-09}; // 2^-28
+  p.gadget = {.bg_bits = 10, .l = 3};                      // Bg = 1024, l = 3
+  p.ks = {.basebit = 2, .t = 8, .sigma = 3.0517578125e-05};
+  return p;
+}
+
+TfheParams TfheParams::test_small() {
+  TfheParams p;
+  p.lwe = {.n = 180, .sigma = 3.0517578125e-05};
+  p.ring = {.n_ring = 256, .k = 1, .sigma = 1.4901161193847656e-08}; // 2^-26
+  p.gadget = {.bg_bits = 8, .l = 3};
+  p.ks = {.basebit = 2, .t = 8, .sigma = 3.0517578125e-05};
+  return p;
+}
+
+} // namespace matcha

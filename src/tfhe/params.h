@@ -1,0 +1,52 @@
+// TFHE parameter sets.
+//
+// The paper evaluates the standard 110-bit-security gate-bootstrapping
+// parameters of the TFHE library (Chillotti et al.): ring degree N = 1024,
+// TLWE dimension k = 1, gadget basis Bg = 1024 with length l = 3, and an LWE
+// dimension n = 630. A deliberately small `test_small()` set keeps unit-test
+// wall-clock reasonable; it is functionally correct but NOT secure.
+#pragma once
+
+#include "common/types.h"
+#include "math/decompose.h"
+
+namespace matcha {
+
+/// Parameters of the (scalar) LWE layer that gate ciphertexts live in.
+struct LweParams {
+  int n = 630;            ///< mask dimension
+  double sigma = 3.05e-5; ///< fresh-encryption noise stddev (torus units)
+};
+
+/// Parameters of the ring (TLWE/TRLWE) layer used during bootstrapping.
+struct RingParams {
+  int n_ring = 1024; ///< polynomial degree N (power of two)
+  int k = 1;         ///< number of mask polynomials (this library fixes k=1)
+  double sigma = 3.73e-9; ///< bootstrapping-key noise stddev
+};
+
+/// Key-switching key parameters (extracted N-LWE -> n-LWE).
+struct KeySwitchParams {
+  int basebit = 2; ///< log2 of the decomposition base
+  int t = 8;       ///< decomposition length
+  double sigma = 3.05e-5;
+
+  uint32_t base() const { return 1u << basebit; }
+};
+
+struct TfheParams {
+  LweParams lwe;
+  RingParams ring;
+  GadgetParams gadget; ///< TGSW decomposition (Bg, l)
+  KeySwitchParams ks;
+
+  /// Gate message amplitude: ciphertexts encrypt +-mu with mu = 1/8.
+  Torus32 mu() const { return torus_fraction(1, 8); }
+
+  /// The paper's 110-bit-security set (TFHE library defaults; Bg=1024, l=3).
+  static TfheParams security110();
+  /// Small, fast, functionally-correct set for unit tests. NOT secure.
+  static TfheParams test_small();
+};
+
+} // namespace matcha

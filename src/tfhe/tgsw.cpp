@@ -1,0 +1,34 @@
+#include "tfhe/tgsw.h"
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+
+namespace matcha {
+
+// Explicit instantiations for the two engines the library ships, keeping the
+// template bodies out of every client translation unit.
+template TGswSample tgsw_encrypt<DoubleFftEngine>(const DoubleFftEngine&,
+                                                  const TLweKey&,
+                                                  const SpectralD&,
+                                                  const GadgetParams&, int32_t,
+                                                  double, Rng&);
+template TGswSpectral<DoubleFftEngine> tgsw_to_spectral<DoubleFftEngine>(
+    const DoubleFftEngine&, const TGswSample&);
+template void external_product<DoubleFftEngine>(
+    const DoubleFftEngine&, const GadgetParams&,
+    const TGswSpectral<DoubleFftEngine>&, TLweSample&,
+    ExternalProductWorkspace<DoubleFftEngine>&);
+
+template TGswSample tgsw_encrypt<LiftFftEngine>(const LiftFftEngine&,
+                                                const TLweKey&,
+                                                const SpectralI&,
+                                                const GadgetParams&, int32_t,
+                                                double, Rng&);
+template TGswSpectral<LiftFftEngine> tgsw_to_spectral<LiftFftEngine>(
+    const LiftFftEngine&, const TGswSample&);
+template void external_product<LiftFftEngine>(
+    const LiftFftEngine&, const GadgetParams&,
+    const TGswSpectral<LiftFftEngine>&, TLweSample&,
+    ExternalProductWorkspace<LiftFftEngine>&);
+
+} // namespace matcha

@@ -1,0 +1,51 @@
+#include "tfhe/tlwe.h"
+
+#include <cassert>
+
+namespace matcha {
+
+TLweKey TLweKey::generate(const RingParams& p, Rng& rng) {
+  assert(p.k == 1 && "this library implements the paper's k = 1 setting");
+  TLweKey key;
+  key.params = p;
+  key.s = IntPolynomial(p.n_ring);
+  for (auto& c : key.s.coeffs) c = rng.uniform_bit();
+  return key;
+}
+
+LweKey TLweKey::extract_lwe_key() const {
+  LweKey out;
+  out.params.n = params.n_ring;
+  out.params.sigma = params.sigma;
+  out.s.assign(s.coeffs.begin(), s.coeffs.end());
+  return out;
+}
+
+TLweSample TLweSample::trivial(const TorusPolynomial& mu) {
+  TLweSample c(mu.size());
+  c.b = mu;
+  return c;
+}
+
+TorusPolynomial tlwe_phase(const TLweKey& key, const TLweSample& c) {
+  TorusPolynomial sa(key.params.n_ring);
+  negacyclic_multiply_reference(sa, key.s, c.a);
+  TorusPolynomial phase = c.b;
+  phase -= sa;
+  return phase;
+}
+
+LweSample sample_extract(const TLweSample& c) {
+  // Coefficient 0 of the message: b_0 - sum_i s_i * a'_i with
+  // a'_0 = a_0 and a'_i = -a_{N-i} for i > 0 (negacyclic transpose).
+  const int n = c.n_ring();
+  LweSample out(n);
+  out.a[0] = c.a.coeffs[0];
+  for (int i = 1; i < n; ++i) {
+    out.a[i] = static_cast<Torus32>(-c.a.coeffs[n - i]);
+  }
+  out.b = c.b.coeffs[0];
+  return out;
+}
+
+} // namespace matcha

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "sim/chip_sim.h"
+
+namespace matcha::sim {
+namespace {
+
+const TfheParams kParams = TfheParams::security110();
+
+TEST(Netlist, RippleAdderShape) {
+  const Netlist n = ripple_adder_netlist(4);
+  EXPECT_EQ(n.size(), 20); // 5 gates per full adder
+  // Dependencies reference earlier nodes only.
+  for (int i = 0; i < n.size(); ++i) {
+    for (int d : n.deps[i]) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, i);
+    }
+  }
+}
+
+TEST(Netlist, MultiplierBiggerThanAdder) {
+  EXPECT_GT(array_multiplier_netlist(4).size(), ripple_adder_netlist(4).size());
+}
+
+TEST(ChipSim, AdderRunsFasterThanSerial) {
+  const Netlist n = ripple_adder_netlist(8);
+  const auto r = simulate_circuit(kParams, 3, n);
+  EXPECT_EQ(r.gates, n.size());
+  EXPECT_GT(r.effective_parallelism, 1.2);
+  EXPECT_LT(r.time_ms, r.gates * r.gate_latency_ms);
+  // But not faster than the critical path allows.
+  EXPECT_GE(r.time_ms, r.critical_path * r.gate_latency_ms * 0.99);
+}
+
+TEST(ChipSim, CriticalPathMatchesRippleStructure) {
+  const Netlist n = ripple_adder_netlist(4);
+  const auto r = simulate_circuit(kParams, 3, n);
+  // Carry chain: ~3 gates of depth per full-adder stage.
+  EXPECT_GE(r.critical_path, 8);
+  EXPECT_LE(r.critical_path, 14);
+}
+
+TEST(ChipSim, WideCircuitSaturatesPipelines) {
+  // 64 independent gates on 8 pipelines: parallelism near 8 (HBM permitting).
+  Netlist flat;
+  flat.deps.assign(64, {});
+  const auto r = simulate_circuit(kParams, 1, flat);
+  EXPECT_GT(r.effective_parallelism, 4.0);
+  EXPECT_LE(r.effective_parallelism, 8.01);
+}
+
+TEST(ChipSim, HbmThrottlesWideCircuitsAtHighM) {
+  Netlist flat;
+  flat.deps.assign(64, {});
+  const auto r3 = simulate_circuit(kParams, 3, flat);
+  hw::MatchaConfig fat;
+  fat.hbm_gbps = 5120.0;
+  const auto rfat = simulate_circuit(kParams, 3, flat, fat);
+  EXPECT_LT(rfat.time_ms, r3.time_ms);
+}
+
+TEST(ChipSim, EmptyNetlist) {
+  const auto r = simulate_circuit(kParams, 2, Netlist{});
+  EXPECT_EQ(r.gates, 0);
+  EXPECT_EQ(r.time_ms, 0.0);
+}
+
+TEST(ChipSim, MorePipelinesHelpWideCircuits) {
+  Netlist flat;
+  flat.deps.assign(64, {});
+  hw::MatchaConfig big;
+  big.pipelines = 16;
+  big.hbm_gbps = 2560.0; // keep HBM out of the way
+  hw::MatchaConfig base;
+  base.hbm_gbps = 2560.0;
+  const auto r8 = simulate_circuit(kParams, 1, flat, base);
+  const auto r16 = simulate_circuit(kParams, 1, flat, big);
+  EXPECT_LT(r16.time_ms, r8.time_ms * 0.7);
+}
+
+} // namespace
+} // namespace matcha::sim

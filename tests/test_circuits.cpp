@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "circuits/word.h"
+#include "test_util.h"
+
+namespace matcha::circuits {
+namespace {
+
+using test::shared_keys;
+
+class CircuitFixture : public ::testing::Test {
+ protected:
+  CircuitFixture()
+      : dk_(load_device_keyset(shared_keys().deng, shared_keys().ck2)),
+        ev_(dk_.make_evaluator(shared_keys().deng, shared_keys().params.mu())),
+        wc_(ev_),
+        rng_(test::test_rng(17)) {}
+
+  EncWord enc(uint64_t v, int w) {
+    return encrypt_word(shared_keys().sk, v, w, rng_);
+  }
+  uint64_t dec(const EncWord& w) { return decrypt_word(shared_keys().sk, w); }
+
+  DeviceKeyset<DoubleFftEngine> dk_;
+  GateEvaluator<DoubleFftEngine> ev_;
+  WordCircuits<DoubleFftEngine> wc_;
+  Rng rng_;
+};
+
+TEST_F(CircuitFixture, WordEncryptDecryptRoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 0xAAULL, 0x55ULL, 0xFFULL}) {
+    EXPECT_EQ(dec(enc(v, 8)), v);
+  }
+}
+
+TEST_F(CircuitFixture, AdderWithCarryOut) {
+  const struct { uint64_t x, y; } cases[] = {{3, 5}, {15, 1}, {15, 15}, {0, 0}};
+  for (const auto& c : cases) {
+    const EncWord s = wc_.add(enc(c.x, 4), enc(c.y, 4), nullptr, true);
+    EXPECT_EQ(dec(s), c.x + c.y) << c.x << "+" << c.y;
+  }
+}
+
+TEST_F(CircuitFixture, Subtractor) {
+  const struct { uint64_t x, y; } cases[] = {{9, 4}, {4, 9}, {7, 7}, {15, 0}};
+  for (const auto& c : cases) {
+    const EncWord d = wc_.sub(enc(c.x, 4), enc(c.y, 4));
+    EXPECT_EQ(dec(d), (c.x - c.y) & 0xF) << c.x << "-" << c.y;
+  }
+}
+
+TEST_F(CircuitFixture, Comparators) {
+  const struct { uint64_t x, y; } cases[] = {{9, 4}, {4, 9}, {7, 7}, {0, 15}, {15, 14}};
+  for (const auto& c : cases) {
+    const EncWord ex = enc(c.x, 4), ey = enc(c.y, 4);
+    EXPECT_EQ(shared_keys().sk.decrypt_bit(wc_.greater_than(ex, ey)),
+              c.x > c.y ? 1 : 0)
+        << c.x << ">" << c.y;
+    EXPECT_EQ(shared_keys().sk.decrypt_bit(wc_.equal(ex, ey)),
+              c.x == c.y ? 1 : 0)
+        << c.x << "==" << c.y;
+  }
+}
+
+TEST_F(CircuitFixture, WordMux) {
+  const EncWord a = enc(0xA, 4), b = enc(0x5, 4);
+  const LweSample sel1 = shared_keys().sk.encrypt_bit(1, rng_);
+  const LweSample sel0 = shared_keys().sk.encrypt_bit(0, rng_);
+  EXPECT_EQ(dec(wc_.mux(sel1, a, b)), 0xAu);
+  EXPECT_EQ(dec(wc_.mux(sel0, a, b)), 0x5u);
+}
+
+TEST_F(CircuitFixture, BarrelShifter) {
+  for (uint64_t amt : {0ULL, 1ULL, 2ULL, 3ULL}) {
+    const EncWord r = wc_.shift_left(enc(0b0011, 4), enc(amt, 2));
+    EXPECT_EQ(dec(r), (0b0011ULL << amt) & 0xF) << amt;
+  }
+}
+
+TEST_F(CircuitFixture, Multiplier) {
+  const struct { uint64_t x, y; } cases[] = {{3, 5}, {7, 2}, {3, 3}, {15, 15}};
+  for (const auto& c : cases) {
+    const EncWord p = wc_.multiply(enc(c.x, 4), enc(c.y, 4));
+    EXPECT_EQ(dec(p), (c.x * c.y) & 0xF) << c.x << "*" << c.y;
+  }
+}
+
+TEST_F(CircuitFixture, BitwiseOps) {
+  const uint64_t x = 0b1100, y = 0b1010;
+  EXPECT_EQ(dec(wc_.bit_and(enc(x, 4), enc(y, 4))), x & y);
+  EXPECT_EQ(dec(wc_.bit_or(enc(x, 4), enc(y, 4))), x | y);
+  EXPECT_EQ(dec(wc_.bit_xor(enc(x, 4), enc(y, 4))), x ^ y);
+  EXPECT_EQ(dec(wc_.bit_not(enc(x, 4))), (~x) & 0xF);
+}
+
+TEST_F(CircuitFixture, GateBudgetTracksAdder) {
+  wc_.reset_budget();
+  (void)wc_.add(enc(3, 4), enc(5, 4), nullptr, false);
+  // Full ripple adder: first bit 2 gates, then 5 per remaining bit = 17.
+  EXPECT_EQ(wc_.budget().bootstrapped, 2 + 3 * 5);
+}
+
+TEST_F(CircuitFixture, LiftEngineAdderMatches) {
+  const auto& K = shared_keys();
+  const auto dkl = load_device_keyset(K.leng, K.ck2);
+  auto evl = dkl.make_evaluator(K.leng, K.params.mu());
+  WordCircuits<LiftFftEngine> wcl(evl);
+  const EncWord s = wcl.add(enc(11, 4), enc(6, 4), nullptr, true);
+  EXPECT_EQ(dec(s), 17u);
+}
+
+} // namespace
+} // namespace matcha::circuits

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "math/decompose.h"
+
+namespace matcha {
+namespace {
+
+class GadgetSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {}; // (bg_bits, l)
+
+TEST_P(GadgetSweep, RecomposeWithinHalfGadgetLsb) {
+  const auto [bg_bits, l] = GetParam();
+  if (bg_bits * l > 32) GTEST_SKIP() << "gadget deeper than torus precision";
+  const GadgetParams g{.bg_bits = bg_bits, .l = l};
+  Rng rng(1);
+  const double bound = g.epsilon() + 1e-12;
+  for (int i = 0; i < 2000; ++i) {
+    const Torus32 t = rng.uniform_torus();
+    int32_t digits[8];
+    decompose_coefficient(g, t, digits);
+    const Torus32 back = recompose_coefficient(g, digits);
+    EXPECT_LE(torus_distance(t, back), bound) << "t=" << t;
+  }
+}
+
+TEST_P(GadgetSweep, DigitsWithinSignedRange) {
+  const auto [bg_bits, l] = GetParam();
+  if (bg_bits * l > 32) GTEST_SKIP() << "gadget deeper than torus precision";
+  const GadgetParams g{.bg_bits = bg_bits, .l = l};
+  const int32_t half = 1 << (bg_bits - 1);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    int32_t digits[8];
+    decompose_coefficient(g, rng.uniform_torus(), digits);
+    for (int j = 0; j < l; ++j) {
+      EXPECT_GT(digits[j], -half - 1);
+      EXPECT_LE(digits[j], half);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, GadgetSweep,
+                         ::testing::Combine(::testing::Values(4, 8, 10),
+                                            ::testing::Values(2, 3, 4)));
+
+TEST(Gadget, PolynomialMatchesScalarPath) {
+  const GadgetParams g{.bg_bits = 10, .l = 3};
+  Rng rng(3);
+  const int n = 64;
+  TorusPolynomial p(n);
+  for (auto& c : p.coeffs) c = rng.uniform_torus();
+  std::vector<IntPolynomial> digits(g.l, IntPolynomial(n));
+  decompose_polynomial(g, p, digits);
+  for (int i = 0; i < n; ++i) {
+    int32_t scalar[8];
+    decompose_coefficient(g, p.coeffs[i], scalar);
+    for (int j = 0; j < g.l; ++j) {
+      EXPECT_EQ(digits[j].coeffs[i], scalar[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(Gadget, EpsilonFormula) {
+  const GadgetParams g{.bg_bits = 10, .l = 3};
+  EXPECT_DOUBLE_EQ(g.epsilon(), 0.5 / std::pow(2.0, 30));
+}
+
+TEST(ModSwitch, RoundsToNearest) {
+  const int n = 1024;
+  EXPECT_EQ(mod_switch_to_2n(0, n), 0);
+  EXPECT_EQ(mod_switch_to_2n(double_to_torus32(0.25), n), n / 2);
+  // Just below/above a rounding boundary of 1/(4N).
+  const Torus32 half_step = 1u << (31 - 11); // 1/(4N) for N=1024
+  EXPECT_EQ(mod_switch_to_2n(half_step - 1, n), 0);
+  EXPECT_EQ(mod_switch_to_2n(half_step + 1, n), 1);
+}
+
+TEST(ModSwitch, ErrorBounded) {
+  Rng rng(4);
+  const int n = 1024;
+  for (int i = 0; i < 5000; ++i) {
+    const Torus32 t = rng.uniform_torus();
+    const int32_t bar = mod_switch_to_2n(t, n);
+    const double approx = static_cast<double>(bar) / (2.0 * n);
+    EXPECT_LE(torus_distance(t, double_to_torus32(approx)),
+              1.0 / (4.0 * n) + 1e-12);
+  }
+}
+
+TEST(ModSwitch, RangeIsZeroTo2N) {
+  Rng rng(5);
+  for (int n : {256, 1024}) {
+    for (int i = 0; i < 2000; ++i) {
+      const int32_t v = mod_switch_to_2n(rng.uniform_torus(), n);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 2 * n);
+    }
+  }
+}
+
+} // namespace
+} // namespace matcha

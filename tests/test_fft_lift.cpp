@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "fft/lift_fft.h"
+#include "fft/tables.h"
+
+namespace matcha {
+namespace {
+
+IntPolynomial random_digits(Rng& rng, int n, int amp = 512) {
+  IntPolynomial p(n);
+  for (auto& c : p.coeffs) c = static_cast<int>(rng.uniform_below(2 * amp)) - amp;
+  return p;
+}
+
+TorusPolynomial random_torus(Rng& rng, int n) {
+  TorusPolynomial p(n);
+  for (auto& c : p.coeffs) c = rng.uniform_torus();
+  return p;
+}
+
+double product_rms_error(const LiftFftEngine& eng, Rng& rng, int trials) {
+  const int n = eng.ring_n();
+  double sum2 = 0;
+  int count = 0;
+  for (int t = 0; t < trials; ++t) {
+    const IntPolynomial a = random_digits(rng, n);
+    const TorusPolynomial b = random_torus(rng, n);
+    TorusPolynomial ref(n);
+    negacyclic_multiply_reference(ref, a, b);
+    SpectralI sa, sb;
+    SpectralAccI acc;
+    eng.to_spectral_int(a, sa);
+    eng.to_spectral_torus(b, sb);
+    eng.acc_init(acc);
+    eng.mac(acc, sa, sb);
+    TorusPolynomial out(n);
+    eng.from_spectral_acc(acc, out);
+    for (int i = 0; i < n; ++i) {
+      const double d = torus_distance(ref.coeffs[i], out.coeffs[i]);
+      sum2 += d * d;
+      ++count;
+    }
+  }
+  return std::sqrt(sum2 / count);
+}
+
+// ---- Lifting rotations ----------------------------------------------------
+
+class RotationQuant : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotationQuant, PerfectReconstruction) {
+  // The quantized lifting rotation must be exactly invertible on integers --
+  // the "perfect reconstruction" property the paper inherits from Oraintara.
+  const int bits = GetParam();
+  LiftFftEngine eng(64, bits);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double theta = (rng.uniform_double() - 0.5) * 4.0 * std::numbers::pi;
+    const LiftRotation rot = make_lift_rotation(theta, bits);
+    const int64_t x0 = static_cast<int64_t>(rng.next_u64() >> 22) - (1LL << 41);
+    const int64_t y0 = static_cast<int64_t>(rng.next_u64() >> 22) - (1LL << 41);
+    int64_t x = x0, y = y0;
+    eng.apply_rotation(x, y, rot);
+    eng.apply_rotation_inverse(x, y, rot);
+    EXPECT_EQ(x, x0);
+    EXPECT_EQ(y, y0);
+  }
+}
+
+TEST_P(RotationQuant, ApproximatesTrueRotation) {
+  const int bits = GetParam();
+  LiftFftEngine eng(64, bits);
+  Rng rng(2);
+  // Error floor: value-rounding inside the lifting steps (~2^-40 of the
+  // operand scale) dominates beyond ~40-bit twiddles.
+  const double tol = std::ldexp(4.0, -std::min(bits - 2, 36));
+  for (int i = 0; i < 200; ++i) {
+    const double theta = (rng.uniform_double() - 0.5) * 4.0 * std::numbers::pi;
+    const LiftRotation rot = make_lift_rotation(theta, bits);
+    const double scale = 1LL << 40;
+    int64_t x = static_cast<int64_t>(scale * (rng.uniform_double() - 0.5));
+    int64_t y = static_cast<int64_t>(scale * (rng.uniform_double() - 0.5));
+    const double ex = x * std::cos(theta) - y * std::sin(theta);
+    const double ey = x * std::sin(theta) + y * std::cos(theta);
+    eng.apply_rotation(x, y, rot);
+    const double mag = std::hypot(ex, ey) + scale * 0.01;
+    EXPECT_NEAR(x / mag, ex / mag, tol) << "theta=" << theta;
+    EXPECT_NEAR(y / mag, ey / mag, tol) << "theta=" << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, RotationQuant,
+                         ::testing::Values(12, 20, 30, 38, 50, 64));
+
+TEST(Rotation, CoefficientsWellConditioned) {
+  // Octant reduction keeps |c| <= tan(pi/8), |s| <= sin(pi/4).
+  for (int i = 0; i <= 1000; ++i) {
+    const double theta = i * 2.0 * std::numbers::pi / 1000.0;
+    const LiftRotation r = make_lift_rotation(theta, 40);
+    const double scale = std::ldexp(1.0, -r.shift);
+    EXPECT_LE(std::abs(r.c_num * scale), std::tan(std::numbers::pi / 8) + 1e-9);
+    EXPECT_LE(std::abs(r.s_num * scale), std::sin(std::numbers::pi / 4) + 1e-9);
+  }
+}
+
+TEST(Rotation, CsdCountsPositive) {
+  const LiftRotation r = make_lift_rotation(0.7, 38);
+  EXPECT_GT(r.csd_adders(), 0);
+  EXPECT_GT(r.csd_shifters(), 0);
+}
+
+TEST(LiftTables, TotalAdderCountScalesWithN) {
+  const auto t256 = make_lift_tables(256, 38);
+  const auto t1024 = make_lift_tables(1024, 38);
+  EXPECT_GT(t1024.total_csd_adders_forward(),
+            3 * t256.total_csd_adders_forward());
+}
+
+// ---- Whole-transform properties -------------------------------------------
+
+class LiftEngineBits : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LiftEngineBits, ProductErrorWithinExpectedBand) {
+  const auto [n, bits] = GetParam();
+  LiftFftEngine eng(n, bits);
+  Rng rng(3);
+  const double rms = product_rms_error(eng, rng, 3);
+  // Quantization-limited region: ~6 dB/bit (paper Fig. 8). Generous bands.
+  const double db = 20.0 * std::log10(rms + 1e-30);
+  if (bits >= 50) {
+    EXPECT_LT(db, -130.0);
+  } else if (bits >= 38) {
+    EXPECT_LT(db, -100.0);
+  } else if (bits >= 30) {
+    EXPECT_LT(db, -80.0);
+  } else {
+    EXPECT_LT(db, -25.0); // 20-bit
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LiftEngineBits,
+                         ::testing::Combine(::testing::Values(64, 256, 1024,
+                                                              2048),
+                                            ::testing::Values(20, 30, 38, 50,
+                                                              64)));
+
+TEST(LiftEngine, ErrorMonotonicallyImprovesWithBits) {
+  const int n = 1024;
+  double prev = 1e9;
+  for (int bits : {12, 20, 28, 36, 44}) {
+    LiftFftEngine eng(n, bits);
+    Rng rng(4);
+    const double rms = product_rms_error(eng, rng, 2);
+    EXPECT_LT(rms, prev * 1.1) << "bits=" << bits;
+    prev = rms;
+  }
+}
+
+TEST(LiftEngine, RoundTripExactAtHighPrecision) {
+  const int n = 512;
+  LiftFftEngine eng(n, 64);
+  Rng rng(5);
+  const TorusPolynomial p = random_torus(rng, n);
+  SpectralI s;
+  eng.to_spectral_torus(p, s);
+  TorusPolynomial back(n);
+  eng.from_spectral_torus(s, back);
+  // kTorusPreShift headroom makes the roundtrip bit-exact at 64-bit DVQTFs.
+  EXPECT_EQ(back, p);
+}
+
+TEST(LiftEngine, DigitPathExactOnMonomials) {
+  const int n = 256;
+  LiftFftEngine eng(n, 64);
+  IntPolynomial a(n);
+  a.coeffs[3] = 1; // X^3
+  TorusPolynomial b(n);
+  Rng rng(6);
+  for (auto& c : b.coeffs) c = rng.uniform_torus();
+  TorusPolynomial ref(n);
+  negacyclic_multiply_reference(ref, a, b);
+  SpectralI sa, sb;
+  SpectralAccI acc;
+  eng.to_spectral_int(a, sa);
+  eng.to_spectral_torus(b, sb);
+  eng.acc_init(acc);
+  eng.mac(acc, sa, sb);
+  TorusPolynomial out(n);
+  eng.from_spectral_acc(acc, out);
+  EXPECT_LE(max_torus_distance(out, ref), 1e-7);
+}
+
+TEST(LiftEngine, MacAccumulatesSixRows) {
+  const int n = 256;
+  LiftFftEngine eng(n, 64);
+  Rng rng(7);
+  TorusPolynomial ref(n);
+  SpectralAccI acc;
+  eng.acc_init(acc);
+  for (int r = 0; r < 6; ++r) {
+    const IntPolynomial a = random_digits(rng, n);
+    const TorusPolynomial b = random_torus(rng, n);
+    negacyclic_multiply_add_reference(ref, a, b);
+    SpectralI sa, sb;
+    eng.to_spectral_int(a, sa);
+    eng.to_spectral_torus(b, sb);
+    eng.mac(acc, sa, sb);
+  }
+  TorusPolynomial out(n);
+  eng.from_spectral_acc(acc, out);
+  EXPECT_LE(max_torus_distance(out, ref), 1e-6);
+}
+
+TEST(LiftEngine, RotScaleAddMatchesCoefficientDomain) {
+  const int n = 256;
+  LiftFftEngine eng(n, 64);
+  Rng rng(8);
+  const TorusPolynomial p = random_torus(rng, n);
+  for (int64_t c : {1, 7, 100, 256, 300, 511}) {
+    SpectralI sp, dst(n / 2);
+    eng.to_spectral_torus(p, sp);
+    dst.clear();
+    eng.rot_scale_add(dst, sp, c);
+    TorusPolynomial got(n);
+    eng.from_spectral_torus(dst, got);
+    TorusPolynomial ref(n);
+    multiply_by_xpower_minus_one(ref, p, -c);
+    EXPECT_LE(max_torus_distance(got, ref), 2e-6) << "c=" << c;
+  }
+}
+
+TEST(LiftEngine, AddConstant) {
+  const int n = 128;
+  LiftFftEngine eng(n, 64);
+  SpectralI s(n / 2);
+  const Torus32 g = double_to_torus32(0.0625);
+  eng.add_constant(s, g);
+  TorusPolynomial out(n);
+  eng.from_spectral_torus(s, out);
+  EXPECT_LE(torus_distance(out.coeffs[0], g), 1e-7);
+  for (int i = 1; i < n; ++i) EXPECT_LE(torus_distance(out.coeffs[i], 0), 1e-7);
+}
+
+TEST(LiftEngine, RotScaleByZeroExponentIsNoOp) {
+  // (X^0 - 1) = 0: the bundle builder relies on skipping these, but the
+  // primitive itself must also be exact about it.
+  const int n = 256;
+  LiftFftEngine eng(n, 40);
+  Rng rng(11);
+  const TorusPolynomial p = random_torus(rng, n);
+  SpectralI sp, dst(n / 2);
+  eng.to_spectral_torus(p, sp);
+  dst.clear();
+  eng.rot_scale_add(dst, sp, 0);
+  for (int k = 0; k < n / 2; ++k) {
+    EXPECT_EQ(dst.re[k], 0) << k;
+    EXPECT_EQ(dst.im[k], 0) << k;
+  }
+}
+
+TEST(LiftEngine, RotScaleFullPeriodIsNoOp) {
+  const int n = 256;
+  LiftFftEngine eng(n, 40);
+  Rng rng(12);
+  const TorusPolynomial p = random_torus(rng, n);
+  SpectralI sp, dst(n / 2);
+  eng.to_spectral_torus(p, sp);
+  dst.clear();
+  eng.rot_scale_add(dst, sp, 2 * n); // X^{2N} = 1
+  for (int k = 0; k < n / 2; ++k) {
+    EXPECT_EQ(dst.re[k], 0) << k;
+    EXPECT_EQ(dst.im[k], 0) << k;
+  }
+}
+
+TEST(LiftEngine, ZeroPolynomialStaysZero) {
+  const int n = 256;
+  LiftFftEngine eng(n, 40);
+  IntPolynomial z(n);
+  SpectralI s;
+  eng.to_spectral_int(z, s);
+  for (int k = 0; k < n / 2; ++k) {
+    EXPECT_EQ(s.re[k], 0);
+    EXPECT_EQ(s.im[k], 0);
+  }
+}
+
+TEST(LiftEngine, OpCountersAdvance) {
+  const int n = 256;
+  LiftFftEngine eng(n, 38);
+  Rng rng(9);
+  eng.counters().reset();
+  SpectralI s;
+  eng.to_spectral_torus(random_torus(rng, n), s);
+  EXPECT_GT(eng.counters().lift_steps, 0);
+  EXPECT_GT(eng.counters().adds, 0);
+  EXPECT_EQ(eng.counters().to_spectral_calls, 1);
+}
+
+TEST(LiftEngine, MultiplicationLessButterfliesOnlyAddAndShift) {
+  // Structural check: every rotation constant is dyadic with shift = t-1,
+  // i.e. realizable as CSD shift-adds on 64-bit registers.
+  const auto tables = make_lift_tables(1024, 38);
+  for (const auto& stage : tables.stage_rot) {
+    for (const auto& r : stage) {
+      EXPECT_EQ(r.shift, 37);
+      EXPECT_LT(std::abs(r.c_num), int64_t{1} << 37);
+      EXPECT_LT(std::abs(r.s_num), int64_t{1} << 37);
+    }
+  }
+}
+
+} // namespace
+} // namespace matcha

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "hw/matcha_design.h"
+
+namespace matcha::hw {
+namespace {
+
+TEST(Table2, TotalsMatchPaper) {
+  const auto d = compute_design_cost();
+  EXPECT_NEAR(d.total_power_w, 39.98, 1.0);
+  EXPECT_NEAR(d.total_area_mm2, 36.96, 1.0);
+}
+
+TEST(Table2, ComponentRowsMatchPaper) {
+  const auto d = compute_design_cost();
+  auto row = [&](const std::string& name) {
+    for (const auto& r : d.rows) {
+      if (r.name == name) return r;
+    }
+    ADD_FAILURE() << "missing row " << name;
+    return ComponentCost{};
+  };
+  EXPECT_NEAR(row("TGSW cluster").power_w, 0.98, 0.05);
+  EXPECT_NEAR(row("TGSW cluster").area_mm2, 0.368, 0.05);
+  EXPECT_NEAR(row("EP core").power_w, 2.87, 0.1);
+  EXPECT_NEAR(row("EP core").area_mm2, 1.89, 0.1);
+  EXPECT_NEAR(row("Sub-total").power_w, 30.8, 0.5);
+  EXPECT_NEAR(row("polynomial unit").power_w, 2.33, 0.1);
+  EXPECT_NEAR(row("crossbar 1/2").power_w, 2.11, 0.1);
+  EXPECT_NEAR(row("SPM").power_w, 3.52, 0.1);
+  EXPECT_NEAR(row("SPM").area_mm2, 3.25, 0.1);
+  EXPECT_NEAR(row("mem ctrl").power_w, 1.225, 0.01);
+  EXPECT_NEAR(row("mem ctrl").area_mm2, 14.9, 0.01);
+}
+
+TEST(CostModel, PowerScalesWithClock) {
+  Process p1, p2;
+  p2.clock_ghz = 1.0;
+  EXPECT_NEAR(unit_power_w(Unit::kMult32, p2) * 2.0,
+              unit_power_w(Unit::kMult32, p1), 1e-9);
+}
+
+TEST(CostModel, EnergyPerOpIndependentOfClock) {
+  Process p1, p2;
+  p2.clock_ghz = 1.0;
+  EXPECT_NEAR(unit_energy_j(Unit::kMult32, p1), unit_energy_j(Unit::kMult32, p2),
+              1e-15);
+}
+
+TEST(CostModel, SramGrowsWithSizeAndBanks) {
+  Process p;
+  EXPECT_GT(sram_power_w(SramClass::kScratchpad, 4096, 32, p),
+            sram_power_w(SramClass::kScratchpad, 2048, 32, p));
+  EXPECT_GT(sram_power_w(SramClass::kScratchpad, 4096, 64, p),
+            sram_power_w(SramClass::kScratchpad, 4096, 32, p));
+  EXPECT_GT(sram_area_mm2(SramClass::kScratchpad, 4096, 32),
+            sram_area_mm2(SramClass::kScratchpad, 1024, 32));
+}
+
+TEST(CostModel, CrossbarScalesWithPortsAndWidth) {
+  Process p;
+  EXPECT_GT(crossbar_power_w(8, 32, 256, p), crossbar_power_w(8, 32, 128, p));
+  EXPECT_GT(crossbar_power_w(16, 32, 256, p), crossbar_power_w(8, 32, 256, p));
+}
+
+TEST(Design, MorePipelinesMorePowerAndArea) {
+  MatchaConfig big;
+  big.pipelines = 16;
+  const auto d8 = compute_design_cost();
+  const auto d16 = compute_design_cost(big);
+  EXPECT_GT(d16.total_power_w, d8.total_power_w + 20.0);
+  EXPECT_GT(d16.total_area_mm2, d8.total_area_mm2);
+}
+
+TEST(Design, ComponentPowerHelpersConsistentWithRows) {
+  MatchaConfig cfg;
+  const auto d = compute_design_cost(cfg);
+  EXPECT_NEAR(tgsw_cluster_power_w(cfg), d.rows[0].power_w, 1e-9);
+  EXPECT_NEAR(ep_core_power_w(cfg), d.rows[1].power_w, 1e-9);
+}
+
+} // namespace
+} // namespace matcha::hw

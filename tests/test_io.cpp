@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/serialize.h"
+#include "test_util.h"
+
+namespace matcha::io {
+namespace {
+
+using test::shared_keys;
+
+TEST(Io, ParamsRoundTrip) {
+  const TfheParams p = TfheParams::security110();
+  std::stringstream ss;
+  write_params(ss, p);
+  const TfheParams q = read_params(ss);
+  EXPECT_EQ(q.lwe.n, p.lwe.n);
+  EXPECT_EQ(q.lwe.sigma, p.lwe.sigma);
+  EXPECT_EQ(q.ring.n_ring, p.ring.n_ring);
+  EXPECT_EQ(q.gadget.bg_bits, p.gadget.bg_bits);
+  EXPECT_EQ(q.gadget.l, p.gadget.l);
+  EXPECT_EQ(q.ks.t, p.ks.t);
+}
+
+TEST(Io, LweSampleRoundTrip) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(1);
+  const LweSample c = K.sk.encrypt_bit(1, rng);
+  std::stringstream ss;
+  write_lwe_sample(ss, c);
+  const LweSample d = read_lwe_sample(ss);
+  EXPECT_EQ(d.a, c.a);
+  EXPECT_EQ(d.b, c.b);
+  EXPECT_EQ(K.sk.decrypt_bit(d), 1);
+}
+
+TEST(Io, SecretKeysetRoundTripDecryptsForeignCiphertext) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(2);
+  std::stringstream ss;
+  write_secret_keyset(ss, K.sk);
+  const SecretKeyset sk2 = read_secret_keyset(ss);
+  const LweSample c = K.sk.encrypt_bit(1, rng);
+  EXPECT_EQ(sk2.decrypt_bit(c), 1);
+  EXPECT_EQ(sk2.extracted.s, K.sk.extracted.s);
+}
+
+TEST(Io, TgswRoundTrip) {
+  const auto& K = shared_keys();
+  const TGswSample& t = K.ck2.bk.groups[0][0];
+  std::stringstream ss;
+  write_tgsw(ss, t);
+  const TGswSample u = read_tgsw(ss);
+  ASSERT_EQ(u.rows_count(), t.rows_count());
+  for (int r = 0; r < t.rows_count(); ++r) {
+    EXPECT_EQ(u.rows[r].a, t.rows[r].a);
+    EXPECT_EQ(u.rows[r].b, t.rows[r].b);
+  }
+}
+
+TEST(Io, CloudKeysetRoundTripStillBootstraps) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(3);
+  std::stringstream ss;
+  write_cloud_keyset(ss, K.ck1);
+  const CloudKeyset ck = read_cloud_keyset(ss);
+  EXPECT_EQ(ck.bk.unroll_m, 1);
+  EXPECT_EQ(ck.bk.total_tgsw(), K.ck1.bk.total_tgsw());
+  const auto dk = load_device_keyset(K.deng, ck);
+  auto ev = dk.make_evaluator(K.deng, K.params.mu());
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      const LweSample ca = K.sk.encrypt_bit(a, rng);
+      const LweSample cb = K.sk.encrypt_bit(b, rng);
+      EXPECT_EQ(K.sk.decrypt_bit(ev.gate_nand(ca, cb)), !(a && b));
+    }
+  }
+}
+
+TEST(Io, BadMagicThrows) {
+  std::stringstream ss;
+  ss.write("JUNKJUNKJUNK", 12);
+  EXPECT_THROW(read_lwe_sample(ss), std::runtime_error);
+}
+
+TEST(Io, TruncatedStreamThrows) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(4);
+  const LweSample c = K.sk.encrypt_bit(0, rng);
+  std::stringstream ss;
+  write_lwe_sample(ss, c);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_lwe_sample(cut), std::runtime_error);
+}
+
+TEST(Io, WrongObjectTypeThrows) {
+  const TfheParams p = TfheParams::test_small();
+  std::stringstream ss;
+  write_params(ss, p);
+  EXPECT_THROW(read_lwe_sample(ss), std::runtime_error);
+}
+
+} // namespace
+} // namespace matcha::io

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace matcha {
+namespace {
+
+using test::shared_keys;
+
+TEST(KeySwitch, PreservesMessage) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(1);
+  for (double m : {0.125, -0.125, 0.25, 0.0, 0.375}) {
+    const Torus32 mu = double_to_torus32(m);
+    const LweSample in =
+        lwe_encrypt(K.sk.extracted, mu, K.params.ring.sigma, rng);
+    const LweSample out = key_switch(K.ck1.ks, in);
+    EXPECT_EQ(out.n(), K.params.lwe.n);
+    EXPECT_LE(torus_distance(lwe_phase(K.sk.lwe, out), mu), 5e-3) << m;
+  }
+}
+
+TEST(KeySwitch, NoiseWithinAnalyticBound) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(2);
+  const int trials = 100;
+  double sum2 = 0;
+  for (int i = 0; i < trials; ++i) {
+    const LweSample in = lwe_encrypt(K.sk.extracted, 0, 1e-9, rng);
+    const LweSample out = key_switch(K.ck1.ks, in);
+    const double e = torus32_to_double(lwe_phase(K.sk.lwe, out));
+    sum2 += e * e;
+  }
+  const double std_meas = std::sqrt(sum2 / trials);
+  // sigma_ks * sqrt(N * t) plus truncation.
+  const double bound = K.params.ks.sigma *
+                           std::sqrt(static_cast<double>(K.params.ring.n_ring) *
+                                     K.params.ks.t) * 2.0 +
+                       1e-4;
+  EXPECT_LE(std_meas, bound);
+  EXPECT_GT(std_meas, 0.0);
+}
+
+TEST(KeySwitch, LinearOverAddition) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(3);
+  const Torus32 m1 = double_to_torus32(0.0625), m2 = double_to_torus32(0.125);
+  const LweSample c1 = lwe_encrypt(K.sk.extracted, m1, K.params.ring.sigma, rng);
+  const LweSample c2 = lwe_encrypt(K.sk.extracted, m2, K.params.ring.sigma, rng);
+  const LweSample sum_then_switch = key_switch(K.ck1.ks, c1 + c2);
+  EXPECT_LE(torus_distance(lwe_phase(K.sk.lwe, sum_then_switch), m1 + m2), 5e-3);
+}
+
+TEST(KeySwitch, TableShapeAndPlaceholders) {
+  const auto& K = shared_keys();
+  const auto& ks = K.ck1.ks;
+  EXPECT_EQ(ks.n_in, K.params.ring.n_ring);
+  EXPECT_EQ(ks.n_out, K.params.lwe.n);
+  EXPECT_EQ(ks.table.size(),
+            static_cast<size_t>(ks.n_in) * ks.params.t * ks.params.base());
+  // v = 0 placeholders are all-zero trivial samples.
+  const LweSample& z = ks.at(5, 2, 0);
+  EXPECT_EQ(z.b, 0u);
+  for (Torus32 a : z.a) EXPECT_EQ(a, 0u);
+}
+
+class KsParamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {}; // basebit, t
+
+TEST_P(KsParamSweep, MessagePreservedAcrossParameterSpace) {
+  const auto [basebit, t] = GetParam();
+  if (basebit * t > 32) GTEST_SKIP() << "decomposition deeper than the torus";
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(100 + basebit * 16 + t);
+  const KeySwitchParams p{.basebit = basebit, .t = t, .sigma = 3.05e-5};
+  const KeySwitchKey ks = make_keyswitch_key(K.sk.extracted, K.sk.lwe, p, rng);
+  // Precision: base^t must cover enough torus bits for a 1/8 message.
+  const double trunc_noise = std::pow(2.0, -(basebit * t));
+  for (double m : {0.125, -0.125, 0.25}) {
+    const Torus32 mu = double_to_torus32(m);
+    const LweSample in =
+        lwe_encrypt(K.sk.extracted, mu, K.params.ring.sigma, rng);
+    const LweSample out = key_switch(ks, in);
+    const double err = torus_distance(lwe_phase(K.sk.lwe, out), mu);
+    EXPECT_LE(err, 0.01 + trunc_noise * K.params.ring.n_ring) << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, KsParamSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(4, 6, 8, 10)));
+
+TEST(KeySwitch, TableEntriesEncryptScaledKeyBits) {
+  const auto& K = shared_keys();
+  const auto& ks = K.ck1.ks;
+  for (int i : {0, 17, 100}) {
+    for (int j : {0, 3}) {
+      for (uint32_t v : {1u, 3u}) {
+        const Torus32 expect =
+            v * static_cast<Torus32>(K.sk.extracted.s[i]) *
+            (1u << (32 - (j + 1) * ks.params.basebit));
+        EXPECT_LE(torus_distance(lwe_phase(K.sk.lwe, ks.at(i, j, v)), expect),
+                  1e-3);
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace matcha

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfhe/lwe.h"
+
+namespace matcha {
+namespace {
+
+const LweParams kParams{.n = 300, .sigma = 1e-7};
+
+TEST(Lwe, EncryptDecryptPhase) {
+  Rng rng(1);
+  const LweKey key = LweKey::generate(kParams, rng);
+  for (double m : {0.0, 0.125, -0.125, 0.25, 0.375}) {
+    const Torus32 mu = double_to_torus32(m);
+    const LweSample c = lwe_encrypt(key, mu, kParams.sigma, rng);
+    EXPECT_LE(torus_distance(lwe_phase(key, c), mu), 1e-5) << m;
+  }
+}
+
+TEST(Lwe, BitEncryptDecrypt) {
+  Rng rng(2);
+  const LweKey key = LweKey::generate(kParams, rng);
+  const Torus32 mu = torus_fraction(1, 8);
+  for (int i = 0; i < 200; ++i) {
+    const int bit = rng.uniform_bit();
+    const LweSample c = lwe_encrypt_bit(key, bit, mu, kParams.sigma, rng);
+    EXPECT_EQ(lwe_decrypt_bit(key, c), bit);
+  }
+}
+
+TEST(Lwe, HomomorphicAdditionOfPhases) {
+  Rng rng(3);
+  const LweKey key = LweKey::generate(kParams, rng);
+  const Torus32 m1 = double_to_torus32(0.1), m2 = double_to_torus32(0.2);
+  const LweSample c1 = lwe_encrypt(key, m1, kParams.sigma, rng);
+  const LweSample c2 = lwe_encrypt(key, m2, kParams.sigma, rng);
+  EXPECT_LE(torus_distance(lwe_phase(key, c1 + c2), m1 + m2), 1e-5);
+  EXPECT_LE(torus_distance(lwe_phase(key, c1 - c2),
+                           static_cast<Torus32>(m1 - m2)),
+            1e-5);
+}
+
+TEST(Lwe, NegateFlipsPhase) {
+  Rng rng(4);
+  const LweKey key = LweKey::generate(kParams, rng);
+  const Torus32 m = double_to_torus32(0.3);
+  LweSample c = lwe_encrypt(key, m, kParams.sigma, rng);
+  c.negate();
+  EXPECT_LE(torus_distance(lwe_phase(key, c), static_cast<Torus32>(-m)), 1e-5);
+}
+
+TEST(Lwe, ScaleMultipliesPhase) {
+  Rng rng(5);
+  const LweKey key = LweKey::generate(kParams, rng);
+  const Torus32 m = double_to_torus32(0.05);
+  LweSample c = lwe_encrypt(key, m, kParams.sigma, rng);
+  c.scale(3);
+  EXPECT_LE(torus_distance(lwe_phase(key, c), 3 * m), 1e-5);
+}
+
+TEST(Lwe, TrivialSampleHasExactPhase) {
+  Rng rng(6);
+  const LweKey key = LweKey::generate(kParams, rng);
+  const Torus32 mu = double_to_torus32(0.4);
+  const LweSample c = LweSample::trivial(kParams.n, mu);
+  EXPECT_EQ(lwe_phase(key, c), mu);
+}
+
+TEST(Lwe, NoiseStdMatchesSigma) {
+  Rng rng(7);
+  const LweParams p{.n = 100, .sigma = 1e-4};
+  const LweKey key = LweKey::generate(p, rng);
+  const int trials = 20000;
+  double sum2 = 0;
+  for (int i = 0; i < trials; ++i) {
+    const LweSample c = lwe_encrypt(key, 0, p.sigma, rng);
+    const double e = torus32_to_double(lwe_phase(key, c));
+    sum2 += e * e;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / trials), p.sigma, p.sigma * 0.05);
+}
+
+TEST(Lwe, KeyIsBinary) {
+  Rng rng(8);
+  const LweKey key = LweKey::generate(kParams, rng);
+  for (int32_t s : key.s) EXPECT_TRUE(s == 0 || s == 1);
+}
+
+TEST(Lwe, MasksLookUniform) {
+  Rng rng(9);
+  const LweKey key = LweKey::generate(kParams, rng);
+  const LweSample c = lwe_encrypt(key, 0, kParams.sigma, rng);
+  double mean = 0;
+  for (Torus32 a : c.a) mean += torus32_to_double(a);
+  mean /= c.n();
+  EXPECT_LT(std::abs(mean), 0.1);
+}
+
+} // namespace
+} // namespace matcha

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "noise/measure.h"
+#include "noise/model.h"
+#include "test_util.h"
+
+namespace matcha {
+namespace {
+
+using test::shared_keys;
+
+TEST(NoiseModel, EpNoiseScalesAsDeltaOverM) {
+  // Table 3 row "EP": with the key-noise factor held fixed, the EP noise
+  // *variance* scales with the number of external products n/m.
+  const TfheParams p = TfheParams::security110();
+  const auto n1 = noise::predict(p, 1);
+  const auto n2 = noise::predict(p, 2);
+  // predict() folds the (2^m - 1) key factor in; isolate the count scaling:
+  // var_m = (n/m) * 2*(2^m-1) * unit. Check the ratio matches the formula.
+  const double ratio = (n2.ep_std * n2.ep_std) / (n1.ep_std * n1.ep_std);
+  EXPECT_NEAR(ratio, (630.0 / 2 * 2 * 3) / (630.0 * 2 * 1), 0.01);
+}
+
+TEST(NoiseModel, RoundingScalesAsRoOverM) {
+  const TfheParams p = TfheParams::security110();
+  const auto n1 = noise::predict(p, 1);
+  const auto n2 = noise::predict(p, 2);
+  const auto n3 = noise::predict(p, 3);
+  EXPECT_NEAR(n2.rounding_std / n1.rounding_std, std::sqrt(0.5), 0.01);
+  EXPECT_NEAR(n3.rounding_std / n1.rounding_std, std::sqrt(1.0 / 3), 0.01);
+}
+
+TEST(NoiseModel, KeyFactorIsExponential) {
+  const TfheParams p = TfheParams::security110();
+  for (int m = 1; m <= 5; ++m) {
+    EXPECT_EQ(noise::predict(p, m).bk_count_factor, (1 << m) - 1);
+  }
+}
+
+TEST(NoiseModel, TotalNoiseBelowFailureThresholdForPaperParams) {
+  const TfheParams p = TfheParams::security110();
+  for (int m = 1; m <= 4; ++m) {
+    const auto n = noise::predict(p, m);
+    EXPECT_LT(n.total_std, 1.0 / 64) << m;
+    EXPECT_LT(noise::failure_probability(n.total_std), 1e-9) << m;
+  }
+}
+
+TEST(NoiseModel, FailureProbabilityMonotone) {
+  double prev = 0;
+  for (double s : {1e-4, 1e-3, 5e-3, 1e-2, 2e-2}) {
+    const double f = noise::failure_probability(s);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_NEAR(noise::failure_probability(1.0), 1.0, 0.15);
+  EXPECT_EQ(noise::failure_probability(0.0), 0.0);
+}
+
+TEST(NoiseModel, FftErrorCurveShape) {
+  // Monotone non-increasing in bits, floored near the double reference.
+  double prev = 0;
+  for (int bits = 10; bits <= 64; bits += 2) {
+    const double db = noise::fft_error_db(bits);
+    EXPECT_LE(db, prev);
+    prev = db;
+  }
+  EXPECT_GE(noise::fft_error_db(64), noise::fft_error_db_double() - 1.0);
+  EXPECT_GT(noise::fft_error_db(10), -30.0);
+}
+
+TEST(NoiseMeasured, PhaseErrorNearZeroForCorrectGate) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(1);
+  const LweSample c = K.sk.encrypt_bit(1, rng);
+  EXPECT_LT(std::abs(noise::phase_error(K.sk, c, 1)), 1e-3);
+  // Against the wrong expectation the error is ~2 mu = 1/4.
+  EXPECT_NEAR(std::abs(noise::phase_error(K.sk, c, 0)), 0.25, 1e-3);
+}
+
+TEST(NoiseMeasured, GateNoiseStatisticsSane) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(2);
+  const auto dk = load_device_keyset(K.deng, K.ck1);
+  auto ev = dk.make_evaluator(K.deng, K.params.mu());
+  const auto st = noise::measure_gate_noise(K.sk, ev, 40, rng);
+  EXPECT_EQ(st.samples, 40);
+  EXPECT_EQ(st.failures, 0);
+  EXPECT_GT(st.stddev, 0.0);
+  EXPECT_LT(st.max_abs, 1.0 / 16);
+}
+
+TEST(NoiseMeasured, LiftEngineNoiseComparableToDouble) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(3);
+  const auto dkd = load_device_keyset(K.deng, K.ck1);
+  auto evd = dkd.make_evaluator(K.deng, K.params.mu());
+  const auto sd = noise::measure_gate_noise(K.sk, evd, 30, rng);
+  const auto dkl = load_device_keyset(K.leng, K.ck1);
+  auto evl = dkl.make_evaluator(K.leng, K.params.mu());
+  const auto sl = noise::measure_gate_noise(K.sk, evl, 30, rng);
+  EXPECT_EQ(sl.failures, 0);
+  // 40-bit DVQTFs: the approximate-FFT error is far below the crypto noise.
+  EXPECT_LT(sl.stddev, sd.stddev * 2.0 + 1e-4);
+}
+
+TEST(NoiseMeasured, CrudeLowPrecisionEngineIsNoisier) {
+  // A deliberately coarse 16-bit-DVQTF engine must show visibly more phase
+  // noise than the 40-bit one (while often still decrypting fine at the
+  // small parameters' fat margin).
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(4);
+  LiftFftEngine crude(K.params.ring.n_ring, 16);
+  const auto dkc = load_device_keyset(crude, K.ck1);
+  auto evc = dkc.make_evaluator(crude, K.params.mu());
+  const auto sc = noise::measure_gate_noise(K.sk, evc, 30, rng);
+  const auto dkl = load_device_keyset(K.leng, K.ck1);
+  auto evl = dkl.make_evaluator(K.leng, K.params.mu());
+  const auto sl = noise::measure_gate_noise(K.sk, evl, 30, rng);
+  EXPECT_GT(sc.stddev, sl.stddev * 3.0);
+}
+
+} // namespace
+} // namespace matcha

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "platform/platforms.h"
+
+namespace matcha::platform {
+namespace {
+
+const TfheParams kParams = TfheParams::security110();
+
+TEST(Cpu, LatencyAnchorsMatchPaper) {
+  EXPECT_NEAR(cpu_eval(kParams, 1).latency_ms, 13.1, 1.5);
+  EXPECT_NEAR(cpu_eval(kParams, 2).latency_ms, 6.67, 1.0);
+}
+
+TEST(Cpu, BkuRegressesBeyondM2) {
+  const double l2 = cpu_eval(kParams, 2).latency_ms;
+  const double l3 = cpu_eval(kParams, 3).latency_ms;
+  const double l4 = cpu_eval(kParams, 4).latency_ms;
+  EXPECT_GT(l3, l2);
+  EXPECT_GT(l4, l3);
+}
+
+TEST(Gpu, LatencyAnchorsAndScaling) {
+  EXPECT_NEAR(gpu_eval(kParams, 1).latency_ms, 0.37, 0.08);
+  EXPECT_NEAR(gpu_eval(kParams, 4).latency_ms, 0.18, 0.05);
+  // Monotone improvement with m (the GPU absorbs the terms).
+  double prev = 1e9;
+  for (int m = 1; m <= 4; ++m) {
+    const double l = gpu_eval(kParams, m).latency_ms;
+    EXPECT_LT(l, prev);
+    prev = l;
+  }
+}
+
+TEST(FpgaAsic, OnlyM1SupportedAndSlow) {
+  EXPECT_TRUE(fpga_eval(kParams, 1).supported);
+  EXPECT_FALSE(fpga_eval(kParams, 2).supported);
+  EXPECT_FALSE(asic_eval(kParams, 3).supported);
+  EXPECT_GT(fpga_eval(kParams, 1).latency_ms, 6.0);
+  EXPECT_GT(asic_eval(kParams, 1).latency_ms, 6.0);
+  EXPECT_LT(asic_eval(kParams, 1).watts, fpga_eval(kParams, 1).watts);
+}
+
+TEST(Matcha, BeatsGpuLatencyAtM3) {
+  // "MATCHA reduces the NAND gate latency ... over GPU only when m = 3."
+  EXPECT_LT(matcha_eval(kParams, 3).latency_ms, gpu_eval(kParams, 3).latency_ms);
+  EXPECT_GT(matcha_eval(kParams, 1).latency_ms, gpu_eval(kParams, 1).latency_ms);
+}
+
+TEST(Headline, ThroughputAdvantage) {
+  double best_gpu = 0, best_matcha = 0;
+  for (int m = 1; m <= 4; ++m) {
+    best_gpu = std::max(best_gpu, gpu_eval(kParams, m).gates_per_s);
+    best_matcha = std::max(best_matcha, matcha_eval(kParams, m).gates_per_s);
+  }
+  const double ratio = best_matcha / best_gpu;
+  EXPECT_GT(ratio, 1.5); // paper: 2.3x
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Headline, ThroughputPerWattOrdering) {
+  // Fig. 11 ordering: MATCHA >> ASIC > FPGA > CPU; GPU below ASIC.
+  double best_matcha = 0, best_gpu = 0;
+  for (int m = 1; m <= 4; ++m) {
+    best_matcha = std::max(best_matcha, matcha_eval(kParams, m).gates_per_s_per_w);
+    best_gpu = std::max(best_gpu, gpu_eval(kParams, m).gates_per_s_per_w);
+  }
+  const double asic = asic_eval(kParams, 1).gates_per_s_per_w;
+  const double fpga = fpga_eval(kParams, 1).gates_per_s_per_w;
+  const double cpu = cpu_eval(kParams, 1).gates_per_s_per_w;
+  EXPECT_GT(best_matcha, asic * 4.0); // paper: 6.3x
+  EXPECT_GT(asic, fpga);
+  EXPECT_GT(fpga, cpu);
+  EXPECT_LT(best_gpu, asic);
+}
+
+TEST(Headline, CpuM2BeatsFpgaThroughput) {
+  // "even CPU (m = 2) can achieve higher gate processing throughput than
+  // ... FPGA with m = 1".
+  EXPECT_GT(cpu_eval(kParams, 2).gates_per_s, fpga_eval(kParams, 1).gates_per_s);
+}
+
+TEST(EvaluateAll, FiveRowsWithConsistentDerivedMetric) {
+  for (int m = 1; m <= 4; ++m) {
+    const auto all = evaluate_all(kParams, m);
+    ASSERT_EQ(all.size(), 5u);
+    for (const auto& pt : all) {
+      if (!pt.supported) continue;
+      EXPECT_NEAR(pt.gates_per_s_per_w, pt.gates_per_s / pt.watts,
+                  pt.gates_per_s_per_w * 1e-9)
+          << pt.name;
+      EXPECT_GT(pt.latency_ms, 0) << pt.name;
+    }
+  }
+}
+
+} // namespace
+} // namespace matcha::platform

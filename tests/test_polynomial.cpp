@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/polynomial.h"
+
+namespace matcha {
+namespace {
+
+TorusPolynomial random_poly(Rng& rng, int n) {
+  TorusPolynomial p(n);
+  for (auto& c : p.coeffs) c = rng.uniform_torus();
+  return p;
+}
+
+TEST(Polynomial, AddSubInverse) {
+  Rng rng(1);
+  const int n = 64;
+  const TorusPolynomial a = random_poly(rng, n), b = random_poly(rng, n);
+  TorusPolynomial c = a + b;
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+class XPowerTest : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(XPowerTest, MatchesSchoolbookMonomialProduct) {
+  const auto [n, k] = GetParam();
+  Rng rng(2);
+  const TorusPolynomial p = random_poly(rng, n);
+  TorusPolynomial rot(n);
+  multiply_by_xpower(rot, p, k);
+  // Reference: multiply by the monomial X^(k mod 2N) via the int poly path.
+  int64_t kk = k % (2 * n);
+  if (kk < 0) kk += 2 * n;
+  IntPolynomial mono(n);
+  TorusPolynomial ref(n);
+  if (kk < n) {
+    mono.coeffs[kk] = 1;
+    negacyclic_multiply_reference(ref, mono, p);
+  } else {
+    mono.coeffs[kk - n] = -1;
+    negacyclic_multiply_reference(ref, mono, p);
+  }
+  EXPECT_EQ(rot, ref) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, XPowerTest,
+    ::testing::Combine(::testing::Values(8, 32, 256),
+                       ::testing::Values(int64_t{0}, int64_t{1}, int64_t{5},
+                                         int64_t{31}, int64_t{32}, int64_t{250},
+                                         int64_t{511}, int64_t{512},
+                                         int64_t{-3}, int64_t{-300})));
+
+TEST(XPower, FullRotationIsIdentity) {
+  Rng rng(3);
+  const int n = 128;
+  const TorusPolynomial p = random_poly(rng, n);
+  TorusPolynomial r(n);
+  multiply_by_xpower(r, p, 2 * n);
+  EXPECT_EQ(r, p);
+}
+
+TEST(XPower, HalfRotationNegates) {
+  Rng rng(4);
+  const int n = 128;
+  const TorusPolynomial p = random_poly(rng, n);
+  TorusPolynomial r(n);
+  multiply_by_xpower(r, p, n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(r.coeffs[i], static_cast<Torus32>(-p.coeffs[i]));
+  }
+}
+
+TEST(XPower, Composition) {
+  Rng rng(5);
+  const int n = 64;
+  const TorusPolynomial p = random_poly(rng, n);
+  TorusPolynomial r1(n), r2(n), direct(n);
+  multiply_by_xpower(r1, p, 13);
+  multiply_by_xpower(r2, r1, 29);
+  multiply_by_xpower(direct, p, 42);
+  EXPECT_EQ(r2, direct);
+}
+
+TEST(XPowerMinusOne, MatchesDefinition) {
+  Rng rng(6);
+  const int n = 64;
+  const TorusPolynomial p = random_poly(rng, n);
+  TorusPolynomial got(n), rot(n);
+  multiply_by_xpower_minus_one(got, p, 17);
+  multiply_by_xpower(rot, p, 17);
+  rot -= p;
+  EXPECT_EQ(got, rot);
+}
+
+TEST(XPowerMinusOne, ZeroExponentGivesZero) {
+  Rng rng(7);
+  const int n = 64;
+  const TorusPolynomial p = random_poly(rng, n);
+  TorusPolynomial got(n);
+  multiply_by_xpower_minus_one(got, p, 0);
+  for (Torus32 c : got.coeffs) EXPECT_EQ(c, 0u);
+}
+
+TEST(Schoolbook, DistributesOverAddition) {
+  Rng rng(8);
+  const int n = 32;
+  IntPolynomial a(n);
+  for (auto& c : a.coeffs) c = static_cast<int>(rng.uniform_below(64)) - 32;
+  const TorusPolynomial p = random_poly(rng, n), q = random_poly(rng, n);
+  TorusPolynomial rp(n), rq(n), rsum(n);
+  negacyclic_multiply_reference(rp, a, p);
+  negacyclic_multiply_reference(rq, a, q);
+  negacyclic_multiply_reference(rsum, a, p + q);
+  EXPECT_EQ(rsum, rp + rq);
+}
+
+TEST(Schoolbook, MultiplyAddAccumulates) {
+  Rng rng(9);
+  const int n = 32;
+  IntPolynomial a(n);
+  for (auto& c : a.coeffs) c = static_cast<int>(rng.uniform_below(8)) - 4;
+  const TorusPolynomial p = random_poly(rng, n);
+  TorusPolynomial acc = random_poly(rng, n);
+  const TorusPolynomial base = acc;
+  TorusPolynomial prod(n);
+  negacyclic_multiply_reference(prod, a, p);
+  negacyclic_multiply_add_reference(acc, a, p);
+  EXPECT_EQ(acc, base + prod);
+}
+
+TEST(Schoolbook, NegacyclicWrapSign) {
+  // (X^{n-1}) * (X) = X^n = -1.
+  const int n = 16;
+  IntPolynomial a(n);
+  a.coeffs[n - 1] = 1;
+  TorusPolynomial b(n);
+  b.coeffs[1] = 1000;
+  TorusPolynomial r(n);
+  negacyclic_multiply_reference(r, a, b);
+  EXPECT_EQ(r.coeffs[0], static_cast<Torus32>(-1000));
+  for (int i = 1; i < n; ++i) EXPECT_EQ(r.coeffs[i], 0u);
+}
+
+TEST(Polynomial, NormInf) {
+  IntPolynomial p(4);
+  p.coeffs = {3, -7, 0, 5};
+  EXPECT_EQ(p.norm_inf(), 7);
+}
+
+TEST(Polynomial, MaxTorusDistance) {
+  TorusPolynomial a(2), b(2);
+  a.coeffs = {0, double_to_torus32(0.25)};
+  b.coeffs = {double_to_torus32(0.001), double_to_torus32(0.25)};
+  EXPECT_NEAR(max_torus_distance(a, b), 0.001, 1e-9);
+}
+
+} // namespace
+} // namespace matcha

@@ -1,0 +1,110 @@
+// Failure-injection and wrong-key behavior: the scheme must degrade the way
+// LWE-based crypto is supposed to -- wrong keys decrypt to coin flips,
+// corrupted ciphertexts flip cleanly past the noise margin, and ciphertexts
+// of the same bit are unlinkable at the mask level.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace matcha {
+namespace {
+
+using test::shared_keys;
+
+TEST(WrongKey, DecryptionIsCoinFlip) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(1);
+  const LweKey other = LweKey::generate(K.params.lwe, rng);
+  int ones = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    const LweSample c = K.sk.encrypt_bit(1, rng);
+    ones += lwe_decrypt_bit(other, c);
+  }
+  // Under the wrong key the phase is uniform: expect ~50% +-10 sigma.
+  EXPECT_GT(ones, trials / 2 - 100);
+  EXPECT_LT(ones, trials / 2 + 100);
+}
+
+TEST(WrongKey, BootstrapUnderMismatchedKeysetScrambles) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(2);
+  // Fresh secret keyset, but evaluate with the shared cloud keys: outputs
+  // must not reliably decrypt under the fresh keys.
+  const SecretKeyset other = SecretKeyset::generate(K.params, rng);
+  const auto dk = load_device_keyset(K.deng, K.ck1);
+  auto ev = dk.make_evaluator(K.deng, K.params.mu());
+  int correct = 0;
+  const int trials = 24;
+  for (int i = 0; i < trials; ++i) {
+    const int a = rng.uniform_bit(), b = rng.uniform_bit();
+    const LweSample ca = other.encrypt_bit(a, rng);
+    const LweSample cb = other.encrypt_bit(b, rng);
+    correct += other.decrypt_bit(ev.gate_nand(ca, cb)) == !(a && b);
+  }
+  EXPECT_LT(correct, trials - 4); // far from systematically correct
+}
+
+TEST(Corruption, FlippingBodyMsbFlipsBit) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(3);
+  LweSample c = K.sk.encrypt_bit(1, rng);
+  c.b += 0x80000000u; // shift the phase by 1/2
+  EXPECT_EQ(K.sk.decrypt_bit(c), 0);
+}
+
+TEST(Corruption, SmallPerturbationSurvivesLargeOneDoesNot) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(4);
+  LweSample c = K.sk.encrypt_bit(1, rng);
+  c.b += double_to_torus32(0.01); // within the 1/8 margin
+  EXPECT_EQ(K.sk.decrypt_bit(c), 1);
+  c.b += double_to_torus32(0.4); // pushes the phase across the sign boundary
+  EXPECT_EQ(K.sk.decrypt_bit(c), 0);
+}
+
+TEST(Unlinkability, SameBitCiphertextsDiffer) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(5);
+  const LweSample c1 = K.sk.encrypt_bit(1, rng);
+  const LweSample c2 = K.sk.encrypt_bit(1, rng);
+  int equal_coords = 0;
+  for (int i = 0; i < c1.n(); ++i) equal_coords += c1.a[i] == c2.a[i];
+  EXPECT_LE(equal_coords, 2); // uniform 32-bit masks virtually never collide
+  EXPECT_NE(c1.b, c2.b);
+}
+
+TEST(Determinism, SameSeedSameKeysSameCiphertexts) {
+  const TfheParams p = TfheParams::test_small();
+  Rng r1(777), r2(777);
+  const SecretKeyset k1 = SecretKeyset::generate(p, r1);
+  const SecretKeyset k2 = SecretKeyset::generate(p, r2);
+  EXPECT_EQ(k1.lwe.s, k2.lwe.s);
+  EXPECT_EQ(k1.tlwe.s.coeffs, k2.tlwe.s.coeffs);
+  const LweSample c1 = k1.encrypt_bit(1, r1);
+  const LweSample c2 = k2.encrypt_bit(1, r2);
+  EXPECT_EQ(c1.a, c2.a);
+  EXPECT_EQ(c1.b, c2.b);
+}
+
+TEST(Params, SecuritySetMatchesPaper) {
+  const TfheParams p = TfheParams::security110();
+  EXPECT_EQ(p.ring.n_ring, 1024);
+  EXPECT_EQ(p.ring.k, 1);
+  EXPECT_EQ(p.gadget.bg(), 1024u); // Bg = 1024
+  EXPECT_EQ(p.gadget.l, 3);        // l = 3
+  EXPECT_EQ(p.lwe.n, 630);
+  EXPECT_EQ(p.mu(), torus_fraction(1, 8));
+  // Gadget must fit the torus.
+  EXPECT_LE(p.gadget.l * p.gadget.bg_bits, 32);
+}
+
+TEST(Params, TestSetIsFunctionalButSmaller) {
+  const TfheParams p = TfheParams::test_small();
+  EXPECT_LT(p.ring.n_ring, TfheParams::security110().ring.n_ring);
+  EXPECT_LT(p.lwe.n, TfheParams::security110().lwe.n);
+  EXPECT_LE(p.gadget.l * p.gadget.bg_bits, 32);
+}
+
+} // namespace
+} // namespace matcha

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/matcha_sim.h"
+
+namespace matcha::sim {
+namespace {
+
+const TfheParams kParams = TfheParams::security110();
+
+TEST(Dfg, NodeCountsPerKind) {
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 2;
+  const Dfg g = build_bootstrap_dfg(p);
+  std::map<OpKind, int> counts;
+  for (const auto& n : g.nodes) counts[n.kind]++;
+  EXPECT_EQ(counts[OpKind::kPrologue], 1);
+  EXPECT_EQ(counts[OpKind::kHbmLoad], p.num_groups());
+  EXPECT_EQ(counts[OpKind::kBundle], p.num_groups());
+  EXPECT_EQ(counts[OpKind::kExternalProd], p.num_groups());
+  EXPECT_EQ(counts[OpKind::kExtract], 1);
+  EXPECT_EQ(counts[OpKind::kKeySwitch], 1);
+  EXPECT_GT(counts[OpKind::kKsLoad], 0);
+}
+
+TEST(Dfg, TopologicalAndDepValid) {
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 3;
+  const Dfg g = build_bootstrap_dfg(p);
+  for (const auto& n : g.nodes) {
+    for (int d : n.deps) {
+      EXPECT_LT(d, n.id);
+      EXPECT_GE(d, 0);
+    }
+  }
+}
+
+TEST(Schedule, RespectsDependenciesAndResources) {
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 2;
+  const Dfg g = build_bootstrap_dfg(p);
+  const ScheduleResult s = schedule(g);
+  // Dependencies respected.
+  for (const auto& n : g.nodes) {
+    for (int d : n.deps) EXPECT_GE(s.start[n.id], s.end[d]);
+  }
+  // No overlap on any single resource.
+  std::map<Resource, std::vector<std::pair<int64_t, int64_t>>> by_res;
+  for (const auto& n : g.nodes) {
+    by_res[n.resource].push_back({s.start[n.id], s.end[n.id]});
+  }
+  for (auto& [res, spans] : by_res) {
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second)
+          << resource_name(res) << " overlap at " << i;
+    }
+  }
+}
+
+TEST(Schedule, BusyNeverExceedsMakespan) {
+  SimParams p;
+  p.tfhe = kParams;
+  for (int m = 1; m <= 4; ++m) {
+    p.unroll_m = m;
+    const ScheduleResult s = schedule(build_bootstrap_dfg(p));
+    for (int r = 0; r < static_cast<int>(Resource::kCount); ++r) {
+      EXPECT_LE(s.busy[r], s.makespan);
+    }
+  }
+}
+
+TEST(Schedule, BundlesPipelineAheadOfEps) {
+  // Fig. 6(b): while EP g runs, bundle g+1 must already be building.
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 3;
+  const Dfg g = build_bootstrap_dfg(p);
+  const ScheduleResult s = schedule(g);
+  std::vector<int64_t> bundle_start(p.num_groups()), ep_start(p.num_groups()),
+      ep_end(p.num_groups());
+  for (const auto& n : g.nodes) {
+    if (n.kind == OpKind::kBundle) bundle_start[n.group] = s.start[n.id];
+    if (n.kind == OpKind::kExternalProd) {
+      ep_start[n.group] = s.start[n.id];
+      ep_end[n.group] = s.end[n.id];
+    }
+  }
+  int overlapped = 0;
+  for (int grp = 1; grp < p.num_groups(); ++grp) {
+    if (bundle_start[grp] < ep_end[grp - 1]) ++overlapped;
+  }
+  EXPECT_GT(overlapped, p.num_groups() / 2);
+}
+
+TEST(Sim, LatencyShapeMatchesPaper) {
+  // Fig. 9 MATCHA series: improves to m=3, degrades at m=4 (only 8 TGSW
+  // clusters; the bundle construction becomes the bottleneck).
+  const auto r1 = simulate_gate(kParams, 1);
+  const auto r2 = simulate_gate(kParams, 2);
+  const auto r3 = simulate_gate(kParams, 3);
+  const auto r4 = simulate_gate(kParams, 4);
+  EXPECT_LT(r2.latency_ms, r1.latency_ms);
+  EXPECT_LT(r3.latency_ms, r2.latency_ms);
+  EXPECT_GT(r4.latency_ms, r3.latency_ms);
+  // Absolute anchors (loose): sub-millisecond everywhere, ~0.15-0.25 at m=3.
+  EXPECT_LT(r3.latency_ms, 0.25);
+  EXPECT_GT(r3.latency_ms, 0.10);
+  EXPECT_LT(r1.latency_ms, 1.0);
+}
+
+TEST(Sim, PipelineBalancedAtM3) {
+  // The paper: "the workloads of the two steps ... approximately balanced by
+  // adjusting m" -- at m=3 both units are busy most of the time.
+  const auto r = simulate_gate(kParams, 3);
+  EXPECT_GT(r.util_ep, 0.7);
+  EXPECT_GT(r.util_tgsw, 0.5);
+  // At m=1 the TGSW cluster idles.
+  const auto r1 = simulate_gate(kParams, 1);
+  EXPECT_LT(r1.util_tgsw, 0.3);
+  EXPECT_GT(r1.util_ep, 0.9);
+}
+
+TEST(Sim, HbmTrafficGrowsExponentiallyWithM) {
+  double prev = 0;
+  for (int m = 1; m <= 5; ++m) {
+    const auto r = simulate_gate(kParams, m);
+    EXPECT_GT(r.hbm_mb, prev);
+    prev = r.hbm_mb;
+  }
+  const auto r1 = simulate_gate(kParams, 1);
+  // BK (spectral, 48KB per TGSW at N=1024, l=3) + KS key.
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 1;
+  EXPECT_NEAR(r1.hbm_mb,
+              (p.bootstrap_bk_bytes() + p.ks_bytes()) / 1e6, 0.01);
+  EXPECT_EQ(p.tgsw_bytes(), 6 * 2 * 1024 * 4);
+}
+
+TEST(Sim, ThroughputCappedByHbm) {
+  const auto r4 = simulate_gate(kParams, 4);
+  const double hbm_cap = 640e9 / (r4.hbm_mb * 1e6);
+  EXPECT_LE(r4.gates_per_s, hbm_cap * 1.001);
+  // Doubling bandwidth must raise m=4 throughput.
+  hw::MatchaConfig fat;
+  fat.hbm_gbps = 1280.0;
+  const auto rfat = simulate_gate(kParams, 4, fat);
+  EXPECT_GT(rfat.gates_per_s, r4.gates_per_s * 1.5);
+}
+
+TEST(Sim, EnergyAndPowerSane) {
+  for (int m = 1; m <= 4; ++m) {
+    const auto r = simulate_gate(kParams, m);
+    EXPECT_GT(r.energy_mj, 0.0);
+    EXPECT_GT(r.avg_power_w, 0.5);
+    // A single pipeline can't exceed its cluster+EP+share-of-uncore budget.
+    EXPECT_LT(r.avg_power_w, 8.0);
+    // Component breakdown sums to the total.
+    EXPECT_NEAR(r.energy_tgsw_mj + r.energy_ep_mj + r.energy_poly_mj +
+                    r.energy_uncore_mj,
+                r.energy_mj, r.energy_mj * 1e-9);
+  }
+}
+
+TEST(Sim, EnergyShiftsFromEpToTgswWithM) {
+  // BKU's energy story: external products shrink ~1/m while bundle terms
+  // grow (2^m - 1)/m, so the TGSW share must rise monotonically.
+  double prev_share = 0.0;
+  for (int m = 1; m <= 4; ++m) {
+    const auto r = simulate_gate(kParams, m);
+    const double share = r.energy_tgsw_mj / r.energy_mj;
+    EXPECT_GT(share, prev_share) << m;
+    prev_share = share;
+  }
+  // And the EP cores dominate a non-unrolled bootstrap.
+  const auto r1 = simulate_gate(kParams, 1);
+  EXPECT_GT(r1.energy_ep_mj, 3.0 * r1.energy_tgsw_mj);
+}
+
+TEST(Sim, MoreEpMacSlicesShortenM1Latency) {
+  hw::MatchaConfig wide;
+  wide.ep_mults = 8;
+  const auto base = simulate_gate(kParams, 1);
+  const auto fast = simulate_gate(kParams, 1, wide);
+  EXPECT_LT(fast.latency_ms, base.latency_ms * 0.75);
+}
+
+TEST(Sim, ServiceTimesScaleWithRingSize) {
+  SimParams p;
+  p.tfhe = kParams;
+  const int t1024 = p.transform_cycles();
+  p.tfhe.ring.n_ring = 2048;
+  EXPECT_GT(p.transform_cycles(), t1024);
+}
+
+} // namespace
+} // namespace matcha::sim

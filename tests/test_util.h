@@ -1,0 +1,33 @@
+// Shared, lazily-built key material for the test suite. Key generation is
+// the dominant test cost; every test file shares these singletons.
+#pragma once
+
+#include <memory>
+
+#include "fft/double_fft.h"
+#include "fft/lift_fft.h"
+#include "tfhe/keyset.h"
+
+namespace matcha::test {
+
+struct SharedKeys {
+  TfheParams params = TfheParams::test_small();
+  Rng rng{0xC0FFEE};
+  SecretKeyset sk = SecretKeyset::generate(params, rng);
+  CloudKeyset ck1 = make_cloud_keyset(sk, 1, rng);
+  CloudKeyset ck2 = make_cloud_keyset(sk, 2, rng);
+  CloudKeyset ck3 = make_cloud_keyset(sk, 3, rng);
+  DoubleFftEngine deng{params.ring.n_ring};
+  LiftFftEngine leng{params.ring.n_ring, 40};
+};
+
+inline const SharedKeys& shared_keys() {
+  static const SharedKeys keys;
+  return keys;
+}
+
+/// A fresh deterministic RNG per test (seeded by name hash would be overkill;
+/// fixed seeds keep failures reproducible).
+inline Rng test_rng(uint64_t seed = 42) { return Rng(seed); }
+
+} // namespace matcha::test
