@@ -21,7 +21,7 @@ uint64_t decrypt_word(const SecretKeyset& sk, const EncWord& w) {
   return v;
 }
 
-template class WordCircuits<DoubleFftEngine>;
-template class WordCircuits<LiftFftEngine>;
+template class WordCircuitsT<GateEvaluator<DoubleFftEngine>>;
+template class WordCircuitsT<GateEvaluator<LiftFftEngine>>;
 
 } // namespace matcha::circuits

@@ -1,9 +1,15 @@
 // Encrypted fixed-width words and the homomorphic arithmetic/logic circuits
 // the paper's introduction motivates ("a TFHE-based simple RISC-V CPU
 // comprising thousands of TFHE gates"): adders, subtractors, comparators,
-// shifters, multiplexers, and a small multiplier, all built from the gate
-// evaluator so every operation bootstraps per gate and composes to unlimited
-// depth.
+// shifters, multiplexers, and a small multiplier.
+//
+// The circuits are generic over a *gate backend* -- any type exposing the
+// GateEvaluator gate_* interface over its own `Bit` ciphertext type:
+//   - GateEvaluator<Engine> (Bit = LweSample) evaluates eagerly, one
+//     bootstrapping per gate, exactly as before;
+//   - exec::CircuitBuilder (Bit = exec::Wire) records the same circuit into a
+//     GateGraph for levelized batch execution (exec/batch_executor.h).
+// `WordCircuits<Engine>` keeps the historical immediate-mode spelling.
 #pragma once
 
 #include <cstdint>
@@ -14,12 +20,16 @@
 
 namespace matcha::circuits {
 
-/// An encrypted unsigned word, LSB first.
-struct EncWord {
-  std::vector<LweSample> bits;
+/// A fixed-width word of backend bits, LSB first.
+template <class Bit>
+struct WordT {
+  std::vector<Bit> bits;
 
   int width() const { return static_cast<int>(bits.size()); }
 };
+
+/// An encrypted unsigned word, LSB first.
+using EncWord = WordT<LweSample>;
 
 /// Encrypt / decrypt words (client side).
 EncWord encrypt_word(const SecretKeyset& sk, uint64_t value, int width, Rng& rng);
@@ -33,61 +43,67 @@ struct GateBudget {
   int64_t linear = 0;       ///< NOT gates (no bootstrap)
 };
 
-/// Homomorphic circuit toolkit over one evaluator.
-template <class Engine>
-class WordCircuits {
+/// Homomorphic circuit toolkit over one gate backend.
+template <class Backend>
+class WordCircuitsT {
  public:
-  explicit WordCircuits(GateEvaluator<Engine>& ev) : ev_(ev) {}
+  using Bit = typename Backend::Bit;
+  using Word = WordT<Bit>;
+
+  explicit WordCircuitsT(Backend& ev) : ev_(ev) {}
 
   /// sum = x + y (+ carry_in), width = x.width(); returns carry-out as an
   /// extra bit when `with_carry_out`.
-  EncWord add(const EncWord& x, const EncWord& y, const LweSample* carry_in,
-              bool with_carry_out);
+  Word add(const Word& x, const Word& y, const Bit* carry_in,
+           bool with_carry_out);
   /// x - y via two's complement (carry-in 1, inverted y).
-  EncWord sub(const EncWord& x, const EncWord& y);
+  Word sub(const Word& x, const Word& y);
   /// [x > y], [x == y] (unsigned).
-  LweSample greater_than(const EncWord& x, const EncWord& y);
-  LweSample equal(const EncWord& x, const EncWord& y);
+  Bit greater_than(const Word& x, const Word& y);
+  Bit equal(const Word& x, const Word& y);
   /// sel ? x : y, bitwise.
-  EncWord mux(const LweSample& sel, const EncWord& x, const EncWord& y);
+  Word mux(const Bit& sel, const Word& x, const Word& y);
   /// Logical shift left by an encrypted amount (barrel shifter over
   /// log2(width) MUX stages). `amount` is little-endian encrypted bits.
-  EncWord shift_left(const EncWord& x, const EncWord& amount);
+  Word shift_left(const Word& x, const Word& amount);
   /// Low `width` bits of x * y (shift-and-add multiplier).
-  EncWord multiply(const EncWord& x, const EncWord& y);
+  Word multiply(const Word& x, const Word& y);
   /// Bitwise ops.
-  EncWord bit_and(const EncWord& x, const EncWord& y);
-  EncWord bit_or(const EncWord& x, const EncWord& y);
-  EncWord bit_xor(const EncWord& x, const EncWord& y);
-  EncWord bit_not(const EncWord& x);
+  Word bit_and(const Word& x, const Word& y);
+  Word bit_or(const Word& x, const Word& y);
+  Word bit_xor(const Word& x, const Word& y);
+  Word bit_not(const Word& x);
 
   const GateBudget& budget() const { return budget_; }
   void reset_budget() { budget_ = {}; }
 
  private:
-  LweSample g2(LweSample s) {
+  Bit g2(Bit s) {
     ++budget_.bootstrapped;
     return s;
   }
 
-  GateEvaluator<Engine>& ev_;
+  Backend& ev_;
   GateBudget budget_;
 };
 
+/// Immediate-mode circuits over an engine's eager evaluator (historical API).
 template <class Engine>
-EncWord WordCircuits<Engine>::add(const EncWord& x, const EncWord& y,
-                                  const LweSample* carry_in,
-                                  bool with_carry_out) {
+using WordCircuits = WordCircuitsT<GateEvaluator<Engine>>;
+
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::add(
+    const Word& x, const Word& y, const Bit* carry_in, bool with_carry_out) {
   const int w = x.width();
-  EncWord out;
-  LweSample carry;
+  Word out;
+  Bit carry;
   bool have_carry = false;
   if (carry_in != nullptr) {
     carry = *carry_in;
     have_carry = true;
   }
   for (int i = 0; i < w; ++i) {
-    LweSample axb = g2(ev_.gate_xor(x.bits[i], y.bits[i]));
+    Bit axb = g2(ev_.gate_xor(x.bits[i], y.bits[i]));
     if (!have_carry) {
       // First stage without carry-in: sum = a^b, carry = a&b.
       out.bits.push_back(axb);
@@ -96,37 +112,39 @@ EncWord WordCircuits<Engine>::add(const EncWord& x, const EncWord& y,
       continue;
     }
     out.bits.push_back(g2(ev_.gate_xor(axb, carry)));
-    LweSample and1 = g2(ev_.gate_and(x.bits[i], y.bits[i]));
-    LweSample and2 = g2(ev_.gate_and(carry, axb));
+    Bit and1 = g2(ev_.gate_and(x.bits[i], y.bits[i]));
+    Bit and2 = g2(ev_.gate_and(carry, axb));
     carry = g2(ev_.gate_or(and1, and2));
   }
   if (with_carry_out) out.bits.push_back(carry);
   return out;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::sub(const EncWord& x, const EncWord& y) {
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::sub(
+    const Word& x, const Word& y) {
   // x + ~y + 1: seed the carry chain with an encrypted one via NAND(y0, y0)
   // of a trivial... simpler: carry_in = NOT(y0) XOR ... use full adder with
   // carry-in = 1 realized as x - y = x + ~y + 1.
-  EncWord ny = bit_not(y);
+  Word ny = bit_not(y);
   // carry_in = 1: use OR(b, NOT b) of the first bit (always true).
-  LweSample one = g2(ev_.gate_or(y.bits[0], ev_.gate_not(y.bits[0])));
+  Bit one = g2(ev_.gate_or(y.bits[0], ev_.gate_not(y.bits[0])));
   ++budget_.linear;
-  EncWord r = add(x, ny, &one, /*with_carry_out=*/false);
+  Word r = add(x, ny, &one, /*with_carry_out=*/false);
   return r;
 }
 
-template <class Engine>
-LweSample WordCircuits<Engine>::greater_than(const EncWord& x, const EncWord& y) {
+template <class Backend>
+typename WordCircuitsT<Backend>::Bit WordCircuitsT<Backend>::greater_than(
+    const Word& x, const Word& y) {
   // MSB-down scan with the classic recurrence:
   //   gt <- gt OR (eq AND x_i AND ~y_i);   eq <- eq AND XNOR(x_i, y_i).
   const int w = x.width();
-  LweSample gt = g2(ev_.gate_and(x.bits[w - 1], ev_.gate_not(y.bits[w - 1])));
+  Bit gt = g2(ev_.gate_and(x.bits[w - 1], ev_.gate_not(y.bits[w - 1])));
   ++budget_.linear;
-  LweSample eq = g2(ev_.gate_xnor(x.bits[w - 1], y.bits[w - 1]));
+  Bit eq = g2(ev_.gate_xnor(x.bits[w - 1], y.bits[w - 1]));
   for (int i = w - 2; i >= 0; --i) {
-    LweSample cand = g2(ev_.gate_and(x.bits[i], ev_.gate_not(y.bits[i])));
+    Bit cand = g2(ev_.gate_and(x.bits[i], ev_.gate_not(y.bits[i])));
     ++budget_.linear;
     gt = g2(ev_.gate_or(gt, g2(ev_.gate_and(eq, cand))));
     if (i > 0) eq = g2(ev_.gate_and(eq, g2(ev_.gate_xnor(x.bits[i], y.bits[i]))));
@@ -134,19 +152,20 @@ LweSample WordCircuits<Engine>::greater_than(const EncWord& x, const EncWord& y)
   return gt;
 }
 
-template <class Engine>
-LweSample WordCircuits<Engine>::equal(const EncWord& x, const EncWord& y) {
-  LweSample eq = g2(ev_.gate_xnor(x.bits[0], y.bits[0]));
+template <class Backend>
+typename WordCircuitsT<Backend>::Bit WordCircuitsT<Backend>::equal(
+    const Word& x, const Word& y) {
+  Bit eq = g2(ev_.gate_xnor(x.bits[0], y.bits[0]));
   for (int i = 1; i < x.width(); ++i) {
     eq = g2(ev_.gate_and(eq, g2(ev_.gate_xnor(x.bits[i], y.bits[i]))));
   }
   return eq;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::mux(const LweSample& sel, const EncWord& x,
-                                  const EncWord& y) {
-  EncWord out;
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::mux(
+    const Bit& sel, const Word& x, const Word& y) {
+  Word out;
   for (int i = 0; i < x.width(); ++i) {
     budget_.bootstrapped += 2;
     out.bits.push_back(ev_.gate_mux(sel, x.bits[i], y.bits[i]));
@@ -154,14 +173,15 @@ EncWord WordCircuits<Engine>::mux(const LweSample& sel, const EncWord& x,
   return out;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::shift_left(const EncWord& x, const EncWord& amount) {
-  EncWord cur = x;
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::shift_left(
+    const Word& x, const Word& amount) {
+  Word cur = x;
   const int w = x.width();
   for (int s = 0; s < amount.width() && (1 << s) < w; ++s) {
     // shifted = cur << 2^s, with encrypted-zero fill from AND(x, ~x).
-    EncWord shifted;
-    LweSample zero = g2(ev_.gate_and(x.bits[0], ev_.gate_not(x.bits[0])));
+    Word shifted;
+    Bit zero = g2(ev_.gate_and(x.bits[0], ev_.gate_not(x.bits[0])));
     ++budget_.linear;
     for (int i = 0; i < w; ++i) {
       shifted.bits.push_back(i < (1 << s) ? zero : cur.bits[i - (1 << s)]);
@@ -171,16 +191,17 @@ EncWord WordCircuits<Engine>::shift_left(const EncWord& x, const EncWord& amount
   return cur;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::multiply(const EncWord& x, const EncWord& y) {
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::multiply(
+    const Word& x, const Word& y) {
   const int w = x.width();
   // Partial product rows ANDed with y_j, accumulated with adders.
-  EncWord acc;
-  LweSample zero = g2(ev_.gate_and(x.bits[0], ev_.gate_not(x.bits[0])));
+  Word acc;
+  Bit zero = g2(ev_.gate_and(x.bits[0], ev_.gate_not(x.bits[0])));
   ++budget_.linear;
   for (int i = 0; i < w; ++i) acc.bits.push_back(zero);
   for (int j = 0; j < w; ++j) {
-    EncWord row;
+    Word row;
     for (int i = 0; i < w; ++i) {
       if (i < j) {
         row.bits.push_back(zero);
@@ -193,36 +214,40 @@ EncWord WordCircuits<Engine>::multiply(const EncWord& x, const EncWord& y) {
   return acc;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::bit_and(const EncWord& x, const EncWord& y) {
-  EncWord out;
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::bit_and(
+    const Word& x, const Word& y) {
+  Word out;
   for (int i = 0; i < x.width(); ++i) {
     out.bits.push_back(g2(ev_.gate_and(x.bits[i], y.bits[i])));
   }
   return out;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::bit_or(const EncWord& x, const EncWord& y) {
-  EncWord out;
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::bit_or(
+    const Word& x, const Word& y) {
+  Word out;
   for (int i = 0; i < x.width(); ++i) {
     out.bits.push_back(g2(ev_.gate_or(x.bits[i], y.bits[i])));
   }
   return out;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::bit_xor(const EncWord& x, const EncWord& y) {
-  EncWord out;
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::bit_xor(
+    const Word& x, const Word& y) {
+  Word out;
   for (int i = 0; i < x.width(); ++i) {
     out.bits.push_back(g2(ev_.gate_xor(x.bits[i], y.bits[i])));
   }
   return out;
 }
 
-template <class Engine>
-EncWord WordCircuits<Engine>::bit_not(const EncWord& x) {
-  EncWord out;
+template <class Backend>
+typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::bit_not(
+    const Word& x) {
+  Word out;
   for (int i = 0; i < x.width(); ++i) {
     ++budget_.linear;
     out.bits.push_back(ev_.gate_not(x.bits[i]));

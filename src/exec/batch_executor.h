@@ -1,0 +1,156 @@
+// Levelized parallel execution of a recorded GateGraph -- the software
+// counterpart of MATCHA running many concurrent gate bootstrappings across
+// its TGSW/EP pipelines. Gates within one dependence level are independent,
+// so the executor fans each level out over a persistent worker pool.
+//
+// Determinism: every worker owns a private Engine instance (engines carry
+// mutable scratch buffers and counters -- sharing one across threads would
+// race) plus its own BootstrapWorkspace, while the spectral bootstrapping key
+// and key-switching key are shared read-only. A gate's output depends only on
+// its input ciphertexts, so results are bit-identical to sequential
+// execution regardless of thread count or work assignment.
+//
+// Counters: each worker engine accumulates its EngineCounters privately
+// during a run; the executor merges them into one aggregate on batch
+// completion (see DESIGN.md "Batched execution subsystem").
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/gate_graph.h"
+#include "exec/thread_pool.h"
+#include "fft/engine_counters.h"
+#include "tfhe/gate_ops.h"
+#include "tfhe/gates.h"
+
+namespace matcha::exec {
+
+/// All ciphertexts one execution produced, indexed by wire id.
+struct BatchResult {
+  std::vector<LweSample> values;
+
+  const LweSample& at(Wire w) const { return values[static_cast<size_t>(w.id)]; }
+};
+
+struct BatchStats {
+  int64_t gates = 0;      ///< gate nodes executed (inputs excluded)
+  int64_t bootstraps = 0; ///< gate bootstrappings performed
+  int levels = 0;         ///< dependence depth of the graph
+  double wall_ms = 0;     ///< wall clock of the last run
+};
+
+template <class Engine>
+class BatchExecutor {
+ public:
+  using EngineFactory = std::function<std::unique_ptr<Engine>()>;
+
+  /// `make_engine` is invoked once per worker thread. `bk`/`ks` are shared
+  /// read-only across workers and must outlive the executor.
+  BatchExecutor(const EngineFactory& make_engine,
+                const DeviceBootstrapKey<Engine>& bk, const KeySwitchKey& ks,
+                Torus32 mu, int num_threads,
+                BlindRotateMode mode = BlindRotateMode::kBundle)
+      : bk_(bk), ks_(ks), mu_(mu), mode_(mode), pool_(num_threads) {
+    workers_.reserve(pool_.num_threads());
+    for (int t = 0; t < pool_.num_threads(); ++t) {
+      workers_.push_back(std::make_unique<Worker>(make_engine(), bk.gadget));
+    }
+  }
+
+  int num_threads() const { return pool_.num_threads(); }
+
+  /// Execute the graph on `inputs` (one ciphertext per GateGraph input, in
+  /// registration order). Level by level, gates are strided across workers;
+  /// the result is bit-identical for any thread count.
+  BatchResult run(const GateGraph& g, std::vector<LweSample> inputs) {
+    if (inputs.size() != static_cast<size_t>(g.num_inputs())) {
+      throw std::invalid_argument("BatchExecutor::run: expected " +
+                                  std::to_string(g.num_inputs()) +
+                                  " inputs, got " + std::to_string(inputs.size()));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    // Discard any counts a previous run left unmerged (e.g. after a worker
+    // threw), so the post-run merge reflects exactly this run.
+    for (auto& w : workers_) w->engine->counters().reset();
+    BatchResult r;
+    r.values.resize(g.num_nodes());
+    for (int i = 0; i < g.num_inputs(); ++i) {
+      r.values[g.inputs()[i]] = std::move(inputs[i]);
+    }
+    const auto levels = g.levelize();
+    for (size_t l = 1; l < levels.size(); ++l) {
+      const std::vector<int>& level = levels[l];
+      const size_t stride = workers_.size();
+      pool_.run([&](int t) {
+        Worker& w = *workers_[t];
+        for (size_t i = static_cast<size_t>(t); i < level.size(); i += stride) {
+          r.values[level[i]] = eval_gate(w, g.nodes()[level[i]], r.values);
+        }
+      });
+    }
+    // Merge per-worker counters now that all workers are quiescent.
+    for (auto& w : workers_) {
+      merged_ += w->engine->counters();
+      w->engine->counters().reset();
+    }
+    stats_.gates = g.num_gates();
+    stats_.bootstraps = g.bootstrap_count();
+    stats_.levels = levels.empty() ? 0 : static_cast<int>(levels.size()) - 1;
+    stats_.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return r;
+  }
+
+  /// Aggregate engine counters across workers and runs, merged race-free on
+  /// batch completion.
+  const EngineCounters& counters() const { return merged_; }
+  void reset_counters() { merged_.reset(); }
+  const BatchStats& last_stats() const { return stats_; }
+
+ private:
+  struct Worker {
+    std::unique_ptr<Engine> engine;
+    BootstrapWorkspace<Engine> ws;
+
+    Worker(std::unique_ptr<Engine> eng, const GadgetParams& gadget)
+        : engine(std::move(eng)), ws(*engine, gadget) {}
+  };
+
+  LweSample eval_gate(Worker& w, const GateNode& n,
+                      const std::vector<LweSample>& v) {
+    const Engine& eng = *w.engine;
+    switch (n.kind) {
+      case GateKind::kNot: {
+        LweSample r = v[n.in[0]];
+        r.negate();
+        return r;
+      }
+      case GateKind::kMux:
+        return mux_gate_eval(eng, bk_, ks_, mu_, v[n.in[0]], v[n.in[1]],
+                             v[n.in[2]], w.ws, mode_);
+      default: {
+        LweSample combo =
+            binary_gate_input(n.kind, v[n.in[0]], v[n.in[1]], mu_, bk_.n_lwe);
+        return bootstrap(eng, bk_, ks_, mu_, combo, w.ws, mode_);
+      }
+    }
+  }
+
+  const DeviceBootstrapKey<Engine>& bk_;
+  const KeySwitchKey& ks_;
+  Torus32 mu_;
+  BlindRotateMode mode_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  EngineCounters merged_;
+  BatchStats stats_;
+};
+
+} // namespace matcha::exec

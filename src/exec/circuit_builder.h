@@ -1,0 +1,49 @@
+// Recording gate backend: exposes the GateEvaluator gate_* interface over
+// symbolic Wire values and emits every call into a GateGraph instead of
+// evaluating it eagerly. circuits/word.h circuits instantiated with this
+// backend record the whole word operation as a DAG, which
+// exec/batch_executor.h then levelizes and runs across a worker pool.
+#pragma once
+
+#include "circuits/word.h"
+#include "exec/gate_graph.h"
+
+namespace matcha::exec {
+
+/// A word of symbolic wires (same shape as circuits::EncWord).
+using SymWord = circuits::WordT<Wire>;
+
+class CircuitBuilder {
+ public:
+  using Bit = Wire;
+
+  /// Register an execution-time input ciphertext.
+  Wire input() { return g_.add_input(); }
+  /// Register a word of `width` fresh inputs, LSB first.
+  SymWord input_word(int width) {
+    SymWord w;
+    for (int i = 0; i < width; ++i) w.bits.push_back(input());
+    return w;
+  }
+
+  Wire gate_nand(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kNand, a, b); }
+  Wire gate_and(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kAnd, a, b); }
+  Wire gate_or(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kOr, a, b); }
+  Wire gate_nor(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kNor, a, b); }
+  Wire gate_xor(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kXor, a, b); }
+  Wire gate_xnor(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kXnor, a, b); }
+  Wire gate_not(const Wire& a) { return g_.add_gate(GateKind::kNot, a); }
+  Wire gate_mux(const Wire& sel, const Wire& c1, const Wire& c0) {
+    return g_.add_gate(GateKind::kMux, sel, c1, c0);
+  }
+
+  const GateGraph& graph() const { return g_; }
+
+ private:
+  GateGraph g_;
+};
+
+/// Word-level circuits recorded into a builder.
+using SymWordCircuits = circuits::WordCircuitsT<CircuitBuilder>;
+
+} // namespace matcha::exec

@@ -1,0 +1,67 @@
+#include "exec/gate_graph.h"
+
+#include <cassert>
+#include <cstddef>
+
+#include "exec/circuit_builder.h"
+
+namespace matcha::exec {
+
+Wire GateGraph::add_input() {
+  GateNode n;
+  n.is_input = true;
+  const int id = num_nodes();
+  nodes_.push_back(n);
+  inputs_.push_back(id);
+  return Wire{id};
+}
+
+Wire GateGraph::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
+  GateNode n;
+  n.kind = kind;
+  n.in = {a.id, b.id, c.id};
+  const int id = num_nodes();
+  for (int i = 0; i < n.fan_in(); ++i) {
+    assert(n.in[i] >= 0 && n.in[i] < id && "gate consumes an unknown wire");
+    (void)id;
+  }
+  nodes_.push_back(n);
+  return Wire{id};
+}
+
+int64_t GateGraph::bootstrap_count() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) {
+    if (!n.is_input) total += bootstrap_cost(n.kind);
+  }
+  return total;
+}
+
+std::vector<std::vector<int>> GateGraph::levelize() const {
+  std::vector<int> level(nodes_.size(), 0);
+  int depth = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const GateNode& n = nodes_[i];
+    if (n.is_input) continue;
+    int deepest = 0;
+    for (int j = 0; j < n.fan_in(); ++j) {
+      if (level[n.in[j]] > deepest) deepest = level[n.in[j]];
+    }
+    level[i] = deepest + 1;
+    if (level[i] > depth) depth = level[i];
+  }
+  std::vector<std::vector<int>> levels(nodes_.empty() ? 0 : depth + 1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    levels[level[i]].push_back(static_cast<int>(i));
+  }
+  return levels;
+}
+
+} // namespace matcha::exec
+
+namespace matcha::circuits {
+// Compile-check every word circuit against the recording backend (the eager
+// backends are instantiated in circuits/word.cpp; this one lives here so the
+// circuits layer stays independent of exec).
+template class WordCircuitsT<exec::CircuitBuilder>;
+} // namespace matcha::circuits

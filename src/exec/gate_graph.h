@@ -1,0 +1,65 @@
+// Recorded gate-DAG for batched execution (the software analogue of the
+// paper's OpenCGRA flow: compile a TFHE workload into a dependence graph
+// first, then schedule it onto parallel resources). A GateGraph is SSA: every
+// node produces exactly one ciphertext, identified by its Wire; inputs are
+// explicit nodes whose values are supplied at execution time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/gate_kind.h"
+
+namespace matcha::exec {
+
+/// Handle to one ciphertext value in a GateGraph (the node that produces it).
+struct Wire {
+  int id = -1;
+
+  bool valid() const { return id >= 0; }
+  friend bool operator==(Wire a, Wire b) { return a.id == b.id; }
+};
+
+struct GateNode {
+  GateKind kind{};
+  bool is_input = false;
+  /// Fan-in wires: binary gates use in[0], in[1]; NOT uses in[0]; MUX uses
+  /// {sel, c1, c0}.
+  std::array<int, 3> in{-1, -1, -1};
+
+  int fan_in() const {
+    if (is_input) return 0;
+    if (kind == GateKind::kNot) return 1;
+    if (kind == GateKind::kMux) return 3;
+    return 2;
+  }
+};
+
+class GateGraph {
+ public:
+  /// Register an execution-time input; the k-th call corresponds to the k-th
+  /// ciphertext handed to BatchExecutor::run.
+  Wire add_input();
+  /// Append a gate consuming existing wires (asserts they are in range).
+  Wire add_gate(GateKind kind, Wire a, Wire b = {}, Wire c = {});
+
+  const std::vector<GateNode>& nodes() const { return nodes_; }
+  const std::vector<int>& inputs() const { return inputs_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_gates() const { return num_nodes() - num_inputs(); }
+  /// Total gate bootstrappings one execution performs (2 per MUX, 0 per NOT).
+  int64_t bootstrap_count() const;
+
+  /// Partition nodes into dependence levels: level 0 holds the inputs, and
+  /// every gate sits one past its deepest operand. Gates within one level are
+  /// independent -- the unit of batch parallelism.
+  std::vector<std::vector<int>> levelize() const;
+
+ private:
+  std::vector<GateNode> nodes_;
+  std::vector<int> inputs_;
+};
+
+} // namespace matcha::exec

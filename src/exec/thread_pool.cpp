@@ -1,0 +1,75 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace matcha::exec {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  helpers_.reserve(num_threads_ - 1);
+  for (int slot = 1; slot < num_threads_; ++slot) {
+    helpers_.emplace_back([this, slot] { helper_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : helpers_) t.join();
+}
+
+void ThreadPool::helper_loop(int slot) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(slot);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    first_error_ = nullptr;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  std::exception_ptr caller_err;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_err = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  job_ = nullptr;
+  if (caller_err) std::rethrow_exception(caller_err);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+} // namespace matcha::exec

@@ -1,0 +1,47 @@
+// Persistent worker pool for the batch executor: one fixed crew of threads,
+// fork-join semantics per call. Spawning threads per dependence level would
+// dominate small levels; the pool amortizes thread startup across the whole
+// batch (a deep circuit runs one fork-join per level).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace matcha::exec {
+
+class ThreadPool {
+ public:
+  /// `num_threads` total execution slots; the calling thread occupies slot 0,
+  /// so num_threads - 1 helper threads are spawned.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invoke fn(slot) for every slot in [0, num_threads) and block until all
+  /// return. The first exception thrown by any slot is rethrown on the
+  /// caller after the join.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void helper_loop(int slot);
+
+  int num_threads_;
+  std::vector<std::thread> helpers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+} // namespace matcha::exec

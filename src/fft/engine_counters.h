@@ -17,6 +17,29 @@ struct EngineCounters {
   int64_t adds = 0;         ///< integer engine: butterfly additions
 
   void reset() { *this = {}; }
+
+  /// Merge another counter set (per-thread counters are accumulated privately
+  /// by each worker engine and folded into one aggregate on batch completion;
+  /// see exec/batch_executor.h).
+  EngineCounters& operator+=(const EngineCounters& o) {
+    to_spectral_calls += o.to_spectral_calls;
+    from_spectral_calls += o.from_spectral_calls;
+    to_spectral_ns += o.to_spectral_ns;
+    from_spectral_ns += o.from_spectral_ns;
+    bitrev_swaps += o.bitrev_swaps;
+    lift_steps += o.lift_steps;
+    adds += o.adds;
+    return *this;
+  }
+
+  /// Call/step counts only (timing fields excluded): the deterministic part
+  /// compared by the counter-merge regression test.
+  bool same_counts(const EngineCounters& o) const {
+    return to_spectral_calls == o.to_spectral_calls &&
+           from_spectral_calls == o.from_spectral_calls &&
+           bitrev_swaps == o.bitrev_swaps && lift_steps == o.lift_steps &&
+           adds == o.adds;
+  }
 };
 
 /// RAII timer accumulating into a counter (nanoseconds).

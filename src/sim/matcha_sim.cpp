@@ -61,4 +61,33 @@ GateSimResult simulate_gate(const TfheParams& tfhe, int unroll_m,
   return r;
 }
 
+BatchSimResult simulate_batch(const TfheParams& tfhe, int unroll_m,
+                              int num_gates, const hw::MatchaConfig& cfg) {
+  SimParams p;
+  p.hw = cfg;
+  p.tfhe = tfhe;
+  p.unroll_m = unroll_m;
+
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const ScheduleResult single = schedule(dfg);
+  const BatchScheduleResult b = schedule_batch(dfg, num_gates, cfg.pipelines);
+
+  BatchSimResult r;
+  r.num_gates = num_gates;
+  r.pipelines = cfg.pipelines;
+  r.unroll_m = unroll_m;
+  r.single_gate_cycles = single.makespan;
+  r.makespan_cycles = b.makespan;
+  r.makespan_ms = b.makespan / p.cycles_per_second() * 1e3;
+  if (b.makespan > 0) {
+    r.gates_per_s = num_gates / (b.makespan / p.cycles_per_second());
+    r.speedup_vs_serial =
+        static_cast<double>(num_gates) * single.makespan / b.makespan;
+  }
+  r.pipeline_occupancy = b.pipeline_occupancy;
+  r.hbm_utilization = b.hbm_utilization;
+  r.poly_utilization = b.poly_utilization;
+  return r;
+}
+
 } // namespace matcha::sim

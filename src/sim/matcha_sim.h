@@ -31,4 +31,25 @@ struct GateSimResult {
 GateSimResult simulate_gate(const TfheParams& tfhe, int unroll_m,
                             const hw::MatchaConfig& cfg = {});
 
+/// A batch of identical gate bootstrappings scheduled across the chip's
+/// pipelines with HBM contention (the accelerator-side view of
+/// exec/batch_executor.h workloads).
+struct BatchSimResult {
+  int num_gates = 0;
+  int pipelines = 0;
+  int unroll_m = 1;
+  int64_t single_gate_cycles = 0; ///< one gate alone on one pipeline
+  int64_t makespan_cycles = 0;    ///< whole batch, contention included
+  double makespan_ms = 0;
+  double gates_per_s = 0;           ///< num_gates / batch wall time
+  double speedup_vs_serial = 0;     ///< vs. running the batch one gate at a time
+  double pipeline_occupancy = 0;    ///< mean TGSW+EP busy fraction
+  double hbm_utilization = 0;
+  double poly_utilization = 0;
+};
+
+/// Simulate `num_gates` concurrent gate bootstrappings with unroll factor m.
+BatchSimResult simulate_batch(const TfheParams& tfhe, int unroll_m,
+                              int num_gates, const hw::MatchaConfig& cfg = {});
+
 } // namespace matcha::sim

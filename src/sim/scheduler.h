@@ -29,4 +29,28 @@ struct ScheduleResult {
 /// in-order FIFOs between the TGSW cluster and EP core (Fig. 6(b)).
 ScheduleResult schedule(const Dfg& dfg);
 
+/// Result of scheduling a *batch* of identical gate bootstrappings across the
+/// chip's pipelines (exec/batch_executor.h is the software analogue).
+struct BatchScheduleResult {
+  int num_gates = 0;
+  int pipelines = 0;
+  int64_t makespan = 0;           ///< batch completion time (cycles)
+  std::vector<int64_t> gate_end;  ///< per-gate completion cycle
+  /// Mean busy fraction of the per-pipeline resources (TGSW cluster + EP
+  /// core) over the whole batch window -- the paper's utilization story.
+  double pipeline_occupancy = 0;
+  double hbm_utilization = 0;
+  double poly_utilization = 0;
+};
+
+/// Map `num_gates` copies of one gate's DFG onto a chip with `pipelines`
+/// TGSW-cluster/EP-core pairs. Gates are assigned round-robin to pipelines
+/// (a single gate's blind rotation is sequential in the accumulator, so one
+/// gate never spreads across pipelines); the polynomial unit and the HBM
+/// channel are shared chip-wide, so key streaming contends across gates.
+/// Nodes are issued round-robin across gates, modeling the memory
+/// controller's fair interleaving of concurrent key streams.
+BatchScheduleResult schedule_batch(const Dfg& gate_dfg, int num_gates,
+                                   int pipelines);
+
 } // namespace matcha::sim

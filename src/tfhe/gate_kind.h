@@ -1,0 +1,25 @@
+// The gate alphabet shared by the eager evaluator (tfhe/gates.h) and the
+// recorded-DAG execution subsystem (exec/): split out so graph code can name
+// gates without pulling in the bootstrapping machinery.
+#pragma once
+
+namespace matcha {
+
+enum class GateKind { kNand, kAnd, kOr, kNor, kXor, kXnor, kNot, kMux };
+
+const char* gate_name(GateKind kind);
+
+/// Two-input gates evaluated as one linear combination + one bootstrapping.
+/// (NOT is a ciphertext negation; MUX is two bootstraps + a key switch.)
+inline bool is_binary_gate(GateKind kind) {
+  return kind != GateKind::kNot && kind != GateKind::kMux;
+}
+
+/// Gate bootstrappings consumed by one evaluation of `kind`.
+inline int bootstrap_cost(GateKind kind) {
+  if (kind == GateKind::kNot) return 0;
+  if (kind == GateKind::kMux) return 2;
+  return 1;
+}
+
+} // namespace matcha

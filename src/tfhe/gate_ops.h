@@ -1,0 +1,70 @@
+// The linear (pre-bootstrap) part of each two-input gate: the combination of
+// input ciphertexts whose sign the gate bootstrapping thresholds (paper
+// section 2, "Logic"). Shared by the eager GateEvaluator and the batch
+// executor so both paths compute bit-identical ciphertexts.
+#pragma once
+
+#include <cassert>
+
+#include "tfhe/bootstrap.h"
+#include "tfhe/gate_kind.h"
+#include "tfhe/lwe.h"
+
+namespace matcha {
+
+/// Pre-bootstrap linear combination for a binary gate over inputs a, b with
+/// message amplitude mu (trivial offsets follow the TFHE library).
+inline LweSample binary_gate_input(GateKind kind, const LweSample& a,
+                                   const LweSample& b, Torus32 mu, int n_lwe) {
+  assert(is_binary_gate(kind) && "kNot/kMux have no linear-combo form");
+  const auto trivial = [n_lwe](Torus32 m) { return LweSample::trivial(n_lwe, m); };
+  switch (kind) {
+    case GateKind::kNand:
+      return trivial(mu) - a - b;
+    case GateKind::kAnd:
+      return trivial(static_cast<Torus32>(-mu)) + a + b;
+    case GateKind::kOr:
+      return trivial(mu) + a + b;
+    case GateKind::kNor:
+      return trivial(static_cast<Torus32>(-mu)) - a - b;
+    case GateKind::kXor: {
+      LweSample combo = a + b;
+      combo.scale(2);
+      combo.b += 2 * mu; // offset +1/4
+      return combo;
+    }
+    case GateKind::kXnor: {
+      LweSample combo = a + b;
+      combo.scale(-2);
+      combo.b -= 2 * mu; // offset -1/4
+      return combo;
+    }
+    case GateKind::kNot:
+    case GateKind::kMux:
+      break;
+  }
+  return trivial(0); // unreachable for binary kinds
+}
+
+/// MUX(sel, c1, c0) = sel ? c1 : c0 -- the TFHE library's construction:
+/// u1 = BS(AND(sel, c1)), u2 = BS(AND(NOT sel, c0)) without key switch, then
+/// MUX = KS(u1 + u2 + (0, mu)).
+template <class Engine>
+LweSample mux_gate_eval(const Engine& eng, const DeviceBootstrapKey<Engine>& bk,
+                        const KeySwitchKey& ks, Torus32 mu,
+                        const LweSample& sel, const LweSample& c1,
+                        const LweSample& c0, BootstrapWorkspace<Engine>& ws,
+                        BlindRotateMode mode) {
+  const LweSample neg = LweSample::trivial(bk.n_lwe, static_cast<Torus32>(-mu));
+  LweSample and1 = neg + sel + c1;
+  LweSample u1 = bootstrap_wo_keyswitch(eng, bk, mu, and1, ws, mode);
+  LweSample nsel = sel;
+  nsel.negate();
+  LweSample and2 = neg + nsel + c0;
+  LweSample u2 = bootstrap_wo_keyswitch(eng, bk, mu, and2, ws, mode);
+  u1 += u2;
+  u1.b += mu;
+  return key_switch(ks, u1);
+}
+
+} // namespace matcha

@@ -11,12 +11,10 @@
 #include <chrono>
 
 #include "tfhe/bootstrap.h"
+#include "tfhe/gate_kind.h"
+#include "tfhe/gate_ops.h"
 
 namespace matcha {
-
-enum class GateKind { kNand, kAnd, kOr, kNor, kXor, kXnor, kNot, kMux };
-
-const char* gate_name(GateKind kind);
 
 /// Cumulative per-kind latency decomposition (nanoseconds).
 struct GateBreakdown {
@@ -33,44 +31,38 @@ struct GateBreakdown {
 template <class Engine>
 class GateEvaluator {
  public:
+  /// The ciphertext type gate methods consume/produce; circuits templated on
+  /// a gate backend (circuits/word.h, exec/circuit_builder.h) use this.
+  using Bit = LweSample;
+
   GateEvaluator(const Engine& eng, const DeviceBootstrapKey<Engine>& bk,
                 const KeySwitchKey& ks, Torus32 mu,
                 BlindRotateMode mode = BlindRotateMode::kBundle)
       : eng_(eng), bk_(bk), ks_(ks), mu_(mu), mode_(mode), ws_(eng, bk.gadget) {}
 
-  LweSample gate_nand(const LweSample& a, const LweSample& b) {
+  /// Any two-input gate: linear combination (tfhe/gate_ops.h) + bootstrap.
+  LweSample gate_binary(GateKind kind, const LweSample& a, const LweSample& b) {
     const auto t0 = clock_now();
-    LweSample combo = trivial(mu_) - a - b;
-    return binary_gate(GateKind::kNand, std::move(combo), ns_since(t0));
+    LweSample combo = binary_gate_input(kind, a, b, mu_, bk_.n_lwe);
+    return binary_gate(kind, std::move(combo), ns_since(t0));
+  }
+  LweSample gate_nand(const LweSample& a, const LweSample& b) {
+    return gate_binary(GateKind::kNand, a, b);
   }
   LweSample gate_and(const LweSample& a, const LweSample& b) {
-    const auto t0 = clock_now();
-    LweSample combo = trivial(static_cast<Torus32>(-mu_)) + a + b;
-    return binary_gate(GateKind::kAnd, std::move(combo), ns_since(t0));
+    return gate_binary(GateKind::kAnd, a, b);
   }
   LweSample gate_or(const LweSample& a, const LweSample& b) {
-    const auto t0 = clock_now();
-    LweSample combo = trivial(mu_) + a + b;
-    return binary_gate(GateKind::kOr, std::move(combo), ns_since(t0));
+    return gate_binary(GateKind::kOr, a, b);
   }
   LweSample gate_nor(const LweSample& a, const LweSample& b) {
-    const auto t0 = clock_now();
-    LweSample combo = trivial(static_cast<Torus32>(-mu_)) - a - b;
-    return binary_gate(GateKind::kNor, std::move(combo), ns_since(t0));
+    return gate_binary(GateKind::kNor, a, b);
   }
   LweSample gate_xor(const LweSample& a, const LweSample& b) {
-    const auto t0 = clock_now();
-    LweSample combo = a + b;
-    combo.scale(2);
-    combo.b += 2 * mu_; // offset +1/4
-    return binary_gate(GateKind::kXor, std::move(combo), ns_since(t0));
+    return gate_binary(GateKind::kXor, a, b);
   }
   LweSample gate_xnor(const LweSample& a, const LweSample& b) {
-    const auto t0 = clock_now();
-    LweSample combo = a + b;
-    combo.scale(-2);
-    combo.b -= 2 * mu_; // offset -1/4
-    return binary_gate(GateKind::kXnor, std::move(combo), ns_since(t0));
+    return gate_binary(GateKind::kXnor, a, b);
   }
   /// NOT is a ciphertext negation -- no bootstrapping (Fig. 1's outlier).
   LweSample gate_not(const LweSample& a) {
@@ -143,17 +135,7 @@ LweSample GateEvaluator<Engine>::gate_mux(const LweSample& sel,
   const int64_t to0 = ctr.to_spectral_ns;
   const int64_t from0 = ctr.from_spectral_ns;
   const auto t0 = clock_now();
-  // u1 = BS(AND(sel, c1)), u2 = BS(AND(NOT sel, c0)) without key switch,
-  // then MUX = KS(u1 + u2 + (0, 1/8)).
-  LweSample and1 = trivial(static_cast<Torus32>(-mu_)) + sel + c1;
-  LweSample u1 = bootstrap_wo_keyswitch(eng_, bk_, mu_, and1, ws_, mode_);
-  LweSample nsel = sel;
-  nsel.negate();
-  LweSample and2 = trivial(static_cast<Torus32>(-mu_)) + nsel + c0;
-  LweSample u2 = bootstrap_wo_keyswitch(eng_, bk_, mu_, and2, ws_, mode_);
-  u1 += u2;
-  u1.b += mu_;
-  LweSample out = key_switch(ks_, u1);
+  LweSample out = mux_gate_eval(eng_, bk_, ks_, mu_, sel, c1, c0, ws_, mode_);
   const int64_t total = ns_since(t0);
   const int64_t ifft = ctr.to_spectral_ns - to0;
   const int64_t fft = ctr.from_spectral_ns - from0;

@@ -1,0 +1,259 @@
+// The batched gate-execution subsystem: a recorded circuit run by the
+// parallel BatchExecutor must be bit-for-bit identical to sequential
+// execution and to the eager GateEvaluator, and the per-thread engine
+// counters must merge losslessly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuits/word.h"
+#include "exec/batch_executor.h"
+#include "exec/circuit_builder.h"
+#include "test_util.h"
+
+namespace matcha {
+namespace {
+
+using circuits::EncWord;
+using exec::BatchExecutor;
+using exec::BatchResult;
+using exec::CircuitBuilder;
+using exec::SymWord;
+using exec::SymWordCircuits;
+using exec::Wire;
+using test::shared_keys;
+
+std::unique_ptr<DoubleFftEngine> make_engine() {
+  return std::make_unique<DoubleFftEngine>(shared_keys().params.ring.n_ring);
+}
+
+bool same_sample(const LweSample& x, const LweSample& y) {
+  return x.a == y.a && x.b == y.b;
+}
+
+/// Recorded 4-bit adder (with carry-out) + comparator over two input words.
+struct AdderCmpCircuit {
+  static constexpr int kWidth = 4;
+  CircuitBuilder b;
+  SymWord x, y, sum;
+  Wire gt, eq;
+
+  AdderCmpCircuit() {
+    x = b.input_word(kWidth);
+    y = b.input_word(kWidth);
+    SymWordCircuits wc(b);
+    sum = wc.add(x, y, nullptr, /*with_carry_out=*/true);
+    gt = wc.greater_than(x, y);
+    eq = wc.equal(x, y);
+  }
+
+  std::vector<LweSample> encrypt_inputs(uint64_t vx, uint64_t vy, Rng& rng) const {
+    const auto& K = shared_keys();
+    std::vector<LweSample> in;
+    const EncWord ex = circuits::encrypt_word(K.sk, vx, kWidth, rng);
+    const EncWord ey = circuits::encrypt_word(K.sk, vy, kWidth, rng);
+    in.insert(in.end(), ex.bits.begin(), ex.bits.end());
+    in.insert(in.end(), ey.bits.begin(), ey.bits.end());
+    return in;
+  }
+
+  uint64_t decrypt_sum(const BatchResult& r) const {
+    const auto& K = shared_keys();
+    EncWord w;
+    for (const Wire s : sum.bits) w.bits.push_back(r.at(s));
+    return circuits::decrypt_word(K.sk, w);
+  }
+};
+
+TEST(BatchExecutor, ParallelMatchesSequentialBitForBit) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const AdderCmpCircuit c;
+  BatchExecutor<DoubleFftEngine> seq(make_engine, dk.bk, *dk.ks, K.params.mu(), 1);
+  BatchExecutor<DoubleFftEngine> par(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+
+  const std::pair<uint64_t, uint64_t> cases[] = {{11, 5}, {3, 14}, {9, 9}};
+  for (const auto& [vx, vy] : cases) {
+    Rng rng_s = test::test_rng(100 + vx);
+    Rng rng_p = test::test_rng(100 + vx); // identical ciphertext inputs
+    const BatchResult rs = seq.run(c.b.graph(), c.encrypt_inputs(vx, vy, rng_s));
+    const BatchResult rp = par.run(c.b.graph(), c.encrypt_inputs(vx, vy, rng_p));
+    ASSERT_EQ(rs.values.size(), rp.values.size());
+    for (size_t i = 0; i < rs.values.size(); ++i) {
+      ASSERT_TRUE(same_sample(rs.values[i], rp.values[i])) << "wire " << i;
+    }
+    EXPECT_EQ(c.decrypt_sum(rp), vx + vy);
+    EXPECT_EQ(K.sk.decrypt_bit(rp.at(c.gt)), vx > vy ? 1 : 0);
+    EXPECT_EQ(K.sk.decrypt_bit(rp.at(c.eq)), vx == vy ? 1 : 0);
+  }
+}
+
+TEST(BatchExecutor, MatchesImmediateModeEvaluator) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const AdderCmpCircuit c;
+  Rng rng_a = test::test_rng(7);
+  Rng rng_b = test::test_rng(7);
+
+  // Batched path.
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 3);
+  const BatchResult r = ex.run(c.b.graph(), c.encrypt_inputs(13, 6, rng_a));
+
+  // Eager path: same circuit template instantiated over the GateEvaluator.
+  auto ev = dk.make_evaluator(K.deng, K.params.mu());
+  circuits::WordCircuits<DoubleFftEngine> wc(ev);
+  const EncWord ex_w = circuits::encrypt_word(K.sk, 13, c.kWidth, rng_b);
+  const EncWord ey_w = circuits::encrypt_word(K.sk, 6, c.kWidth, rng_b);
+  const EncWord sum = wc.add(ex_w, ey_w, nullptr, /*with_carry_out=*/true);
+  const LweSample gt = wc.greater_than(ex_w, ey_w);
+  const LweSample eq = wc.equal(ex_w, ey_w);
+
+  ASSERT_EQ(sum.width(), c.sum.width());
+  for (int i = 0; i < sum.width(); ++i) {
+    EXPECT_TRUE(same_sample(sum.bits[i], r.at(c.sum.bits[i]))) << "sum bit " << i;
+  }
+  EXPECT_TRUE(same_sample(gt, r.at(c.gt)));
+  EXPECT_TRUE(same_sample(eq, r.at(c.eq)));
+}
+
+TEST(BatchExecutor, EmptyGraph) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck1);
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+  exec::GateGraph g;
+  const BatchResult r = ex.run(g, {});
+  EXPECT_TRUE(r.values.empty());
+  EXPECT_EQ(ex.last_stats().gates, 0);
+  EXPECT_EQ(ex.last_stats().levels, 0);
+}
+
+TEST(BatchExecutor, InputsOnlyGraphPassesThrough) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck1);
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+  Rng rng = test::test_rng(8);
+  exec::GateGraph g;
+  const Wire w = g.add_input();
+  const LweSample in = K.sk.encrypt_bit(1, rng);
+  const BatchResult r = ex.run(g, {in});
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_TRUE(same_sample(r.at(w), in));
+  EXPECT_EQ(ex.last_stats().gates, 0);
+}
+
+TEST(BatchExecutor, SingleGate) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck1);
+  Rng rng = test::test_rng(9);
+  CircuitBuilder b;
+  const Wire a = b.input(), c = b.input();
+  const Wire out = b.gate_nand(a, c);
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+  const LweSample ca = K.sk.encrypt_bit(1, rng), cb = K.sk.encrypt_bit(1, rng);
+  const BatchResult r = ex.run(b.graph(), {ca, cb});
+  EXPECT_EQ(K.sk.decrypt_bit(r.at(out)), 0);
+  EXPECT_EQ(ex.last_stats().gates, 1);
+  EXPECT_EQ(ex.last_stats().bootstraps, 1);
+  EXPECT_EQ(ex.last_stats().levels, 1);
+
+  // Bit-identical to the eager evaluator.
+  auto ev = dk.make_evaluator(K.deng, K.params.mu());
+  EXPECT_TRUE(same_sample(ev.gate_nand(ca, cb), r.at(out)));
+}
+
+TEST(BatchExecutor, AllGateKindsIncludingMuxAndNot) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  CircuitBuilder b;
+  const Wire a = b.input(), c = b.input(), s = b.input();
+  const Wire nand_w = b.gate_nand(a, c), and_w = b.gate_and(a, c);
+  const Wire or_w = b.gate_or(a, c), nor_w = b.gate_nor(a, c);
+  const Wire xor_w = b.gate_xor(a, c), xnor_w = b.gate_xnor(a, c);
+  const Wire not_w = b.gate_not(a);
+  const Wire mux_w = b.gate_mux(s, a, c);
+
+  BatchExecutor<DoubleFftEngine> seq(make_engine, dk.bk, *dk.ks, K.params.mu(), 1);
+  BatchExecutor<DoubleFftEngine> par(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+  for (int va = 0; va <= 1; ++va) {
+    for (int vc = 0; vc <= 1; ++vc) {
+      Rng r1 = test::test_rng(20 + va * 2 + vc);
+      Rng r2 = test::test_rng(20 + va * 2 + vc);
+      const auto enc = [&](Rng& r) {
+        return std::vector<LweSample>{K.sk.encrypt_bit(va, r),
+                                      K.sk.encrypt_bit(vc, r),
+                                      K.sk.encrypt_bit(1, r)};
+      };
+      const BatchResult rs = seq.run(b.graph(), enc(r1));
+      const BatchResult rp = par.run(b.graph(), enc(r2));
+      for (size_t i = 0; i < rs.values.size(); ++i) {
+        ASSERT_TRUE(same_sample(rs.values[i], rp.values[i])) << "wire " << i;
+      }
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(nand_w)), !(va && vc));
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(and_w)), va && vc);
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(or_w)), va || vc);
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(nor_w)), !(va || vc));
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(xor_w)), va ^ vc);
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(xnor_w)), !(va ^ vc));
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(not_w)), !va);
+      EXPECT_EQ(K.sk.decrypt_bit(rp.at(mux_w)), va); // sel=1 -> a
+    }
+  }
+}
+
+TEST(EngineCounters, PerThreadCountersMergeLosslessly) {
+  // Regression for the counter race: EngineCounters used to be one shared
+  // mutable struct; concurrent gates would drop increments. Per-thread
+  // engines accumulate privately and the executor folds them together on
+  // batch completion, so the merged call counts must match a sequential run
+  // exactly, for any thread count.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const AdderCmpCircuit c;
+  BatchExecutor<DoubleFftEngine> seq(make_engine, dk.bk, *dk.ks, K.params.mu(), 1);
+  BatchExecutor<DoubleFftEngine> par(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+  Rng rng_s = test::test_rng(11);
+  Rng rng_p = test::test_rng(11);
+  (void)seq.run(c.b.graph(), c.encrypt_inputs(12, 10, rng_s));
+  (void)par.run(c.b.graph(), c.encrypt_inputs(12, 10, rng_p));
+
+  const EngineCounters& cs = seq.counters();
+  const EngineCounters& cp = par.counters();
+  EXPECT_GT(cs.to_spectral_calls, 0);
+  EXPECT_GT(cs.from_spectral_calls, 0);
+  EXPECT_TRUE(cp.same_counts(cs))
+      << "to_spectral " << cp.to_spectral_calls << " vs " << cs.to_spectral_calls
+      << ", from_spectral " << cp.from_spectral_calls << " vs "
+      << cs.from_spectral_calls;
+
+  par.reset_counters();
+  EXPECT_EQ(par.counters().to_spectral_calls, 0);
+}
+
+TEST(GateGraph, LevelizeRespectsDependencies) {
+  CircuitBuilder b;
+  const SymWord x = b.input_word(4), y = b.input_word(4);
+  SymWordCircuits wc(b);
+  const SymWord sum = wc.add(x, y, nullptr, true);
+  (void)sum;
+  const auto& g = b.graph();
+  const auto levels = g.levelize();
+  ASSERT_GT(levels.size(), 1u);
+  // Inputs exactly fill level 0.
+  EXPECT_EQ(levels[0].size(), static_cast<size_t>(g.num_inputs()));
+  // Every gate sits strictly above all of its operands.
+  std::vector<int> level_of(g.num_nodes());
+  for (size_t l = 0; l < levels.size(); ++l) {
+    for (int id : levels[l]) level_of[id] = static_cast<int>(l);
+  }
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    const auto& n = g.nodes()[id];
+    for (int j = 0; j < n.fan_in(); ++j) {
+      EXPECT_LT(level_of[n.in[j]], level_of[id]);
+    }
+  }
+  // A ripple-carry adder's budget: 5 gates per full-adder stage.
+  EXPECT_EQ(g.num_gates(), 2 + 5 * 3);
+}
+
+} // namespace
+} // namespace matcha

@@ -190,6 +190,69 @@ TEST(Sim, MoreEpMacSlicesShortenM1Latency) {
   EXPECT_LT(fast.latency_ms, base.latency_ms * 0.75);
 }
 
+TEST(BatchSchedule, SingleGateMatchesScalarScheduler) {
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 3;
+  const Dfg g = build_bootstrap_dfg(p);
+  const ScheduleResult single = schedule(g);
+  const BatchScheduleResult b = schedule_batch(g, 1, p.hw.pipelines);
+  EXPECT_EQ(b.makespan, single.makespan);
+  ASSERT_EQ(b.gate_end.size(), 1u);
+  EXPECT_EQ(b.gate_end[0], b.makespan);
+}
+
+TEST(BatchSchedule, EmptyBatch) {
+  SimParams p;
+  p.tfhe = kParams;
+  const Dfg g = build_bootstrap_dfg(p);
+  const BatchScheduleResult b = schedule_batch(g, 0, p.hw.pipelines);
+  EXPECT_EQ(b.makespan, 0);
+  EXPECT_TRUE(b.gate_end.empty());
+}
+
+TEST(BatchSchedule, ParallelPipelinesBeatSerialExecution) {
+  // A batch the size of the chip's pipeline count must finish much faster
+  // than running the gates back to back, and never faster than
+  // perfectly-linear scaling allows. m=1 keeps the bootstrapping key small
+  // enough that the batch is compute-bound, not HBM-bound.
+  const int pipelines = hw::MatchaConfig{}.pipelines;
+  const auto b = simulate_batch(kParams, 1, pipelines);
+  EXPECT_GT(b.speedup_vs_serial, 2.0);
+  EXPECT_LE(b.speedup_vs_serial, pipelines + 1e-9);
+  EXPECT_GE(b.makespan_cycles, b.single_gate_cycles);
+}
+
+TEST(BatchSchedule, MakespanMonotonicInBatchSize) {
+  int64_t prev = 0;
+  for (int n : {1, 4, 8, 16, 32}) {
+    const auto b = simulate_batch(kParams, 3, n);
+    EXPECT_GE(b.makespan_cycles, prev) << n;
+    prev = b.makespan_cycles;
+  }
+}
+
+TEST(BatchSchedule, OccupancyRisesWithBatchSize) {
+  // One gate leaves most pipelines idle; a full batch keeps them busy.
+  const auto one = simulate_batch(kParams, 1, 1);
+  const auto full = simulate_batch(kParams, 1, 4 * hw::MatchaConfig{}.pipelines);
+  EXPECT_LT(one.pipeline_occupancy, full.pipeline_occupancy);
+  EXPECT_GT(full.pipeline_occupancy, 0.3);
+  EXPECT_LE(full.pipeline_occupancy, 1.0);
+  EXPECT_LE(full.hbm_utilization, 1.0);
+}
+
+TEST(BatchSchedule, HbmContentionCapsScaling) {
+  // Starving the chip of bandwidth must hurt a full batch more than a
+  // single gate: the shared key stream becomes the bottleneck.
+  hw::MatchaConfig thin;
+  thin.hbm_gbps = 64.0; // 10x less than the paper's HBM2
+  const auto fat = simulate_batch(kParams, 3, 16);
+  const auto starved = simulate_batch(kParams, 3, 16, thin);
+  EXPECT_LT(starved.speedup_vs_serial, fat.speedup_vs_serial);
+  EXPECT_GT(starved.hbm_utilization, 0.9);
+}
+
 TEST(Sim, ServiceTimesScaleWithRingSize) {
   SimParams p;
   p.tfhe = kParams;
