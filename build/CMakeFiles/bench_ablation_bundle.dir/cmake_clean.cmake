@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bundle.dir/bench/ablation_bundle.cpp.o"
+  "CMakeFiles/bench_ablation_bundle.dir/bench/ablation_bundle.cpp.o.d"
+  "bench_ablation_bundle"
+  "bench_ablation_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dataflow.dir/bench/ablation_dataflow.cpp.o"
+  "CMakeFiles/bench_ablation_dataflow.dir/bench/ablation_dataflow.cpp.o.d"
+  "bench_ablation_dataflow"
+  "bench_ablation_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

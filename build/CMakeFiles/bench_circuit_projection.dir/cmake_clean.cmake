@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circuit_projection.dir/bench/circuit_projection.cpp.o"
+  "CMakeFiles/bench_circuit_projection.dir/bench/circuit_projection.cpp.o.d"
+  "bench_circuit_projection"
+  "bench_circuit_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circuit_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

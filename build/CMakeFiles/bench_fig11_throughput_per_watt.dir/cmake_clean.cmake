@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_throughput_per_watt.dir/bench/fig11_throughput_per_watt.cpp.o"
+  "CMakeFiles/bench_fig11_throughput_per_watt.dir/bench/fig11_throughput_per_watt.cpp.o.d"
+  "bench_fig11_throughput_per_watt"
+  "bench_fig11_throughput_per_watt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_throughput_per_watt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_schemes.dir/bench/table1_schemes.cpp.o"
+  "CMakeFiles/bench_table1_schemes.dir/bench/table1_schemes.cpp.o.d"
+  "bench_table1_schemes"
+  "bench_table1_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_noise.dir/bench/table3_noise.cpp.o"
+  "CMakeFiles/bench_table3_noise.dir/bench/table3_noise.cpp.o.d"
+  "bench_table3_noise"
+  "bench_table3_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_batched_adder.dir/examples/batched_adder.cpp.o"
+  "CMakeFiles/example_batched_adder.dir/examples/batched_adder.cpp.o.d"
+  "example_batched_adder"
+  "example_batched_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_batched_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_encrypted_adder.dir/examples/encrypted_adder.cpp.o"
+  "CMakeFiles/example_encrypted_adder.dir/examples/encrypted_adder.cpp.o.d"
+  "example_encrypted_adder"
+  "example_encrypted_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_encrypted_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_encrypted_adder.
+# This may be replaced when dependencies are built.

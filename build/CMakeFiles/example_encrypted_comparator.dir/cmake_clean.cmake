@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_encrypted_comparator.dir/examples/encrypted_comparator.cpp.o"
+  "CMakeFiles/example_encrypted_comparator.dir/examples/encrypted_comparator.cpp.o.d"
+  "example_encrypted_comparator"
+  "example_encrypted_comparator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_encrypted_comparator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

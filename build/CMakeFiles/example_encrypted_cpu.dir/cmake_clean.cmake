@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_encrypted_cpu.dir/examples/encrypted_cpu.cpp.o"
+  "CMakeFiles/example_encrypted_cpu.dir/examples/encrypted_cpu.cpp.o.d"
+  "example_encrypted_cpu"
+  "example_encrypted_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_encrypted_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

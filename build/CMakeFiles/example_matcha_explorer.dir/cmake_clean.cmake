@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matcha_explorer.dir/examples/matcha_explorer.cpp.o"
+  "CMakeFiles/example_matcha_explorer.dir/examples/matcha_explorer.cpp.o.d"
+  "example_matcha_explorer"
+  "example_matcha_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matcha_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

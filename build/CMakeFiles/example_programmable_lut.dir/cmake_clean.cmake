@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_programmable_lut.dir/examples/programmable_lut.cpp.o"
+  "CMakeFiles/example_programmable_lut.dir/examples/programmable_lut.cpp.o.d"
+  "example_programmable_lut"
+  "example_programmable_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_programmable_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bku/bundle.cpp" "CMakeFiles/matcha.dir/src/bku/bundle.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/bku/bundle.cpp.o.d"
+  "/root/repo/src/bku/unrolled_key.cpp" "CMakeFiles/matcha.dir/src/bku/unrolled_key.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/bku/unrolled_key.cpp.o.d"
+  "/root/repo/src/circuits/word.cpp" "CMakeFiles/matcha.dir/src/circuits/word.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/circuits/word.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/matcha.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/exec/gate_graph.cpp" "CMakeFiles/matcha.dir/src/exec/gate_graph.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/exec/gate_graph.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "CMakeFiles/matcha.dir/src/exec/thread_pool.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/exec/thread_pool.cpp.o.d"
+  "/root/repo/src/fft/cp_fft.cpp" "CMakeFiles/matcha.dir/src/fft/cp_fft.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/fft/cp_fft.cpp.o.d"
+  "/root/repo/src/fft/double_fft.cpp" "CMakeFiles/matcha.dir/src/fft/double_fft.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/fft/double_fft.cpp.o.d"
+  "/root/repo/src/fft/lift_fft.cpp" "CMakeFiles/matcha.dir/src/fft/lift_fft.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/fft/lift_fft.cpp.o.d"
+  "/root/repo/src/fft/spectral.cpp" "CMakeFiles/matcha.dir/src/fft/spectral.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/fft/spectral.cpp.o.d"
+  "/root/repo/src/fft/tables.cpp" "CMakeFiles/matcha.dir/src/fft/tables.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/fft/tables.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "CMakeFiles/matcha.dir/src/hw/cost_model.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/hw/cost_model.cpp.o.d"
+  "/root/repo/src/hw/matcha_design.cpp" "CMakeFiles/matcha.dir/src/hw/matcha_design.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/hw/matcha_design.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "CMakeFiles/matcha.dir/src/io/serialize.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/io/serialize.cpp.o.d"
+  "/root/repo/src/math/decompose.cpp" "CMakeFiles/matcha.dir/src/math/decompose.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/math/decompose.cpp.o.d"
+  "/root/repo/src/math/polynomial.cpp" "CMakeFiles/matcha.dir/src/math/polynomial.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/math/polynomial.cpp.o.d"
+  "/root/repo/src/noise/measure.cpp" "CMakeFiles/matcha.dir/src/noise/measure.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/noise/measure.cpp.o.d"
+  "/root/repo/src/noise/model.cpp" "CMakeFiles/matcha.dir/src/noise/model.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/noise/model.cpp.o.d"
+  "/root/repo/src/platform/cpu_model.cpp" "CMakeFiles/matcha.dir/src/platform/cpu_model.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/platform/cpu_model.cpp.o.d"
+  "/root/repo/src/platform/fpga_model.cpp" "CMakeFiles/matcha.dir/src/platform/fpga_model.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/platform/fpga_model.cpp.o.d"
+  "/root/repo/src/platform/gpu_model.cpp" "CMakeFiles/matcha.dir/src/platform/gpu_model.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/platform/gpu_model.cpp.o.d"
+  "/root/repo/src/platform/platforms.cpp" "CMakeFiles/matcha.dir/src/platform/platforms.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/platform/platforms.cpp.o.d"
+  "/root/repo/src/sim/chip_sim.cpp" "CMakeFiles/matcha.dir/src/sim/chip_sim.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/sim/chip_sim.cpp.o.d"
+  "/root/repo/src/sim/dfg.cpp" "CMakeFiles/matcha.dir/src/sim/dfg.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/sim/dfg.cpp.o.d"
+  "/root/repo/src/sim/matcha_sim.cpp" "CMakeFiles/matcha.dir/src/sim/matcha_sim.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/sim/matcha_sim.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "CMakeFiles/matcha.dir/src/sim/scheduler.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/sim/scheduler.cpp.o.d"
+  "/root/repo/src/tfhe/bootstrap.cpp" "CMakeFiles/matcha.dir/src/tfhe/bootstrap.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/bootstrap.cpp.o.d"
+  "/root/repo/src/tfhe/functional.cpp" "CMakeFiles/matcha.dir/src/tfhe/functional.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/functional.cpp.o.d"
+  "/root/repo/src/tfhe/gates.cpp" "CMakeFiles/matcha.dir/src/tfhe/gates.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/gates.cpp.o.d"
+  "/root/repo/src/tfhe/keyset.cpp" "CMakeFiles/matcha.dir/src/tfhe/keyset.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/keyset.cpp.o.d"
+  "/root/repo/src/tfhe/keyswitch.cpp" "CMakeFiles/matcha.dir/src/tfhe/keyswitch.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/keyswitch.cpp.o.d"
+  "/root/repo/src/tfhe/lwe.cpp" "CMakeFiles/matcha.dir/src/tfhe/lwe.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/lwe.cpp.o.d"
+  "/root/repo/src/tfhe/params.cpp" "CMakeFiles/matcha.dir/src/tfhe/params.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/params.cpp.o.d"
+  "/root/repo/src/tfhe/tgsw.cpp" "CMakeFiles/matcha.dir/src/tfhe/tgsw.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/tgsw.cpp.o.d"
+  "/root/repo/src/tfhe/tlwe.cpp" "CMakeFiles/matcha.dir/src/tfhe/tlwe.cpp.o" "gcc" "CMakeFiles/matcha.dir/src/tfhe/tlwe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bku.dir/tests/test_bku.cpp.o"
+  "CMakeFiles/test_bku.dir/tests/test_bku.cpp.o.d"
+  "test_bku"
+  "test_bku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chip_sim.dir/tests/test_chip_sim.cpp.o"
+  "CMakeFiles/test_chip_sim.dir/tests/test_chip_sim.cpp.o.d"
+  "test_chip_sim"
+  "test_chip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decompose.dir/tests/test_decompose.cpp.o"
+  "CMakeFiles/test_decompose.dir/tests/test_decompose.cpp.o.d"
+  "test_decompose"
+  "test_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

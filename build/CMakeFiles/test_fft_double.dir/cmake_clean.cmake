@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_double.dir/tests/test_fft_double.cpp.o"
+  "CMakeFiles/test_fft_double.dir/tests/test_fft_double.cpp.o.d"
+  "test_fft_double"
+  "test_fft_double.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_lift.dir/tests/test_fft_lift.cpp.o"
+  "CMakeFiles/test_fft_lift.dir/tests/test_fft_lift.cpp.o.d"
+  "test_fft_lift"
+  "test_fft_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

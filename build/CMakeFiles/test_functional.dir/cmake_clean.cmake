@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional.dir/tests/test_functional.cpp.o"
+  "CMakeFiles/test_functional.dir/tests/test_functional.cpp.o.d"
+  "test_functional"
+  "test_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_behavior.dir/tests/test_security_behavior.cpp.o"
+  "CMakeFiles/test_security_behavior.dir/tests/test_security_behavior.cpp.o.d"
+  "test_security_behavior"
+  "test_security_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlwe_tgsw.dir/tests/test_tlwe_tgsw.cpp.o"
+  "CMakeFiles/test_tlwe_tgsw.dir/tests/test_tlwe_tgsw.cpp.o.d"
+  "test_tlwe_tgsw"
+  "test_tlwe_tgsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlwe_tgsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
