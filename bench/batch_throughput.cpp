@@ -1,35 +1,41 @@
 // Batched gate execution: software speedup of the exec/ subsystem
-// (batch size x thread count) next to the simulated MATCHA chip scheduling
-// the same batch across its pipelines with HBM contention.
+// (batch size x thread count), the DAG optimizer + wavefront profile of one
+// large recorded circuit, and the simulated MATCHA chip scheduling the same
+// workloads across its pipelines with HBM contention.
 //
-// The workload is the paper's motivating one: independent EncWord
-// adder+comparator blocks (ripple-carry add with carry-out plus an unsigned
-// greater-than), each ~70 two-input gates at 8 bits -- levelized and fanned
-// out over a worker pool with one engine + bootstrap workspace per thread.
+// Emits BENCH_batch_throughput.json next to the binary's working directory
+// so the perf trajectory accumulates machine-readable data points.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench/fig_common.h"
 #include "circuits/word.h"
 #include "exec/batch_executor.h"
 #include "exec/circuit_builder.h"
+#include "exec/sim_bridge.h"
 #include "fft/double_fft.h"
+#include "sim/chip_sim.h"
 #include "sim/matcha_sim.h"
 
 namespace {
 
 using namespace matcha;
+using bench::JsonWriter;
 using circuits::EncWord;
 using exec::BatchExecutor;
 using exec::BatchResult;
 using exec::CircuitBuilder;
+using exec::CompiledGraph;
 using exec::SymWord;
 using exec::SymWordCircuits;
 using exec::Wire;
 
 constexpr int kWidth = 8;
 
+/// Independent adder+comparator blocks (~70 two-input gates each at 8 bits).
 struct Workload {
   CircuitBuilder builder;
   std::vector<SymWord> sums; ///< one per block
@@ -42,7 +48,31 @@ struct Workload {
       const SymWord y = builder.input_word(kWidth);
       sums.push_back(wc.add(x, y, nullptr, /*with_carry_out=*/true));
       gts.push_back(wc.greater_than(x, y));
+      builder.mark_output(sums.back());
+      builder.mark_output(gts.back());
     }
+  }
+};
+
+/// One deep circuit: an 8-bit shift-and-add multiplier plus both
+/// comparators -- wide wavefronts (partial products) feeding a long carry
+/// chain, with CSE hits (shared XNOR terms) and const-folding wins (zero
+/// rows) for the optimizer.
+struct BigCircuit {
+  CircuitBuilder builder;
+  SymWord x, y, prod;
+  Wire gt, eq;
+
+  BigCircuit() {
+    x = builder.input_word(kWidth);
+    y = builder.input_word(kWidth);
+    SymWordCircuits wc(builder);
+    prod = wc.multiply(x, y);
+    gt = wc.greater_than(x, y);
+    eq = wc.equal(x, y);
+    builder.mark_output(prod);
+    builder.mark_output(gt);
+    builder.mark_output(eq);
   }
 };
 
@@ -60,9 +90,24 @@ int main() {
     return std::make_unique<DoubleFftEngine>(params.ring.n_ring);
   };
 
+  std::FILE* jf = std::fopen("BENCH_batch_throughput.json", "w");
+  const bool json_ok = jf != nullptr;
+  if (!json_ok) {
+    // Unwritable working directory: keep the console sweep, drop the
+    // artifact.
+    std::fprintf(stderr,
+                 "warning: cannot write BENCH_batch_throughput.json\n");
+    jf = std::fopen("/dev/null", "w");
+    if (jf == nullptr) return 1;
+  }
+  JsonWriter j(jf);
+  j.begin_object();
+
   std::printf("\n-- software batch execution (exec/BatchExecutor) --\n");
   std::printf("%-8s%-8s%-8s%-8s%12s%12s%10s%8s\n", "blocks", "gates", "levels",
               "threads", "wall_ms", "gates/s", "speedup", "ok");
+  j.name("software_batch");
+  j.begin_array();
   for (const int blocks : {1, 4, 16}) {
     Workload w(blocks);
     const auto& graph = w.builder.graph();
@@ -99,26 +144,150 @@ int main() {
                   static_cast<long long>(st.gates), st.levels, threads,
                   st.wall_ms, st.gates * 1e3 / st.wall_ms, t1 / st.wall_ms,
                   ok ? "ok" : "WRONG");
+      j.begin_object();
+      j.field("blocks", blocks);
+      j.field("gates", st.gates);
+      j.field("levels", st.levels);
+      j.field("threads", threads);
+      j.field("wall_ms", st.wall_ms);
+      j.field("gates_per_s", st.gates * 1e3 / st.wall_ms);
+      j.field("speedup", t1 / st.wall_ms);
+      j.field("ok", ok);
+      j.end_object();
     }
   }
+  j.end_array();
+
+  std::printf("\n-- DAG optimizer + wavefront profile (8-bit mul+cmp) --\n");
+  BigCircuit big;
+  const CompiledGraph opt = big.builder.compile();
+  const auto& st = opt.stats;
+  std::printf("gates %d -> %d (folded %d, cse %d, dead %d), bootstraps "
+              "%lld -> %lld\n",
+              st.gates_before, st.gates_after, st.folded, st.cse_hits,
+              st.dead_removed, static_cast<long long>(st.bootstraps_before),
+              static_cast<long long>(st.bootstraps_after));
+  const auto fronts = opt.graph.wavefronts();
+  size_t max_width = 0;
+  for (const auto& f : fronts) max_width = std::max(max_width, f.size());
+  std::printf("%zu wavefronts, max width %zu, mean width %.1f\n", fronts.size(),
+              max_width,
+              fronts.empty() ? 0.0
+                             : static_cast<double>(opt.graph.num_gates()) /
+                                   fronts.size());
+  j.name("wavefront");
+  j.begin_object();
+  j.field("gates_before", st.gates_before);
+  j.field("gates_after", st.gates_after);
+  j.field("folded", st.folded);
+  j.field("cse_hits", st.cse_hits);
+  j.field("dead_removed", st.dead_removed);
+  j.field("bootstraps_before", st.bootstraps_before);
+  j.field("bootstraps_after", st.bootstraps_after);
+  j.field("wavefronts", static_cast<int64_t>(fronts.size()));
+  j.field("max_width", static_cast<int64_t>(max_width));
+  j.end_object();
+
+  // A single optimized circuit across the thread sweep: wavefront slicing
+  // must let one circuit use every worker.
+  const uint64_t vx = 181, vy = 103;
+  std::vector<LweSample> inputs;
+  for (const uint64_t v : {vx, vy}) {
+    const EncWord e = circuits::encrypt_word(sk, v, kWidth, rng);
+    inputs.insert(inputs.end(), e.bits.begin(), e.bits.end());
+  }
+  std::printf("%-8s%12s%12s%10s%8s\n", "threads", "wall_ms", "gates/s",
+              "speedup", "ok");
+  j.name("single_circuit_sweep");
+  j.begin_array();
+  double t1 = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    BatchExecutor<DoubleFftEngine> ex(make_engine, dev.bk, *dev.ks,
+                                      params.mu(), threads);
+    const BatchResult r = ex.run(opt.graph, inputs);
+    const auto& es = ex.last_stats();
+    if (threads == 1) t1 = es.wall_ms;
+    EncWord prod;
+    for (const Wire w : big.prod.bits) prod.bits.push_back(r.at(opt.remap(w)));
+    const bool ok = circuits::decrypt_word(sk, prod) == ((vx * vy) & 0xFF) &&
+                    sk.decrypt_bit(r.at(opt.remap(big.gt))) == (vx > vy) &&
+                    sk.decrypt_bit(r.at(opt.remap(big.eq))) == (vx == vy);
+    std::printf("%-8d%12.1f%12.0f%10.2f%8s\n", threads, es.wall_ms,
+                es.gates * 1e3 / es.wall_ms, t1 / es.wall_ms,
+                ok ? "ok" : "WRONG");
+    j.begin_object();
+    j.field("threads", threads);
+    j.field("wall_ms", es.wall_ms);
+    j.field("speedup", t1 / es.wall_ms);
+    j.field("ok", ok);
+    j.end_object();
+  }
+  j.end_array();
 
   std::printf("\n-- simulated MATCHA chip, batch across pipelines (m=3) --\n");
   const TfheParams paper = TfheParams::security110();
   std::printf("%-8s%12s%12s%12s%12s%12s\n", "batch", "makespan_ms", "gates/s",
               "speedup", "occupancy", "hbm_util");
-  for (const int batch : {1, 2, 4, 8, 16, 32, 64}) {
-    const auto b = sim::simulate_batch(paper, 3, batch);
+  j.name("sim_batch");
+  j.begin_array();
+  const auto sim_batch_row = [&](int m, int batch) {
+    const auto b = sim::simulate_batch(paper, m, batch);
     std::printf("%-8d%12.3f%12.0f%12.2f%12.2f%12.2f\n", batch, b.makespan_ms,
                 b.gates_per_s, b.speedup_vs_serial, b.pipeline_occupancy,
                 b.hbm_utilization);
-  }
+    j.begin_object();
+    j.field("unroll_m", m);
+    j.field("batch", batch);
+    j.field("makespan_ms", b.makespan_ms);
+    j.field("gates_per_s", b.gates_per_s);
+    j.field("speedup_vs_serial", b.speedup_vs_serial);
+    j.field("pipeline_occupancy", b.pipeline_occupancy);
+    j.field("hbm_utilization", b.hbm_utilization);
+    j.end_object();
+  };
+  for (const int batch : {1, 2, 4, 8, 16, 32, 64}) sim_batch_row(3, batch);
   std::printf("\n(m=1, compute-bound: pipelines scale further before the HBM "
               "key stream saturates)\n");
-  for (const int batch : {8, 32}) {
-    const auto b = sim::simulate_batch(paper, 1, batch);
-    std::printf("%-8d%12.3f%12.0f%12.2f%12.2f%12.2f\n", batch, b.makespan_ms,
-                b.gates_per_s, b.speedup_vs_serial, b.pipeline_occupancy,
-                b.hbm_utilization);
+  for (const int batch : {8, 32}) sim_batch_row(1, batch);
+  j.end_array();
+
+  std::printf("\n-- simulated chip, dependency-aware circuit schedule --\n");
+  std::printf("%-12s%-8s%8s%8s%12s%12s%12s%12s\n", "circuit", "m", "boots",
+              "depth", "makespan_ms", "boots/s", "speedup", "occupancy");
+  j.name("sim_circuit");
+  j.begin_array();
+  {
+    Workload addcmp(1);
+    const sim::GateDag adder_dag =
+        exec::to_gate_dag(addcmp.builder.compile().graph);
+    const sim::GateDag big_dag = exec::to_gate_dag(opt.graph);
+    const struct { const char* name; const sim::GateDag* dag; } circuits[] = {
+        {"add8+cmp", &adder_dag}, {"mul8+cmp", &big_dag}};
+    for (const auto& c : circuits) {
+      for (const int m : {1, 3}) {
+        const auto r = sim::simulate_circuit(paper, m, *c.dag);
+        std::printf("%-12s%-8d%8lld%8d%12.3f%12.0f%12.2f%12.2f\n", c.name, m,
+                    static_cast<long long>(r.total_bootstraps),
+                    r.critical_path, r.time_ms, r.bootstraps_per_s,
+                    r.effective_parallelism, r.pipeline_occupancy);
+        j.begin_object();
+        j.field("circuit", c.name);
+        j.field("unroll_m", m);
+        j.field("gates", r.gates);
+        j.field("bootstraps", r.total_bootstraps);
+        j.field("critical_path", r.critical_path);
+        j.field("makespan_ms", r.time_ms);
+        j.field("bootstraps_per_s", r.bootstraps_per_s);
+        j.field("effective_parallelism", r.effective_parallelism);
+        j.field("pipeline_occupancy", r.pipeline_occupancy);
+        j.field("hbm_utilization", r.hbm_utilization);
+        j.end_object();
+      }
+    }
   }
+  j.end_array();
+  j.end_object();
+  std::fclose(jf);
+  if (json_ok) std::printf("\nwrote BENCH_batch_throughput.json\n");
   return 0;
 }

@@ -1,6 +1,9 @@
-// Shared table printing for the Fig. 9-11 platform sweeps.
+// Shared table printing for the Fig. 9-11 platform sweeps, plus a minimal
+// JSON writer so benches can emit machine-readable BENCH_*.json artifacts
+// (the perf-trajectory data points CI accumulates).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -9,6 +12,61 @@
 #include "platform/platforms.h"
 
 namespace matcha::bench {
+
+/// Append-only JSON emission with automatic comma placement. Usage:
+///   JsonWriter j(f);
+///   j.begin_object();
+///   j.field("gates", 42); j.name("rows"); j.begin_array(); ... j.end_array();
+///   j.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void name(const char* key) {
+    element();
+    std::fprintf(f_, "\"%s\":", key);
+    after_name_ = true;
+  }
+  void value(double v) { element(); std::fprintf(f_, "%.6g", v); }
+  void value(int64_t v) { element(); std::fprintf(f_, "%lld", static_cast<long long>(v)); }
+  void value(int v) { value(static_cast<int64_t>(v)); }
+  void value(bool v) { element(); std::fprintf(f_, v ? "true" : "false"); }
+  void value(const char* s) { element(); std::fprintf(f_, "\"%s\"", s); }
+
+  template <class T>
+  void field(const char* key, T v) {
+    name(key);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    element();
+    std::fputc(c, f_);
+    count_.push_back(0);
+  }
+  void close(char c) {
+    std::fputc(c, f_);
+    count_.pop_back();
+  }
+  /// Comma before every element after the first, except right after a name.
+  void element() {
+    if (after_name_) {
+      after_name_ = false;
+      return;
+    }
+    if (!count_.empty() && count_.back()++ > 0) std::fputc(',', f_);
+  }
+
+  std::FILE* f_;
+  std::vector<int> count_;
+  bool after_name_ = false;
+};
 
 inline void print_platform_sweep(
     const char* title, const char* unit,

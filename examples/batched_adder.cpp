@@ -1,9 +1,9 @@
-// Record-then-execute variant of encrypted_adder.cpp: instead of evaluating
-// gates eagerly one bootstrapping at a time, the adder circuit is recorded
-// into a GateGraph via exec::CircuitBuilder, levelized, and executed by the
-// parallel BatchExecutor -- same ciphertext results, bit for bit, but
-// independent gates within a dependence level run concurrently (the software
-// analogue of MATCHA's parallel TGSW/EP pipelines).
+// Record-optimize-execute variant of encrypted_adder.cpp: the adder circuit
+// is recorded into a GateGraph via exec::CircuitBuilder, run through the
+// optimization pipeline (constant folding, CSE, dead-gate elimination
+// against the marked outputs), and executed wavefront-parallel by the
+// BatchExecutor -- independent gates run concurrently (the software analogue
+// of MATCHA's parallel TGSW/EP pipelines).
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -24,7 +24,8 @@ int main() {
   DoubleFftEngine eng(params.ring.n_ring);
   const auto dev = load_device_keyset(eng, cloud);
 
-  // Record four independent 4-bit additions into one gate DAG.
+  // Record four independent 4-bit additions (plus both comparators, whose
+  // shared XNOR terms give the optimizer CSE hits) into one gate DAG.
   exec::CircuitBuilder builder;
   exec::SymWordCircuits wc(builder);
   std::vector<exec::SymWord> sums;
@@ -33,10 +34,22 @@ int main() {
     const exec::SymWord x = builder.input_word(4);
     const exec::SymWord y = builder.input_word(4);
     sums.push_back(wc.add(x, y, nullptr, /*with_carry_out=*/true));
+    builder.mark_output(sums.back());
+    // Recorded but never marked as outputs: dead-gate elimination drops them.
+    (void)wc.greater_than(x, y);
+    (void)wc.equal(x, y);
   }
-  const auto& graph = builder.graph();
   std::printf("recorded %d gates over %d inputs (%lld bootstrappings)\n",
-              graph.num_gates(), graph.num_inputs(),
+              builder.graph().num_gates(), builder.graph().num_inputs(),
+              static_cast<long long>(builder.graph().bootstrap_count()));
+
+  // Optimize: constant folding + CSE + DCE against the marked outputs.
+  const exec::CompiledGraph opt = builder.compile();
+  const auto& graph = opt.graph;
+  std::printf("optimized to %d gates (%d folded, %d cse, %d dead), %lld "
+              "bootstrappings\n",
+              opt.stats.gates_after, opt.stats.folded, opt.stats.cse_hits,
+              opt.stats.dead_removed,
               static_cast<long long>(graph.bootstrap_count()));
 
   // Encrypt the inputs in registration order and run on 4 worker threads.
@@ -55,7 +68,7 @@ int main() {
   int failures = 0;
   for (int i = 0; i < 4; ++i) {
     EncWord sum;
-    for (const exec::Wire w : sums[i].bits) sum.bits.push_back(r.at(w));
+    for (const exec::Wire w : sums[i].bits) sum.bits.push_back(r.at(opt.remap(w)));
     const uint64_t got = circuits::decrypt_word(sk, sum);
     const int want = cases[i][0] + cases[i][1];
     std::printf("%2d + %2d = %2llu homomorphically %s\n", cases[i][0],

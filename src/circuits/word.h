@@ -4,7 +4,8 @@
 // shifters, multiplexers, and a small multiplier.
 //
 // The circuits are generic over a *gate backend* -- any type exposing the
-// GateEvaluator gate_* interface over its own `Bit` ciphertext type:
+// GateEvaluator gate_* + constant(bool) interface over its own `Bit`
+// ciphertext type:
 //   - GateEvaluator<Engine> (Bit = LweSample) evaluates eagerly, one
 //     bootstrapping per gate, exactly as before;
 //   - exec::CircuitBuilder (Bit = exec::Wire) records the same circuit into a
@@ -123,13 +124,11 @@ typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::add(
 template <class Backend>
 typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::sub(
     const Word& x, const Word& y) {
-  // x + ~y + 1: seed the carry chain with an encrypted one via NAND(y0, y0)
-  // of a trivial... simpler: carry_in = NOT(y0) XOR ... use full adder with
-  // carry-in = 1 realized as x - y = x + ~y + 1.
+  // x - y = x + ~y + 1: full adder with the carry chain seeded by a plaintext
+  // one (a backend constant -- trivial ciphertext eagerly, a foldable const
+  // node when recording).
   Word ny = bit_not(y);
-  // carry_in = 1: use OR(b, NOT b) of the first bit (always true).
-  Bit one = g2(ev_.gate_or(y.bits[0], ev_.gate_not(y.bits[0])));
-  ++budget_.linear;
+  Bit one = ev_.constant(true);
   Word r = add(x, ny, &one, /*with_carry_out=*/false);
   return r;
 }
@@ -178,11 +177,10 @@ typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::shift_left(
     const Word& x, const Word& amount) {
   Word cur = x;
   const int w = x.width();
+  const Bit zero = ev_.constant(false);
   for (int s = 0; s < amount.width() && (1 << s) < w; ++s) {
-    // shifted = cur << 2^s, with encrypted-zero fill from AND(x, ~x).
+    // shifted = cur << 2^s, zero-filled with the backend's plaintext zero.
     Word shifted;
-    Bit zero = g2(ev_.gate_and(x.bits[0], ev_.gate_not(x.bits[0])));
-    ++budget_.linear;
     for (int i = 0; i < w; ++i) {
       shifted.bits.push_back(i < (1 << s) ? zero : cur.bits[i - (1 << s)]);
     }
@@ -195,10 +193,11 @@ template <class Backend>
 typename WordCircuitsT<Backend>::Word WordCircuitsT<Backend>::multiply(
     const Word& x, const Word& y) {
   const int w = x.width();
-  // Partial product rows ANDed with y_j, accumulated with adders.
+  // Partial product rows ANDed with y_j, accumulated with adders; the
+  // accumulator starts as the backend's plaintext zero (a recorded
+  // multiplier's first adder row folds away entirely).
   Word acc;
-  Bit zero = g2(ev_.gate_and(x.bits[0], ev_.gate_not(x.bits[0])));
-  ++budget_.linear;
+  const Bit zero = ev_.constant(false);
   for (int i = 0; i < w; ++i) acc.bits.push_back(zero);
   for (int j = 0; j < w; ++j) {
     Word row;

@@ -1,7 +1,10 @@
-// Levelized parallel execution of a recorded GateGraph -- the software
+// Wavefront-parallel execution of a recorded GateGraph -- the software
 // counterpart of MATCHA running many concurrent gate bootstrappings across
-// its TGSW/EP pipelines. Gates within one dependence level are independent,
-// so the executor fans each level out over a persistent worker pool.
+// its TGSW/EP pipelines. The graph's wavefronts are maximal sets of mutually
+// independent gates; the executor flattens (batch item x wavefront slice)
+// into one task space per wavefront, so a *single* large circuit saturates
+// every worker, and a batch of small circuits fills the same task space
+// across items.
 //
 // Determinism: every worker owns a private Engine instance (engines carry
 // mutable scratch buffers and counters -- sharing one across threads would
@@ -35,13 +38,26 @@ namespace matcha::exec {
 struct BatchResult {
   std::vector<LweSample> values;
 
-  const LweSample& at(Wire w) const { return values[static_cast<size_t>(w.id)]; }
+  /// `w` must be a wire of the executed graph -- in particular, reading an
+  /// unmarked output through CompiledGraph::remap yields an invalid wire
+  /// (its producer was dead-gate-eliminated). Throws instead of asserting:
+  /// this is a cold per-output path and the misuse must surface in release
+  /// builds too.
+  const LweSample& at(Wire w) const {
+    if (!w.valid() || static_cast<size_t>(w.id) >= values.size()) {
+      throw std::out_of_range(
+          "BatchResult::at: wire absent from this result (dead-eliminated "
+          "or from a different graph)");
+    }
+    return values[static_cast<size_t>(w.id)];
+  }
 };
 
 struct BatchStats {
-  int64_t gates = 0;      ///< gate nodes executed (inputs excluded)
+  int items = 0;          ///< batch items executed in the last run
+  int64_t gates = 0;      ///< gate evaluations performed (inputs excluded)
   int64_t bootstraps = 0; ///< gate bootstrappings performed
-  int levels = 0;         ///< dependence depth of the graph
+  int levels = 0;         ///< dependence depth of the graph (wavefront count)
   double wall_ms = 0;     ///< wall clock of the last run
 };
 
@@ -65,32 +81,57 @@ class BatchExecutor {
 
   int num_threads() const { return pool_.num_threads(); }
 
-  /// Execute the graph on `inputs` (one ciphertext per GateGraph input, in
-  /// registration order). Level by level, gates are strided across workers;
-  /// the result is bit-identical for any thread count.
+  /// Execute the graph on one item (one ciphertext per GateGraph input, in
+  /// registration order).
   BatchResult run(const GateGraph& g, std::vector<LweSample> inputs) {
-    if (inputs.size() != static_cast<size_t>(g.num_inputs())) {
-      throw std::invalid_argument("BatchExecutor::run: expected " +
-                                  std::to_string(g.num_inputs()) +
-                                  " inputs, got " + std::to_string(inputs.size()));
+    std::vector<std::vector<LweSample>> batch;
+    batch.push_back(std::move(inputs));
+    return std::move(run_batch(g, std::move(batch)).front());
+  }
+
+  /// Execute the graph once per batch item. Wavefront by wavefront, the
+  /// (item x gate) task space is strided across workers; results are
+  /// bit-identical for any thread count and any batch grouping.
+  std::vector<BatchResult> run_batch(const GateGraph& g,
+                                     std::vector<std::vector<LweSample>> batch) {
+    for (const auto& inputs : batch) {
+      if (inputs.size() != static_cast<size_t>(g.num_inputs())) {
+        throw std::invalid_argument(
+            "BatchExecutor::run_batch: expected " +
+            std::to_string(g.num_inputs()) + " inputs per item, got " +
+            std::to_string(inputs.size()));
+      }
     }
     const auto t0 = std::chrono::steady_clock::now();
     // Discard any counts a previous run left unmerged (e.g. after a worker
     // threw), so the post-run merge reflects exactly this run.
     for (auto& w : workers_) w->engine->counters().reset();
-    BatchResult r;
-    r.values.resize(g.num_nodes());
-    for (int i = 0; i < g.num_inputs(); ++i) {
-      r.values[g.inputs()[i]] = std::move(inputs[i]);
+    const int items = static_cast<int>(batch.size());
+    std::vector<BatchResult> results(batch.size());
+    for (int b = 0; b < items; ++b) {
+      results[b].values.resize(g.num_nodes());
+      for (int i = 0; i < g.num_inputs(); ++i) {
+        results[b].values[g.inputs()[i]] = std::move(batch[b][i]);
+      }
+      for (int i = 0; i < g.num_nodes(); ++i) {
+        const GateNode& n = g.nodes()[i];
+        if (n.is_const) {
+          results[b].values[i] = constant_bit(bk_.n_lwe, mu_, n.const_value);
+        }
+      }
     }
-    const auto levels = g.levelize();
-    for (size_t l = 1; l < levels.size(); ++l) {
-      const std::vector<int>& level = levels[l];
+    const auto fronts = g.wavefronts();
+    for (const std::vector<int>& front : fronts) {
+      // One flattened (item x gate) task space per wavefront: every pair is
+      // independent of every other, so workers stride freely across it.
+      const size_t tasks = front.size() * static_cast<size_t>(items);
       const size_t stride = workers_.size();
       pool_.run([&](int t) {
         Worker& w = *workers_[t];
-        for (size_t i = static_cast<size_t>(t); i < level.size(); i += stride) {
-          r.values[level[i]] = eval_gate(w, g.nodes()[level[i]], r.values);
+        for (size_t k = static_cast<size_t>(t); k < tasks; k += stride) {
+          const int gate = front[k % front.size()];
+          auto& values = results[k / front.size()].values;
+          values[gate] = eval_gate(w, g.nodes()[gate], values);
         }
       });
     }
@@ -99,13 +140,14 @@ class BatchExecutor {
       merged_ += w->engine->counters();
       w->engine->counters().reset();
     }
-    stats_.gates = g.num_gates();
-    stats_.bootstraps = g.bootstrap_count();
-    stats_.levels = levels.empty() ? 0 : static_cast<int>(levels.size()) - 1;
+    stats_.items = items;
+    stats_.gates = static_cast<int64_t>(g.num_gates()) * items;
+    stats_.bootstraps = g.bootstrap_count() * items;
+    stats_.levels = static_cast<int>(fronts.size());
     stats_.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
-    return r;
+    return results;
   }
 
   /// Aggregate engine counters across workers and runs, merged race-free on

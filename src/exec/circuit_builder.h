@@ -1,8 +1,9 @@
 // Recording gate backend: exposes the GateEvaluator gate_* interface over
 // symbolic Wire values and emits every call into a GateGraph instead of
 // evaluating it eagerly. circuits/word.h circuits instantiated with this
-// backend record the whole word operation as a DAG, which
-// exec/batch_executor.h then levelizes and runs across a worker pool.
+// backend record the whole word operation as a dependency DAG, which
+// CompiledGraph::compile optimizes (fold/CSE/DCE) and
+// exec/batch_executor.h runs wavefront-parallel across a worker pool.
 #pragma once
 
 #include "circuits/word.h"
@@ -25,6 +26,16 @@ class CircuitBuilder {
     for (int i = 0; i < width; ++i) w.bits.push_back(input());
     return w;
   }
+  /// A known plaintext bit (recorded as a constant node; the optimizer folds
+  /// gates through it, and the executor materializes it as a trivial sample).
+  Wire constant(bool value) { return g_.add_const(value); }
+
+  /// Mark wires the caller will read, so dead-gate elimination knows the
+  /// roots of the live cone.
+  void mark_output(Wire w) { g_.mark_output(w); }
+  void mark_output(const SymWord& w) {
+    for (const Wire b : w.bits) g_.mark_output(b);
+  }
 
   Wire gate_nand(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kNand, a, b); }
   Wire gate_and(const Wire& a, const Wire& b) { return g_.add_gate(GateKind::kAnd, a, b); }
@@ -38,6 +49,10 @@ class CircuitBuilder {
   }
 
   const GateGraph& graph() const { return g_; }
+  /// Optimize the recorded graph (see gate_graph.h OptimizeOptions).
+  CompiledGraph compile(const OptimizeOptions& opts = {}) const {
+    return CompiledGraph::compile(g_, opts);
+  }
 
  private:
   GateGraph g_;

@@ -16,6 +16,17 @@ Wire GateGraph::add_input() {
   return Wire{id};
 }
 
+Wire GateGraph::add_const(bool value) {
+  int& cached = const_wire_[value ? 1 : 0];
+  if (cached >= 0) return Wire{cached};
+  GateNode n;
+  n.is_const = true;
+  n.const_value = value;
+  cached = num_nodes();
+  nodes_.push_back(n);
+  return Wire{cached};
+}
+
 Wire GateGraph::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
   GateNode n;
   n.kind = kind;
@@ -26,13 +37,19 @@ Wire GateGraph::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
     (void)id;
   }
   nodes_.push_back(n);
+  ++num_gates_;
   return Wire{id};
+}
+
+void GateGraph::mark_output(Wire w) {
+  assert(w.valid() && w.id < num_nodes() && "output marks an unknown wire");
+  outputs_.push_back(w.id);
 }
 
 int64_t GateGraph::bootstrap_count() const {
   int64_t total = 0;
   for (const auto& n : nodes_) {
-    if (!n.is_input) total += bootstrap_cost(n.kind);
+    if (n.is_gate()) total += bootstrap_cost(n.kind);
   }
   return total;
 }
@@ -42,7 +59,7 @@ std::vector<std::vector<int>> GateGraph::levelize() const {
   int depth = 0;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const GateNode& n = nodes_[i];
-    if (n.is_input) continue;
+    if (!n.is_gate()) continue;
     int deepest = 0;
     for (int j = 0; j < n.fan_in(); ++j) {
       if (level[n.in[j]] > deepest) deepest = level[n.in[j]];
@@ -54,6 +71,13 @@ std::vector<std::vector<int>> GateGraph::levelize() const {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     levels[level[i]].push_back(static_cast<int>(i));
   }
+  return levels;
+}
+
+std::vector<std::vector<int>> GateGraph::wavefronts() const {
+  auto levels = levelize();
+  if (levels.empty()) return {};
+  levels.erase(levels.begin());
   return levels;
 }
 

@@ -1,11 +1,24 @@
 // Recorded gate-DAG for batched execution (the software analogue of the
 // paper's OpenCGRA flow: compile a TFHE workload into a dependence graph
-// first, then schedule it onto parallel resources). A GateGraph is SSA: every
-// node produces exactly one ciphertext, identified by its Wire; inputs are
-// explicit nodes whose values are supplied at execution time.
+// first, optimize it, then schedule it onto parallel resources). A GateGraph
+// is SSA: every node produces exactly one ciphertext, identified by its Wire.
+// Three node species:
+//   - inputs: execution-time ciphertexts bound by BatchExecutor::run;
+//   - constants: known plaintext bits, materialized as trivial (noiseless)
+//     LWE samples at execution time and folded through gates at compile time;
+//   - gates: explicit fan-in wires into earlier nodes (true dependency edges,
+//     not recording order).
+//
+// compile() runs the optimization pipeline -- constant folding, common-
+// subexpression elimination, dead-gate elimination against the marked
+// outputs -- and the result exposes wavefronts(): maximal antichains of
+// mutually independent gates, the unit of parallel dispatch for both the
+// software BatchExecutor and the chip simulator (exec/sim_bridge.h).
 #pragma once
 
 #include <array>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -24,16 +37,44 @@ struct Wire {
 struct GateNode {
   GateKind kind{};
   bool is_input = false;
+  bool is_const = false;
+  bool const_value = false; ///< plaintext bit when is_const
   /// Fan-in wires: binary gates use in[0], in[1]; NOT uses in[0]; MUX uses
   /// {sel, c1, c0}.
   std::array<int, 3> in{-1, -1, -1};
 
+  bool is_gate() const { return !is_input && !is_const; }
   int fan_in() const {
-    if (is_input) return 0;
+    if (!is_gate()) return 0;
     if (kind == GateKind::kNot) return 1;
     if (kind == GateKind::kMux) return 3;
     return 2;
   }
+};
+
+/// Which passes compile() runs. Constant folding rewrites ciphertexts (a
+/// folded gate skips its bootstrap, so the output bits differ from an eager
+/// evaluation while the plaintexts agree); CSE and DCE are bit-preserving --
+/// deduplicated gates recompute the identical deterministic bootstrap, and
+/// dead gates never feed an output.
+struct OptimizeOptions {
+  bool fold_constants = true;
+  bool common_subexpression = true;
+  bool dead_gate_elimination = true;
+
+  static OptimizeOptions none() { return {false, false, false}; }
+  /// The bit-preserving subset: results identical to the unoptimized graph.
+  static OptimizeOptions bit_preserving() { return {false, true, true}; }
+};
+
+struct OptimizeStats {
+  int gates_before = 0;
+  int gates_after = 0;
+  int folded = 0;       ///< gates replaced by constants or existing wires
+  int cse_hits = 0;     ///< gates deduplicated against an identical twin
+  int dead_removed = 0; ///< gates unreachable from any marked output
+  int64_t bootstraps_before = 0;
+  int64_t bootstraps_after = 0;
 };
 
 class GateGraph {
@@ -41,25 +82,62 @@ class GateGraph {
   /// Register an execution-time input; the k-th call corresponds to the k-th
   /// ciphertext handed to BatchExecutor::run.
   Wire add_input();
+  /// Register a known plaintext bit (deduplicated; at most one node per
+  /// value). Executes as a trivial noiseless LWE sample.
+  Wire add_const(bool value);
   /// Append a gate consuming existing wires (asserts they are in range).
   Wire add_gate(GateKind kind, Wire a, Wire b = {}, Wire c = {});
+  /// Mark a wire the circuit's consumer will read. Dead-gate elimination
+  /// keeps exactly the cone of influence of the marked outputs; a graph with
+  /// no marked outputs treats every node as live.
+  void mark_output(Wire w);
 
   const std::vector<GateNode>& nodes() const { return nodes_; }
   const std::vector<int>& inputs() const { return inputs_; }
+  const std::vector<int>& outputs() const { return outputs_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
-  int num_gates() const { return num_nodes() - num_inputs(); }
+  int num_gates() const { return num_gates_; }
   /// Total gate bootstrappings one execution performs (2 per MUX, 0 per NOT).
   int64_t bootstrap_count() const;
 
-  /// Partition nodes into dependence levels: level 0 holds the inputs, and
-  /// every gate sits one past its deepest operand. Gates within one level are
-  /// independent -- the unit of batch parallelism.
+  /// Partition nodes into dependence levels: level 0 holds inputs and
+  /// constants, and every gate sits one past its deepest operand.
   std::vector<std::vector<int>> levelize() const;
+  /// The gate levels only (levelize() minus level 0): each wavefront is a set
+  /// of mutually independent gates -- the unit of parallel dispatch.
+  std::vector<std::vector<int>> wavefronts() const;
 
  private:
   std::vector<GateNode> nodes_;
   std::vector<int> inputs_;
+  std::vector<int> outputs_;
+  std::array<int, 2> const_wire_{-1, -1}; ///< dedup cache for add_const
+  int num_gates_ = 0;
+};
+
+/// An optimized copy of a recorded graph plus the wire renaming that maps the
+/// recording's handles into it (wires whose producers were eliminated map to
+/// the wire that now carries their value, or to invalid for dead gates).
+struct CompiledGraph {
+  GateGraph graph;
+  std::vector<int> wire_map; ///< old wire id -> new wire id (-1 if dead)
+  OptimizeStats stats;
+
+  Wire remap(Wire w) const {
+    if (!w.valid()) return Wire{};
+    assert(static_cast<size_t>(w.id) < wire_map.size() &&
+           "wire from a different graph than the one compiled");
+    return Wire{wire_map[static_cast<size_t>(w.id)]};
+  }
+
+  /// Run the optimization pipeline over `g`: constant folding, then CSE (on
+  /// operand-canonicalized keys -- every binary gate's linear combination is
+  /// symmetric, so commuted twins dedupe), then dead-gate elimination from
+  /// the marked outputs. Inputs are always preserved, in order, so the
+  /// executor's input-binding contract is unchanged.
+  static CompiledGraph compile(const GateGraph& g,
+                               const OptimizeOptions& opts = {});
 };
 
 } // namespace matcha::exec

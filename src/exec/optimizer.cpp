@@ -1,0 +1,201 @@
+// The GateGraph optimization pipeline (gate_graph.h CompiledGraph::compile):
+// one forward pass folds constants and deduplicates common subexpressions
+// while rebuilding the graph, then a backward liveness pass drops every gate
+// outside the cone of influence of the marked outputs. Pass ordering matters:
+// folding exposes CSE twins (folded operands alias to the same wire), and
+// both create dead producers that only the final DCE pass can reap.
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "exec/gate_graph.h"
+
+namespace matcha::exec {
+namespace {
+
+/// Plaintext truth table of one gate over fully known inputs.
+bool eval_plain(GateKind kind, bool a, bool b, bool c) {
+  switch (kind) {
+    case GateKind::kNand: return !(a && b);
+    case GateKind::kAnd: return a && b;
+    case GateKind::kOr: return a || b;
+    case GateKind::kNor: return !(a || b);
+    case GateKind::kXor: return a != b;
+    case GateKind::kXnor: return a == b;
+    case GateKind::kNot: return !a;
+    case GateKind::kMux: return a ? b : c;
+  }
+  return false;
+}
+
+/// What a folding rule decided for one gate.
+struct Fold {
+  enum class Kind { kKeep, kConst, kAlias, kNotOf } kind = Kind::kKeep;
+  bool value = false; ///< kConst
+  int wire = -1;      ///< kAlias / kNotOf: new-graph wire id
+
+  static Fold keep() { return {}; }
+  static Fold constant(bool v) { return {Kind::kConst, v, -1}; }
+  static Fold alias(int w) { return {Kind::kAlias, false, w}; }
+  static Fold not_of(int w) { return {Kind::kNotOf, false, w}; }
+};
+
+/// Constant-fold one gate whose operands live in the rebuilt graph. `known`
+/// holds the operands' plaintext values where the producer is a const node.
+Fold fold_gate(GateKind kind, const std::array<int, 3>& in,
+               const std::array<const bool*, 3>& known) {
+  if (kind == GateKind::kNot) {
+    return known[0] ? Fold::constant(!*known[0]) : Fold::keep();
+  }
+  if (kind == GateKind::kMux) {
+    if (known[0]) return Fold::alias(*known[0] ? in[1] : in[2]);
+    if (known[1] && known[2]) {
+      if (*known[1] == *known[2]) return Fold::constant(*known[1]);
+      return *known[1] ? Fold::alias(in[0]) : Fold::not_of(in[0]);
+    }
+    return Fold::keep();
+  }
+  if (known[0] && known[1]) {
+    return Fold::constant(eval_plain(kind, *known[0], *known[1], false));
+  }
+  if (!known[0] && !known[1]) return Fold::keep();
+  // One known operand: every binary kind's linear combination is symmetric,
+  // so normalize to (unknown x, known k).
+  const int x = known[0] ? in[1] : in[0];
+  const bool k = known[0] ? *known[0] : *known[1];
+  switch (kind) {
+    case GateKind::kAnd: return k ? Fold::alias(x) : Fold::constant(false);
+    case GateKind::kNand: return k ? Fold::not_of(x) : Fold::constant(true);
+    case GateKind::kOr: return k ? Fold::constant(true) : Fold::alias(x);
+    case GateKind::kNor: return k ? Fold::constant(false) : Fold::not_of(x);
+    case GateKind::kXor: return k ? Fold::not_of(x) : Fold::alias(x);
+    case GateKind::kXnor: return k ? Fold::alias(x) : Fold::not_of(x);
+    default: return Fold::keep();
+  }
+}
+
+/// Forward rebuild: fold + CSE. `map[i]` is old node i's wire in `out`.
+OptimizeStats fold_and_cse(const GateGraph& g, const OptimizeOptions& opts,
+                           GateGraph& out, std::vector<int>& map) {
+  OptimizeStats stats;
+  stats.gates_before = g.num_gates();
+  stats.bootstraps_before = g.bootstrap_count();
+  map.assign(g.nodes().size(), -1);
+  // CSE table over (kind, canonicalized operands) in the rebuilt graph.
+  std::map<std::array<int, 4>, int> seen;
+
+  const auto emit_gate = [&](GateKind kind, std::array<int, 3> in) -> int {
+    if (is_binary_gate(kind) && in[0] > in[1]) std::swap(in[0], in[1]);
+    const std::array<int, 4> key{static_cast<int>(kind), in[0], in[1], in[2]};
+    if (opts.common_subexpression) {
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        ++stats.cse_hits;
+        return it->second;
+      }
+    }
+    const int id =
+        out.add_gate(kind, Wire{in[0]}, Wire{in[1]}, Wire{in[2]}).id;
+    if (opts.common_subexpression) seen.emplace(key, id);
+    return id;
+  };
+
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const GateNode& n = g.nodes()[i];
+    if (n.is_input) {
+      map[i] = out.add_input().id;
+      continue;
+    }
+    if (n.is_const) {
+      map[i] = out.add_const(n.const_value).id;
+      continue;
+    }
+    std::array<int, 3> in{-1, -1, -1};
+    std::array<const bool*, 3> known{nullptr, nullptr, nullptr};
+    for (int j = 0; j < n.fan_in(); ++j) {
+      in[j] = map[n.in[j]];
+      assert(in[j] >= 0 && "operand folded away before its consumer");
+      const GateNode& op = out.nodes()[in[j]];
+      if (op.is_const) known[j] = &op.const_value;
+    }
+    Fold f = opts.fold_constants ? fold_gate(n.kind, in, known) : Fold::keep();
+    switch (f.kind) {
+      case Fold::Kind::kKeep:
+        map[i] = emit_gate(n.kind, in);
+        break;
+      case Fold::Kind::kConst:
+        ++stats.folded;
+        map[i] = out.add_const(f.value).id;
+        break;
+      case Fold::Kind::kAlias:
+        ++stats.folded;
+        map[i] = f.wire;
+        break;
+      case Fold::Kind::kNotOf:
+        ++stats.folded;
+        map[i] = emit_gate(GateKind::kNot, {f.wire, -1, -1});
+        break;
+    }
+  }
+  for (const int o : g.outputs()) out.mark_output(Wire{map[o]});
+  return stats;
+}
+
+/// Backward liveness from the marked outputs, then compacting rebuild.
+/// `map[i]` is node i's wire in `out` (-1 when dead). Inputs always survive.
+void eliminate_dead(const GateGraph& g, GateGraph& out, std::vector<int>& map,
+                    OptimizeStats& stats) {
+  std::vector<char> live(g.nodes().size(), 0);
+  for (const int o : g.outputs()) live[o] = 1;
+  for (const int in : g.inputs()) live[in] = 1;
+  for (size_t i = g.nodes().size(); i-- > 0;) {
+    if (!live[i]) continue;
+    const GateNode& n = g.nodes()[i];
+    for (int j = 0; j < n.fan_in(); ++j) live[n.in[j]] = 1;
+  }
+  map.assign(g.nodes().size(), -1);
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const GateNode& n = g.nodes()[i];
+    if (!live[i]) {
+      if (n.is_gate()) ++stats.dead_removed;
+      continue;
+    }
+    if (n.is_input) {
+      map[i] = out.add_input().id;
+    } else if (n.is_const) {
+      map[i] = out.add_const(n.const_value).id;
+    } else {
+      std::array<int, 3> in{-1, -1, -1};
+      for (int j = 0; j < n.fan_in(); ++j) in[j] = map[n.in[j]];
+      map[i] = out.add_gate(n.kind, Wire{in[0]}, Wire{in[1]}, Wire{in[2]}).id;
+    }
+  }
+  for (const int o : g.outputs()) out.mark_output(Wire{map[o]});
+}
+
+} // namespace
+
+CompiledGraph CompiledGraph::compile(const GateGraph& g,
+                                     const OptimizeOptions& opts) {
+  CompiledGraph c;
+  GateGraph folded;
+  std::vector<int> map_a;
+  c.stats = fold_and_cse(g, opts, folded, map_a);
+
+  if (opts.dead_gate_elimination && !folded.outputs().empty()) {
+    std::vector<int> map_b;
+    eliminate_dead(folded, c.graph, map_b, c.stats);
+    c.wire_map.resize(map_a.size());
+    for (size_t i = 0; i < map_a.size(); ++i) {
+      c.wire_map[i] = map_a[i] >= 0 ? map_b[map_a[i]] : -1;
+    }
+  } else {
+    c.graph = std::move(folded);
+    c.wire_map = std::move(map_a);
+  }
+  c.stats.gates_after = c.graph.num_gates();
+  c.stats.bootstraps_after = c.graph.bootstrap_count();
+  return c;
+}
+
+} // namespace matcha::exec

@@ -1,0 +1,41 @@
+// Feed a recorded GateGraph to the chip simulator: the graph's gate nodes
+// and their true wire dependencies become a sim::GateDag, which
+// sim::schedule_gate_dag dispatches across the chip's pipelines by data
+// readiness. This is the honest replacement for modeling a circuit as a
+// batch of independent bootstrappings -- the simulator sees exactly the
+// dependency structure the software BatchExecutor executes.
+#pragma once
+
+#include <algorithm>
+
+#include "exec/gate_graph.h"
+#include "sim/gate_dag.h"
+
+namespace matcha::exec {
+
+/// Project the graph's gate nodes (inputs and constants drop out -- they are
+/// data, not work) into a circuit DAG for sim::schedule_gate_dag /
+/// sim::simulate_circuit.
+inline sim::GateDag to_gate_dag(const GateGraph& g) {
+  sim::GateDag dag;
+  dag.gates.reserve(static_cast<size_t>(g.num_gates()));
+  std::vector<int> gate_index(g.nodes().size(), -1);
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const GateNode& n = g.nodes()[i];
+    if (!n.is_gate()) continue;
+    sim::GateDagNode d;
+    d.bootstraps = bootstrap_cost(n.kind);
+    for (int j = 0; j < n.fan_in(); ++j) {
+      const int dep = gate_index[n.in[j]];
+      if (dep >= 0 &&
+          std::find(d.deps.begin(), d.deps.end(), dep) == d.deps.end()) {
+        d.deps.push_back(dep);
+      }
+    }
+    gate_index[i] = static_cast<int>(dag.gates.size());
+    dag.gates.push_back(std::move(d));
+  }
+  return dag;
+}
+
+} // namespace matcha::exec

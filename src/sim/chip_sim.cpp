@@ -1,8 +1,6 @@
 #include "sim/chip_sim.h"
 
-#include <algorithm>
-#include <cassert>
-#include <queue>
+#include <utility>
 
 namespace matcha::sim {
 
@@ -69,56 +67,42 @@ Netlist array_multiplier_netlist(int width) {
 }
 
 CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
-                                  const Netlist& netlist,
+                                  const GateDag& dag,
                                   const hw::MatchaConfig& cfg) {
-  const GateSimResult gate = simulate_gate(tfhe, unroll_m, cfg);
+  SimParams p;
+  p.hw = cfg;
+  p.tfhe = tfhe;
+  p.unroll_m = unroll_m;
+
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const ScheduleResult single = schedule(dfg);
+  const GateDagScheduleResult s = schedule_gate_dag(dfg, dag, cfg.pipelines);
+
   CircuitSimResult out;
-  out.gates = netlist.size();
-  out.gate_latency_ms = gate.latency_ms;
-
-  // Effective per-gate service time when k pipelines are busy: the shared
-  // HBM stream stretches it once k * traffic exceeds the bandwidth.
-  const double traffic_s = gate.hbm_mb * 1e6 / (cfg.hbm_gbps * 1e9);
-  auto service_ms = [&](int busy) {
-    return std::max(gate.latency_ms, traffic_s * busy * 1e3);
-  };
-
-  // Critical path.
-  std::vector<int> depth(netlist.size(), 1);
-  for (int i = 0; i < netlist.size(); ++i) {
-    for (int d : netlist.deps[i]) {
-      assert(d < i);
-      depth[i] = std::max(depth[i], depth[d] + 1);
-    }
-  }
-  out.critical_path = netlist.size() == 0
-                          ? 0
-                          : *std::max_element(depth.begin(), depth.end());
-
-  // List schedule: ready gates issue to the earliest-free pipeline; the HBM
-  // stretch uses the number of concurrently busy pipelines at issue time.
-  std::vector<double> ready(netlist.size(), 0.0);
-  std::vector<double> done(netlist.size(), 0.0);
-  std::vector<double> pipe_free(cfg.pipelines, 0.0);
-  // Process gates in topological (index) order; within the order, issue to
-  // min(pipe_free). This is a standard greedy list schedule.
-  for (int i = 0; i < netlist.size(); ++i) {
-    for (int d : netlist.deps[i]) ready[i] = std::max(ready[i], done[d]);
-    auto it = std::min_element(pipe_free.begin(), pipe_free.end());
-    const double start = std::max(*it, ready[i]);
-    int busy = 0;
-    for (double f : pipe_free) busy += f > start ? 1 : 0;
-    const double t = service_ms(busy + 1);
-    done[i] = start + t;
-    *it = done[i];
-  }
-  out.time_ms = netlist.size() == 0
-                    ? 0.0
-                    : *std::max_element(done.begin(), done.end());
+  out.gates = s.num_gates;
+  out.total_bootstraps = dag.total_bootstraps();
+  out.critical_path = static_cast<int>(dag.critical_path_bootstraps());
+  out.gate_latency_ms = single.makespan / p.cycles_per_second() * 1e3;
+  out.time_ms = s.makespan / p.cycles_per_second() * 1e3;
+  out.pipeline_occupancy = s.pipeline_occupancy;
+  out.hbm_utilization = s.hbm_utilization;
   if (out.time_ms > 0) {
-    out.effective_parallelism = out.gates * gate.latency_ms / out.time_ms;
+    out.effective_parallelism =
+        out.total_bootstraps * out.gate_latency_ms / out.time_ms;
+    out.bootstraps_per_s = out.total_bootstraps / (out.time_ms * 1e-3);
   }
   return out;
+}
+
+CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
+                                  const Netlist& netlist,
+                                  const hw::MatchaConfig& cfg) {
+  GateDag dag;
+  dag.gates.resize(netlist.deps.size());
+  for (size_t i = 0; i < netlist.deps.size(); ++i) {
+    dag.gates[i].deps = netlist.deps[i];
+  }
+  return simulate_circuit(tfhe, unroll_m, dag, cfg);
 }
 
 } // namespace matcha::sim

@@ -1,18 +1,27 @@
 // Chip-level projection: schedule a whole Boolean *circuit* (a DAG of TFHE
-// gates) onto MATCHA's 8 bootstrapping pipelines, respecting gate
-// dependencies and the shared HBM key stream. This answers the paper's
-// motivating question -- how fast does an encrypted adder/CPU step run -- on
-// top of the single-gate cycle simulation.
+// gates) onto MATCHA's bootstrapping pipelines, respecting gate dependencies
+// and the shared HBM key stream. This answers the paper's motivating
+// question -- how fast does an encrypted adder/CPU step run -- on top of the
+// single-gate cycle simulation.
+//
+// Both entry points ride sim/gate_dag.h's readiness-dispatch scheduler: each
+// bootstrap replays the full per-bootstrap DFG with node-level resource
+// claims, so HBM contention and pipeline occupancy come from the same model
+// as the single-gate simulation instead of a coarse service-time stretch.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "sim/gate_dag.h"
 #include "sim/matcha_sim.h"
 
 namespace matcha::sim {
 
 /// A circuit netlist: node i depends on the listed earlier nodes. Every node
-/// is one bootstrapping gate (MUX counts as two nodes).
+/// is one bootstrapping gate (MUX counts as two nodes). The legacy shape --
+/// exec::GateGraph circuits arrive as a GateDag via exec/sim_bridge.h with
+/// per-gate bootstrap weights instead.
 struct Netlist {
   std::vector<std::vector<int>> deps;
 
@@ -24,16 +33,26 @@ Netlist ripple_adder_netlist(int width);      ///< 5 gates per full adder
 Netlist array_multiplier_netlist(int width);  ///< AND matrix + adder rows
 
 struct CircuitSimResult {
-  int gates = 0;
-  int critical_path = 0;      ///< longest dependency chain (gates)
-  double gate_latency_ms = 0; ///< one bootstrapping on one pipeline
-  double time_ms = 0;         ///< circuit makespan on the chip
-  double effective_parallelism = 0; ///< gates * gate_latency / time
+  int gates = 0;                    ///< DAG nodes (free NOT gates included)
+  int64_t total_bootstraps = 0;
+  int critical_path = 0;            ///< longest dependency chain (bootstraps)
+  double gate_latency_ms = 0;       ///< one bootstrapping alone on one pipeline
+  double time_ms = 0;               ///< circuit makespan on the chip
+  /// total_bootstraps * gate_latency / time: speedup over running every
+  /// bootstrap back to back on one pipeline.
+  double effective_parallelism = 0;
+  double bootstraps_per_s = 0;
+  double pipeline_occupancy = 0;    ///< mean TGSW+EP busy fraction
+  double hbm_utilization = 0;
 };
 
-/// List-schedule the netlist onto `cfg.pipelines` pipelines. Per-gate service
-/// time comes from simulate_gate(); when all pipelines stream keys
-/// concurrently the HBM bandwidth stretches the service time.
+/// Schedule the circuit DAG onto `cfg.pipelines` pipelines by dependency
+/// readiness (sim/gate_dag.h).
+CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
+                                  const GateDag& dag,
+                                  const hw::MatchaConfig& cfg = {});
+
+/// Legacy netlist entry point: every node is one bootstrap.
 CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
                                   const Netlist& netlist,
                                   const hw::MatchaConfig& cfg = {});

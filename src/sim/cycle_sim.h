@@ -3,12 +3,90 @@
 // been busy (for utilization and activity-based energy).
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sim/dfg.h"
 
 namespace matcha::sim {
+
+/// One hardware unit's availability: when it next becomes free and how long
+/// it has been busy. The building block of the per-resource timeline below
+/// and the batch scheduler's per-pipeline unit arrays. Append-only: a claim
+/// can never start before the last claim ends, which is exact for in-order
+/// issue (one gate's DFG, or round-robin interleaved batches).
+struct UnitTimeline {
+  int64_t free_at = 0;
+  int64_t busy = 0;
+
+  /// Claim `cycles` starting no earlier than `ready`; returns completion.
+  int64_t claim(int64_t ready, int64_t cycles) {
+    const int64_t start = ready > free_at ? ready : free_at;
+    free_at = start + cycles;
+    busy += cycles;
+    return free_at;
+  }
+};
+
+/// A unit timeline that backfills: claims may land in earlier idle gaps.
+/// Needed when work arrives out of program order -- the gate-DAG scheduler
+/// dispatches whole gates one at a time, so a later gate's prologue must be
+/// able to use the poly unit's idle window *behind* an earlier gate's final
+/// key switch (a single free_at would serialize every gate on the chip-shared
+/// units). Busy spans are kept sorted and coalesced, so the span list stays
+/// short and claims near the end stay O(log n).
+class BackfillTimeline {
+ public:
+  /// Claim `cycles` at the earliest start >= `ready`; returns completion.
+  int64_t claim(int64_t ready, int64_t cycles) {
+    busy_ += cycles;
+    if (cycles == 0) return ready;
+    // First span that could constrain a start at `ready`: the predecessor
+    // may overlap it, every earlier span ends before it.
+    size_t i = std::upper_bound(spans_.begin(), spans_.end(), ready,
+                                [](int64_t t, const Span& s) {
+                                  return t < s.start;
+                                }) -
+               spans_.begin();
+    if (i > 0 && spans_[i - 1].end > ready) --i;
+    int64_t start = ready;
+    while (i < spans_.size() && spans_[i].start < start + cycles) {
+      if (spans_[i].end > start) start = spans_[i].end;
+      ++i;
+    }
+    insert(Span{start, start + cycles}, i);
+    return start + cycles;
+  }
+
+  int64_t busy() const { return busy_; }
+
+ private:
+  struct Span {
+    int64_t start, end;
+  };
+
+  void insert(Span s, size_t at) {
+    // Coalesce with abutting neighbours to keep the list short.
+    const bool join_prev = at > 0 && spans_[at - 1].end == s.start;
+    const bool join_next = at < spans_.size() && spans_[at].start == s.end;
+    if (join_prev && join_next) {
+      spans_[at - 1].end = spans_[at].end;
+      spans_.erase(spans_.begin() + static_cast<ptrdiff_t>(at));
+    } else if (join_prev) {
+      spans_[at - 1].end = s.end;
+    } else if (join_next) {
+      spans_[at].start = s.start;
+    } else {
+      spans_.insert(spans_.begin() + static_cast<ptrdiff_t>(at), s);
+    }
+  }
+
+  std::vector<Span> spans_;
+  int64_t busy_ = 0;
+};
 
 class ResourceTimeline {
  public:

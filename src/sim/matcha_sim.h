@@ -49,6 +49,8 @@ struct BatchSimResult {
 };
 
 /// Simulate `num_gates` concurrent gate bootstrappings with unroll factor m.
+/// For a whole *circuit* with real gate dependencies, see sim/chip_sim.h
+/// simulate_circuit over a sim/gate_dag.h GateDag.
 BatchSimResult simulate_batch(const TfheParams& tfhe, int unroll_m,
                               int num_gates, const hw::MatchaConfig& cfg = {});
 

@@ -41,18 +41,8 @@ BatchScheduleResult schedule_batch(const Dfg& gate_dfg, int num_gates,
 
   // Per-pipeline private timelines (TGSW cluster + EP core) and chip-shared
   // ones (polynomial unit, HBM channel).
-  struct Unit {
-    int64_t free_at = 0;
-    int64_t busy = 0;
-    int64_t claim(int64_t ready, int64_t cycles) {
-      const int64_t start = ready > free_at ? ready : free_at;
-      free_at = start + cycles;
-      busy += cycles;
-      return free_at;
-    }
-  };
-  std::vector<Unit> tgsw(pipelines), ep(pipelines);
-  Unit poly, hbm;
+  std::vector<UnitTimeline> tgsw(pipelines), ep(pipelines);
+  UnitTimeline poly, hbm;
 
   const size_t num_nodes = gate_dfg.nodes.size();
   // end[g * num_nodes + n] = completion cycle of node n of gate g.
@@ -70,7 +60,7 @@ BatchScheduleResult schedule_batch(const Dfg& gate_dfg, int num_gates,
         assert(d < node.id && "DFG must be emitted in topological order");
         if (end[base + d] > ready) ready = end[base + d];
       }
-      Unit* unit = nullptr;
+      UnitTimeline* unit = nullptr;
       switch (node.resource) {
         case Resource::kTgswCluster: unit = &tgsw[g % pipelines]; break;
         case Resource::kEpCore: unit = &ep[g % pipelines]; break;

@@ -12,6 +12,13 @@
 
 namespace matcha {
 
+/// A known plaintext bit as a trivial (noiseless) ciphertext -- the TFHE
+/// library's CONSTANT gate. One encoding shared by the eager evaluator and
+/// the batch executor so recorded and immediate mode agree bit-for-bit.
+inline LweSample constant_bit(int n_lwe, Torus32 mu, bool value) {
+  return LweSample::trivial(n_lwe, value ? mu : static_cast<Torus32>(-mu));
+}
+
 /// Pre-bootstrap linear combination for a binary gate over inputs a, b with
 /// message amplitude mu (trivial offsets follow the TFHE library).
 inline LweSample binary_gate_input(GateKind kind, const LweSample& a,

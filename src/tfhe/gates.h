@@ -64,6 +64,11 @@ class GateEvaluator {
   LweSample gate_xnor(const LweSample& a, const LweSample& b) {
     return gate_binary(GateKind::kXnor, a, b);
   }
+  /// A known plaintext bit as a trivial (noiseless) ciphertext -- the TFHE
+  /// library's CONSTANT gate. No bootstrapping; valid as any gate input.
+  LweSample constant(bool value) const {
+    return constant_bit(bk_.n_lwe, mu_, value);
+  }
   /// NOT is a ciphertext negation -- no bootstrapping (Fig. 1's outlier).
   LweSample gate_not(const LweSample& a) {
     const auto t0 = clock_now();

@@ -24,13 +24,23 @@ TEST(Netlist, MultiplierBiggerThanAdder) {
 }
 
 TEST(ChipSim, AdderRunsFasterThanSerial) {
+  // At m=1 the chip is compute-bound: the adder's independent gates overlap
+  // almost to the 40/17 dependency bound. At m=3 the same circuit is
+  // HBM-bound (the paper's memory-bound regime): the bigger unrolled key
+  // stream erodes gate-level overlap, even though per-gate latency shrank.
   const Netlist n = ripple_adder_netlist(8);
-  const auto r = simulate_circuit(kParams, 3, n);
-  EXPECT_EQ(r.gates, n.size());
-  EXPECT_GT(r.effective_parallelism, 1.2);
-  EXPECT_LT(r.time_ms, r.gates * r.gate_latency_ms);
+  const auto r1 = simulate_circuit(kParams, 1, n);
+  EXPECT_EQ(r1.gates, n.size());
+  EXPECT_GT(r1.effective_parallelism, 1.8);
+  EXPECT_LT(r1.time_ms, r1.gates * r1.gate_latency_ms);
   // But not faster than the critical path allows.
-  EXPECT_GE(r.time_ms, r.critical_path * r.gate_latency_ms * 0.99);
+  EXPECT_GE(r1.time_ms, r1.critical_path * r1.gate_latency_ms * 0.99);
+  const auto r3 = simulate_circuit(kParams, 3, n);
+  EXPECT_GT(r3.effective_parallelism, 1.0);
+  EXPECT_LT(r3.effective_parallelism, r1.effective_parallelism);
+  EXPECT_GT(r3.hbm_utilization, r1.hbm_utilization);
+  // Unrolling still wins on absolute latency.
+  EXPECT_LT(r3.time_ms, r1.time_ms);
 }
 
 TEST(ChipSim, CriticalPathMatchesRippleStructure) {
@@ -58,6 +68,27 @@ TEST(ChipSim, HbmThrottlesWideCircuitsAtHighM) {
   fat.hbm_gbps = 5120.0;
   const auto rfat = simulate_circuit(kParams, 3, flat, fat);
   EXPECT_LT(rfat.time_ms, r3.time_ms);
+}
+
+TEST(ChipSim, WeightedGateDagEntryPoint) {
+  // The GateDag overload carries per-gate bootstrap weights: free NOT gates
+  // and double-cost MUXes, dispatched by dependency readiness.
+  GateDag dag;
+  dag.gates.resize(6);
+  dag.gates[2].deps = {0, 1};
+  dag.gates[2].bootstraps = 2; // a MUX
+  dag.gates[3].deps = {2};
+  dag.gates[3].bootstraps = 0; // a NOT: free
+  dag.gates[4].deps = {2};
+  dag.gates[5].deps = {3, 4};
+  const auto r = simulate_circuit(kParams, 3, dag);
+  EXPECT_EQ(r.gates, 6);
+  EXPECT_EQ(r.total_bootstraps, 6);
+  EXPECT_EQ(r.critical_path, 5); // g0(1) + MUX g2(2) + g4(1) + g5(1)
+  EXPECT_GT(r.time_ms, 0.0);
+  EXPECT_GT(r.bootstraps_per_s, 0.0);
+  EXPECT_GT(r.effective_parallelism, 1.0);
+  EXPECT_GE(r.time_ms, r.gate_latency_ms);
 }
 
 TEST(ChipSim, EmptyNetlist) {

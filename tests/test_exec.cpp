@@ -200,6 +200,39 @@ TEST(BatchExecutor, AllGateKindsIncludingMuxAndNot) {
   }
 }
 
+TEST(BatchExecutor, RunBatchMatchesIndividualRuns) {
+  // The flattened (batch item x wavefront slice) task space must not let
+  // items contaminate each other: a 3-item batch on 4 threads is bit-equal
+  // to three independent single-item runs on 1 thread.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const AdderCmpCircuit c;
+  BatchExecutor<DoubleFftEngine> par(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+  BatchExecutor<DoubleFftEngine> seq(make_engine, dk.bk, *dk.ks, K.params.mu(), 1);
+
+  const std::pair<uint64_t, uint64_t> cases[] = {{2, 13}, {8, 8}, {15, 1}};
+  std::vector<std::vector<LweSample>> batch;
+  for (size_t i = 0; i < 3; ++i) {
+    Rng rng = test::test_rng(300 + i);
+    batch.push_back(c.encrypt_inputs(cases[i].first, cases[i].second, rng));
+  }
+  const std::vector<BatchResult> rb = par.run_batch(c.b.graph(), batch);
+  ASSERT_EQ(rb.size(), 3u);
+  EXPECT_EQ(par.last_stats().items, 3);
+  EXPECT_EQ(par.last_stats().gates, 3 * c.b.graph().num_gates());
+  for (size_t i = 0; i < 3; ++i) {
+    Rng rng = test::test_rng(300 + i);
+    const BatchResult ri =
+        seq.run(c.b.graph(), c.encrypt_inputs(cases[i].first, cases[i].second, rng));
+    ASSERT_EQ(rb[i].values.size(), ri.values.size());
+    for (size_t w = 0; w < ri.values.size(); ++w) {
+      ASSERT_TRUE(same_sample(rb[i].values[w], ri.values[w]))
+          << "item " << i << " wire " << w;
+    }
+    EXPECT_EQ(c.decrypt_sum(rb[i]), cases[i].first + cases[i].second);
+  }
+}
+
 TEST(EngineCounters, PerThreadCountersMergeLosslessly) {
   // Regression for the counter race: EngineCounters used to be one shared
   // mutable struct; concurrent gates would drop increments. Per-thread

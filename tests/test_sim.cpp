@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "sim/gate_dag.h"
 #include "sim/matcha_sim.h"
 
 namespace matcha::sim {
@@ -251,6 +252,113 @@ TEST(BatchSchedule, HbmContentionCapsScaling) {
   const auto starved = simulate_batch(kParams, 3, 16, thin);
   EXPECT_LT(starved.speedup_vs_serial, fat.speedup_vs_serial);
   EXPECT_GT(starved.hbm_utilization, 0.9);
+}
+
+TEST(GateDagSchedule, ChainSerializesExactly) {
+  // A dependency chain can never overlap: each gate replays the bootstrap
+  // DFG starting where its predecessor ended.
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 1;
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const int64_t single = schedule(dfg).makespan;
+  GateDag chain;
+  for (int i = 0; i < 4; ++i) {
+    GateDagNode n;
+    if (i > 0) n.deps.push_back(i - 1);
+    chain.gates.push_back(n);
+  }
+  const auto r = schedule_gate_dag(dfg, chain, p.hw.pipelines);
+  EXPECT_EQ(r.makespan, 4 * single);
+  EXPECT_EQ(chain.critical_path_bootstraps(), 4);
+}
+
+TEST(GateDagSchedule, DiamondBeatsChain) {
+  // a -> {b, c} -> d: the two middle gates are independent and must overlap
+  // across pipelines, beating the equivalent 4-gate chain.
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 1;
+  const Dfg dfg = build_bootstrap_dfg(p);
+  GateDag diamond;
+  diamond.gates.resize(4);
+  diamond.gates[1].deps = {0};
+  diamond.gates[2].deps = {0};
+  diamond.gates[3].deps = {1, 2};
+  GateDag chain;
+  chain.gates.resize(4);
+  for (int i = 1; i < 4; ++i) chain.gates[i].deps = {i - 1};
+  const auto rd = schedule_gate_dag(dfg, diamond, p.hw.pipelines);
+  const auto rc = schedule_gate_dag(dfg, chain, p.hw.pipelines);
+  EXPECT_LT(rd.makespan, rc.makespan);
+  EXPECT_EQ(diamond.critical_path_bootstraps(), 3);
+}
+
+TEST(GateDagSchedule, LinearGatesAreFree) {
+  // NOT gates (bootstraps = 0) order results but consume no pipeline time.
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 1;
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const int64_t single = schedule(dfg).makespan;
+  GateDag dag;
+  dag.gates.resize(3);
+  dag.gates[0].bootstraps = 0; // NOT of an input
+  dag.gates[1].bootstraps = 0;
+  dag.gates[1].deps = {0};
+  dag.gates[2].deps = {1}; // one real bootstrap at the end
+  const auto r = schedule_gate_dag(dfg, dag, p.hw.pipelines);
+  EXPECT_EQ(r.makespan, single);
+  EXPECT_EQ(dag.total_bootstraps(), 1);
+}
+
+TEST(GateDagSchedule, IndependentGatesFillPipelines) {
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 1;
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const int64_t single = schedule(dfg).makespan;
+  GateDag wide;
+  wide.gates.resize(p.hw.pipelines);
+  const auto r = schedule_gate_dag(dfg, wide, p.hw.pipelines);
+  // Much faster than serial, never faster than perfectly linear.
+  EXPECT_LT(r.makespan, p.hw.pipelines * single / 2);
+  EXPECT_GE(r.makespan, single);
+  EXPECT_LE(r.hbm_utilization, 1.0);
+  EXPECT_LE(r.pipeline_occupancy, 1.0);
+}
+
+TEST(GateDagSchedule, RecordingOrderIrrelevant) {
+  // Two interleavings of the same two independent chains: dispatch is by
+  // data readiness, so the makespan cannot depend on emission order.
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 2;
+  const Dfg dfg = build_bootstrap_dfg(p);
+  GateDag grouped; // A1 A2 B1 B2
+  grouped.gates.resize(4);
+  grouped.gates[1].deps = {0};
+  grouped.gates[3].deps = {2};
+  GateDag interleaved; // A1 B1 A2 B2
+  interleaved.gates.resize(4);
+  interleaved.gates[2].deps = {0};
+  interleaved.gates[3].deps = {1};
+  const auto rg = schedule_gate_dag(dfg, grouped, p.hw.pipelines);
+  const auto ri = schedule_gate_dag(dfg, interleaved, p.hw.pipelines);
+  EXPECT_EQ(rg.makespan, ri.makespan);
+}
+
+TEST(GateDagSchedule, MuxCostsTwoBootstraps) {
+  SimParams p;
+  p.tfhe = kParams;
+  p.unroll_m = 1;
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const int64_t single = schedule(dfg).makespan;
+  GateDag dag;
+  dag.gates.resize(1);
+  dag.gates[0].bootstraps = 2;
+  const auto r = schedule_gate_dag(dfg, dag, p.hw.pipelines);
+  EXPECT_EQ(r.makespan, 2 * single);
 }
 
 TEST(Sim, ServiceTimesScaleWithRingSize) {
