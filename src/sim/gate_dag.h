@@ -1,0 +1,56 @@
+// Dependency-aware scheduling of a whole gate *circuit* onto the MATCHA
+// chip model: where scheduler.h's schedule_batch maps identical independent
+// bootstrappings round-robin, this takes the true gate dependency DAG (as
+// recorded by exec/GateGraph -- see exec/sim_bridge.h) and dispatches gates
+// by readiness: a gate issues as soon as its operands are complete and a
+// TGSW-cluster/EP-core pipeline is free, with the polynomial unit and HBM
+// key stream shared chip-wide. This is the honest chip-side view of
+// wavefront parallelism -- recording order never matters, only dependencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dfg.h"
+
+namespace matcha::sim {
+
+/// One gate of a circuit-level DAG. `bootstraps` is the gate's cost in gate
+/// bootstrappings (0 for NOT -- a free linear op; 2 for MUX); `deps` are the
+/// indices of earlier gates whose outputs it consumes.
+struct GateDagNode {
+  int bootstraps = 1;
+  std::vector<int> deps;
+};
+
+struct GateDag {
+  std::vector<GateDagNode> gates;
+
+  int64_t total_bootstraps() const;
+  /// Longest dependency chain, weighted in bootstraps -- the depth bound no
+  /// amount of pipelines can beat.
+  int64_t critical_path_bootstraps() const;
+};
+
+struct GateDagScheduleResult {
+  int num_gates = 0;
+  int pipelines = 0;
+  int64_t makespan = 0;           ///< circuit completion (cycles)
+  std::vector<int64_t> gate_end;  ///< per-gate completion cycle
+  double pipeline_occupancy = 0;  ///< mean TGSW+EP busy fraction
+  double hbm_utilization = 0;
+  double poly_utilization = 0;
+};
+
+/// Map the circuit DAG onto a chip with `pipelines` TGSW-cluster/EP-core
+/// pairs. Gates are dispatched in readiness order (earliest data-ready
+/// first) onto the pipeline that can start them soonest; each bootstrap of a
+/// gate runs the full per-bootstrap DFG `gate_dfg` with its node-level
+/// resource claims (private TGSW/EP units, shared poly unit + HBM channel).
+/// A gate's bootstraps are sequential on one pipeline (the accumulator
+/// dependence), matching the hardware constraint that one blind rotation
+/// never spreads across pipelines.
+GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
+                                        int pipelines);
+
+} // namespace matcha::sim
