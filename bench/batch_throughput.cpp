@@ -76,6 +76,56 @@ struct BigCircuit {
   }
 };
 
+/// The full adder + comparator + multiplier bundle the fusion pass is
+/// measured on: carry/sum chains (fusible MAJ3/XOR3 cones) plus comparator
+/// scans (mostly unfusible) over shared inputs.
+struct Bundle {
+  CircuitBuilder builder;
+
+  Bundle() {
+    SymWordCircuits wc(builder);
+    const SymWord x = builder.input_word(kWidth);
+    const SymWord y = builder.input_word(kWidth);
+    builder.mark_output(wc.add(x, y, nullptr, /*with_carry_out=*/true));
+    builder.mark_output(wc.multiply(x, y));
+    builder.mark_output(wc.greater_than(x, y));
+    builder.mark_output(wc.equal(x, y));
+  }
+};
+
+/// Pre-fusion vs post-fusion optimizer counts for one recorded circuit, to
+/// console + JSON -- the machine-readable record of the bootstrap-count win.
+void report_fusion(JsonWriter& j, const char* name, CircuitBuilder& builder) {
+  exec::OptimizeOptions no_fuse;
+  no_fuse.fuse_lut_cones = false;
+  const CompiledGraph pre = builder.compile(no_fuse);
+  const CompiledGraph post = builder.compile();
+  int luts = 0;
+  for (const auto& n : post.graph.nodes()) {
+    luts += n.is_gate() && n.kind == GateKind::kLut;
+  }
+  const double reduction =
+      100.0 * (1.0 - static_cast<double>(post.stats.bootstraps_after) /
+                         static_cast<double>(pre.stats.bootstraps_after));
+  std::printf("%-16s gates %4d -> %4d, bootstraps %4lld -> %4lld "
+              "(%d cones, %d absorbed, %d LUTs)  -%.1f%%\n",
+              name, pre.stats.gates_after, post.stats.gates_after,
+              static_cast<long long>(pre.stats.bootstraps_after),
+              static_cast<long long>(post.stats.bootstraps_after),
+              post.stats.cones_fused, post.stats.fused_away, luts, reduction);
+  j.begin_object();
+  j.field("circuit", name);
+  j.field("gates_unfused", pre.stats.gates_after);
+  j.field("gates_fused", post.stats.gates_after);
+  j.field("bootstraps_unfused", pre.stats.bootstraps_after);
+  j.field("bootstraps_fused", post.stats.bootstraps_after);
+  j.field("cones_fused", post.stats.cones_fused);
+  j.field("gates_absorbed", post.stats.fused_away);
+  j.field("lut_nodes", luts);
+  j.field("reduction_pct", reduction);
+  j.end_object();
+}
+
 } // namespace
 
 int main() {
@@ -182,11 +232,21 @@ int main() {
   j.field("folded", st.folded);
   j.field("cse_hits", st.cse_hits);
   j.field("dead_removed", st.dead_removed);
+  j.field("cones_fused", st.cones_fused);
+  j.field("gates_absorbed", st.fused_away);
   j.field("bootstraps_before", st.bootstraps_before);
   j.field("bootstraps_after", st.bootstraps_after);
   j.field("wavefronts", static_cast<int64_t>(fronts.size()));
   j.field("max_width", static_cast<int64_t>(max_width));
   j.end_object();
+
+  std::printf("\n-- LUT cone fusion: bootstraps with fuse_lut_cones off/on --\n");
+  j.name("fusion");
+  j.begin_array();
+  report_fusion(j, "mul8+cmp", big.builder);
+  Bundle bundle;
+  report_fusion(j, "add8+cmp8+mul8", bundle.builder);
+  j.end_array();
 
   // A single optimized circuit across the thread sweep: wavefront slicing
   // must let one circuit use every worker.

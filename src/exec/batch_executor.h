@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -29,6 +30,7 @@
 #include "exec/gate_graph.h"
 #include "exec/thread_pool.h"
 #include "fft/engine_counters.h"
+#include "tfhe/functional.h"
 #include "tfhe/gate_ops.h"
 #include "tfhe/gates.h"
 
@@ -92,8 +94,14 @@ class BatchExecutor {
   /// Execute the graph once per batch item. Wavefront by wavefront, the
   /// (item x gate) task space is strided across workers; results are
   /// bit-identical for any thread count and any batch grouping.
+  /// An empty batch is a well-defined no-op: no worker is woken, no counter
+  /// is touched, and an empty result vector comes back.
   std::vector<BatchResult> run_batch(const GateGraph& g,
                                      std::vector<std::vector<LweSample>> batch) {
+    if (batch.empty()) {
+      stats_ = {};
+      return {};
+    }
     for (const auto& inputs : batch) {
       if (inputs.size() != static_cast<size_t>(g.num_inputs())) {
         throw std::invalid_argument(
@@ -103,6 +111,7 @@ class BatchExecutor {
       }
     }
     const auto t0 = std::chrono::steady_clock::now();
+    prepare_lut_testvectors(g);
     // Discard any counts a previous run left unmerged (e.g. after a worker
     // threw), so the post-run merge reflects exactly this run.
     for (auto& w : workers_) w->engine->counters().reset();
@@ -125,13 +134,14 @@ class BatchExecutor {
       // One flattened (item x gate) task space per wavefront: every pair is
       // independent of every other, so workers stride freely across it.
       const size_t tasks = front.size() * static_cast<size_t>(items);
+      if (tasks == 0) continue; // never wake the whole pool for zero work
       const size_t stride = workers_.size();
       pool_.run([&](int t) {
         Worker& w = *workers_[t];
         for (size_t k = static_cast<size_t>(t); k < tasks; k += stride) {
           const int gate = front[k % front.size()];
           auto& values = results[k / front.size()].values;
-          values[gate] = eval_gate(w, g.nodes()[gate], values);
+          values[gate] = eval_gate(w, g, gate, values);
         }
       });
     }
@@ -165,8 +175,9 @@ class BatchExecutor {
         : engine(std::move(eng)), ws(*engine, gadget) {}
   };
 
-  LweSample eval_gate(Worker& w, const GateNode& n,
+  LweSample eval_gate(Worker& w, const GateGraph& g, int id,
                       const std::vector<LweSample>& v) {
+    const GateNode& n = g.nodes()[static_cast<size_t>(id)];
     const Engine& eng = *w.engine;
     switch (n.kind) {
       case GateKind::kNot: {
@@ -177,11 +188,52 @@ class BatchExecutor {
       case GateKind::kMux:
         return mux_gate_eval(eng, bk_, ks_, mu_, v[n.in[0]], v[n.in[1]],
                              v[n.in[2]], w.ws, mode_);
+      case GateKind::kLut: {
+        // One weighted linear combination + one functional bootstrap, however
+        // many Boolean gates the cone replaced (tfhe/lut.h).
+        std::array<const LweSample*, 4> ins{};
+        for (int j = 0; j < n.fan_in(); ++j) ins[static_cast<size_t>(j)] = &v[n.in[j]];
+        const LweSample combo =
+            lut_cone_input(n.lut, std::span<const LweSample* const>(
+                                      ins.data(), static_cast<size_t>(n.fan_in())),
+                           bk_.n_lwe);
+        const TorusPolynomial& tv = *node_testv_[static_cast<size_t>(id)];
+        return functional_bootstrap(eng, bk_, ks_, tv, combo, w.ws, mode_);
+      }
       default: {
         LweSample combo =
             binary_gate_input(n.kind, v[n.in[0]], v[n.in[1]], mu_, bk_.n_lwe);
         return bootstrap(eng, bk_, ks_, mu_, combo, w.ws, mode_);
       }
+    }
+  }
+
+  /// Build (once per run, before dispatch) the distinct LUT test vectors the
+  /// graph needs, plus the per-node pointers the worker hot loop reads;
+  /// workers read both concurrently but never mutate them.
+  void prepare_lut_testvectors(const GateGraph& g) {
+    lut_testv_.clear();
+    node_testv_.assign(g.nodes().size(), nullptr);
+    for (size_t i = 0; i < g.nodes().size(); ++i) {
+      const GateNode& n = g.nodes()[i];
+      if (!n.is_gate() || n.kind != GateKind::kLut) continue;
+      // The LUT phase grid is derived from the standard gate amplitude; a
+      // nonstandard mu would silently misalign every slot.
+      if (mu_ != torus_fraction(1, 8)) {
+        throw std::invalid_argument(
+            "BatchExecutor: LUT nodes require the standard gate amplitude "
+            "mu = 1/8");
+      }
+      const std::array<Torus32, 4> slots = lut_slot_values(n.lut, mu_);
+      auto it = lut_testv_.find(slots);
+      if (it == lut_testv_.end()) {
+        it = lut_testv_
+                 .emplace(slots,
+                          make_lut_testvector(
+                              workers_.front()->engine->ring_n(), slots))
+                 .first;
+      }
+      node_testv_[i] = &it->second;
     }
   }
 
@@ -193,6 +245,11 @@ class BatchExecutor {
   std::vector<std::unique_ptr<Worker>> workers_;
   EngineCounters merged_;
   BatchStats stats_;
+  /// Per-run cache of LUT test vectors, keyed by their slot values, plus a
+  /// node-id -> test-vector pointer index for the worker hot loop (both
+  /// read-only while workers are in flight; std::map nodes are stable).
+  std::map<std::array<Torus32, 4>, TorusPolynomial> lut_testv_;
+  std::vector<const TorusPolynomial*> node_testv_;
 };
 
 } // namespace matcha::exec

@@ -6,6 +6,10 @@
 // exec/batch_executor.h runs wavefront-parallel across a worker pool.
 #pragma once
 
+#include <span>
+#include <stdexcept>
+#include <string>
+
 #include "circuits/word.h"
 #include "exec/gate_graph.h"
 
@@ -46,6 +50,24 @@ class CircuitBuilder {
   Wire gate_not(const Wire& a) { return g_.add_gate(GateKind::kNot, a); }
   Wire gate_mux(const Wire& sel, const Wire& c1, const Wire& c0) {
     return g_.add_gate(GateKind::kMux, sel, c1, c0);
+  }
+  /// Record a k-input LUT node (k <= kLutMaxFanIn): `table` bit
+  /// sum_i b_i 2^i is the output for input bits b_i on ins[i]. One
+  /// functional bootstrap at execution time. Throws when the table has no
+  /// single-bootstrap phase embedding (tfhe/lut.h) -- build it from gates
+  /// instead and let the optimizer decide.
+  Wire gate_lut(std::span<const Wire> ins, uint16_t table) {
+    const auto spec = solve_lut_cone(static_cast<int>(ins.size()), table);
+    if (!spec) {
+      throw std::invalid_argument(
+          "CircuitBuilder::gate_lut: table " + std::to_string(table) +
+          " has no single-bootstrap embedding at fan-in " +
+          std::to_string(ins.size()));
+    }
+    return g_.add_lut(ins, *spec);
+  }
+  Wire gate_lut(std::initializer_list<Wire> ins, uint16_t table) {
+    return gate_lut(std::span<const Wire>(ins.begin(), ins.size()), table);
   }
 
   const GateGraph& graph() const { return g_; }

@@ -28,13 +28,48 @@ Wire GateGraph::add_const(bool value) {
 }
 
 Wire GateGraph::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
+  assert(kind != GateKind::kLut && "LUT nodes carry a payload; use add_lut");
   GateNode n;
   n.kind = kind;
-  n.in = {a.id, b.id, c.id};
+  n.in = {a.id, b.id, c.id, -1};
   const int id = num_nodes();
   for (int i = 0; i < n.fan_in(); ++i) {
     assert(n.in[i] >= 0 && n.in[i] < id && "gate consumes an unknown wire");
     (void)id;
+  }
+  nodes_.push_back(n);
+  ++num_gates_;
+  return Wire{id};
+}
+
+Wire GateGraph::add_lut(std::span<const Wire> ins, const LutSpec& spec) {
+  assert(spec.k >= 1 && spec.k <= kLutMaxFanIn &&
+         static_cast<size_t>(spec.k) == ins.size() &&
+         "LUT fan-in must match its spec");
+  GateNode n;
+  n.kind = GateKind::kLut;
+  n.lut = spec;
+  const int id = num_nodes();
+  for (size_t i = 0; i < ins.size(); ++i) {
+    assert(ins[i].id >= 0 && ins[i].id < id && "LUT consumes an unknown wire");
+    n.in[i] = ins[i].id;
+  }
+  nodes_.push_back(n);
+  ++num_gates_;
+  return Wire{id};
+}
+
+Wire GateGraph::clone_gate(const GateNode& proto, std::span<const int> ins) {
+  assert(proto.is_gate() && "clone_gate copies gate nodes only");
+  GateNode n;
+  n.kind = proto.kind;
+  n.lut = proto.lut;
+  const int id = num_nodes();
+  assert(static_cast<size_t>(n.fan_in()) <= ins.size());
+  for (int i = 0; i < n.fan_in(); ++i) {
+    assert(ins[static_cast<size_t>(i)] >= 0 && ins[static_cast<size_t>(i)] < id &&
+           "gate consumes an unknown wire");
+    n.in[static_cast<size_t>(i)] = ins[static_cast<size_t>(i)];
   }
   nodes_.push_back(n);
   ++num_gates_;

@@ -20,9 +20,11 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tfhe/gate_kind.h"
+#include "tfhe/lut.h"
 
 namespace matcha::exec {
 
@@ -40,31 +42,41 @@ struct GateNode {
   bool is_const = false;
   bool const_value = false; ///< plaintext bit when is_const
   /// Fan-in wires: binary gates use in[0], in[1]; NOT uses in[0]; MUX uses
-  /// {sel, c1, c0}.
-  std::array<int, 3> in{-1, -1, -1};
+  /// {sel, c1, c0}; LUT uses in[0..lut.k).
+  std::array<int, 4> in{-1, -1, -1, -1};
+  /// kLut payload: truth table + combo weights (tfhe/lut.h). The i-th LUT
+  /// input bit is the wire in[i].
+  LutSpec lut{};
 
   bool is_gate() const { return !is_input && !is_const; }
   int fan_in() const {
     if (!is_gate()) return 0;
     if (kind == GateKind::kNot) return 1;
     if (kind == GateKind::kMux) return 3;
+    if (kind == GateKind::kLut) return lut.k;
     return 2;
   }
 };
 
-/// Which passes compile() runs. Constant folding rewrites ciphertexts (a
-/// folded gate skips its bootstrap, so the output bits differ from an eager
-/// evaluation while the plaintexts agree); CSE and DCE are bit-preserving --
-/// deduplicated gates recompute the identical deterministic bootstrap, and
-/// dead gates never feed an output.
+/// Which passes compile() runs. Constant folding and LUT cone fusion rewrite
+/// ciphertexts (a folded gate skips its bootstrap; a fused cone replaces
+/// several bootstraps with one functional bootstrap -- output bits differ
+/// from an eager evaluation while the plaintexts agree); CSE and DCE are
+/// bit-preserving -- deduplicated gates recompute the identical
+/// deterministic bootstrap, and dead gates never feed an output.
 struct OptimizeOptions {
   bool fold_constants = true;
   bool common_subexpression = true;
   bool dead_gate_elimination = true;
+  /// Collapse single-output gate cones (fan-in <= kLutMaxFanIn, realizable
+  /// truth table -- see tfhe/lut.h) into one-bootstrap LUT nodes. Runs after
+  /// fold/CSE (folding exposes larger cones) and before DCE (fusion strands
+  /// absorbed gates for DCE to reap).
+  bool fuse_lut_cones = true;
 
-  static OptimizeOptions none() { return {false, false, false}; }
+  static OptimizeOptions none() { return {false, false, false, false}; }
   /// The bit-preserving subset: results identical to the unoptimized graph.
-  static OptimizeOptions bit_preserving() { return {false, true, true}; }
+  static OptimizeOptions bit_preserving() { return {false, true, true, false}; }
 };
 
 struct OptimizeStats {
@@ -73,6 +85,8 @@ struct OptimizeStats {
   int folded = 0;       ///< gates replaced by constants or existing wires
   int cse_hits = 0;     ///< gates deduplicated against an identical twin
   int dead_removed = 0; ///< gates unreachable from any marked output
+  int cones_fused = 0;  ///< LUT nodes emitted by cone fusion
+  int fused_away = 0;   ///< gates absorbed into LUT cones and eliminated
   int64_t bootstraps_before = 0;
   int64_t bootstraps_after = 0;
 };
@@ -87,6 +101,12 @@ class GateGraph {
   Wire add_const(bool value);
   /// Append a gate consuming existing wires (asserts they are in range).
   Wire add_gate(GateKind kind, Wire a, Wire b = {}, Wire c = {});
+  /// Append a fused LUT node: one functional bootstrap over ins.size() ==
+  /// spec.k input wires (see tfhe/lut.h for the spec's legality contract).
+  Wire add_lut(std::span<const Wire> ins, const LutSpec& spec);
+  /// Append a structural copy of `proto` (kind + LUT payload) over new
+  /// fan-in wires -- the optimizer's rebuild primitive.
+  Wire clone_gate(const GateNode& proto, std::span<const int> ins);
   /// Mark a wire the circuit's consumer will read. Dead-gate elimination
   /// keeps exactly the cone of influence of the marked outputs; a graph with
   /// no marked outputs treats every node as live.

@@ -1,12 +1,18 @@
 // The GateGraph optimization pipeline (gate_graph.h CompiledGraph::compile):
 // one forward pass folds constants and deduplicates common subexpressions
-// while rebuilding the graph, then a backward liveness pass drops every gate
-// outside the cone of influence of the marked outputs. Pass ordering matters:
-// folding exposes CSE twins (folded operands alias to the same wire), and
-// both create dead producers that only the final DCE pass can reap.
+// while rebuilding the graph, then LUT cone fusion collapses single-output
+// gate cones into one-bootstrap LUT nodes, then a backward liveness pass
+// drops every gate outside the cone of influence of the marked outputs.
+// Pass ordering matters: folding exposes CSE twins (folded operands alias to
+// the same wire) and shrinks cones so more of them fit the LUT fan-in bound;
+// fusion strands absorbed gates; and all three create dead producers that
+// only the final DCE pass can reap.
+#include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "exec/gate_graph.h"
 
@@ -24,8 +30,19 @@ bool eval_plain(GateKind kind, bool a, bool b, bool c) {
     case GateKind::kXnor: return a == b;
     case GateKind::kNot: return !a;
     case GateKind::kMux: return a ? b : c;
+    case GateKind::kLut: break; // handled by node_eval (needs the table)
   }
   return false;
+}
+
+/// Plaintext evaluation of one node over its operand values (LUT-aware).
+bool node_eval(const GateNode& n, const std::array<bool, 4>& v) {
+  if (n.kind == GateKind::kLut) {
+    unsigned idx = 0;
+    for (int i = 0; i < n.lut.k; ++i) idx |= (v[static_cast<size_t>(i)] ? 1u : 0u) << i;
+    return lut_eval(n.lut.table, idx);
+  }
+  return eval_plain(n.kind, v[0], v[1], v[2]);
 }
 
 /// What a folding rule decided for one gate.
@@ -42,10 +59,21 @@ struct Fold {
 
 /// Constant-fold one gate whose operands live in the rebuilt graph. `known`
 /// holds the operands' plaintext values where the producer is a const node.
-Fold fold_gate(GateKind kind, const std::array<int, 3>& in,
-               const std::array<const bool*, 3>& known) {
+Fold fold_gate(const GateNode& n, const std::array<int, 4>& in,
+               const std::array<const bool*, 4>& known) {
+  const GateKind kind = n.kind;
   if (kind == GateKind::kNot) {
     return known[0] ? Fold::constant(!*known[0]) : Fold::keep();
+  }
+  if (kind == GateKind::kLut) {
+    // Fold only when every input is known (partial-application table
+    // specialization is left on the table).
+    std::array<bool, 4> v{};
+    for (int i = 0; i < n.lut.k; ++i) {
+      if (!known[static_cast<size_t>(i)]) return Fold::keep();
+      v[static_cast<size_t>(i)] = *known[static_cast<size_t>(i)];
+    }
+    return Fold::constant(node_eval(n, v));
   }
   if (kind == GateKind::kMux) {
     if (known[0]) return Fold::alias(*known[0] ? in[1] : in[2]);
@@ -81,12 +109,20 @@ OptimizeStats fold_and_cse(const GateGraph& g, const OptimizeOptions& opts,
   stats.gates_before = g.num_gates();
   stats.bootstraps_before = g.bootstrap_count();
   map.assign(g.nodes().size(), -1);
-  // CSE table over (kind, canonicalized operands) in the rebuilt graph.
-  std::map<std::array<int, 4>, int> seen;
+  // CSE table over (kind, canonicalized operands, LUT payload) in the
+  // rebuilt graph.
+  std::map<std::array<int, 7>, int> seen;
 
-  const auto emit_gate = [&](GateKind kind, std::array<int, 3> in) -> int {
-    if (is_binary_gate(kind) && in[0] > in[1]) std::swap(in[0], in[1]);
-    const std::array<int, 4> key{static_cast<int>(kind), in[0], in[1], in[2]};
+  const auto emit_node = [&](const GateNode& proto, std::array<int, 4> in) -> int {
+    if (is_binary_gate(proto.kind) && in[0] > in[1]) std::swap(in[0], in[1]);
+    std::array<int, 7> key{static_cast<int>(proto.kind), in[0], in[1], in[2],
+                           in[3], 0, 0};
+    if (proto.kind == GateKind::kLut) {
+      key[5] = proto.lut.table;
+      for (int i = 0; i < 4; ++i) {
+        key[6] |= (proto.lut.w[static_cast<size_t>(i)] + 8) << (5 * i);
+      }
+    }
     if (opts.common_subexpression) {
       const auto it = seen.find(key);
       if (it != seen.end()) {
@@ -94,8 +130,7 @@ OptimizeStats fold_and_cse(const GateGraph& g, const OptimizeOptions& opts,
         return it->second;
       }
     }
-    const int id =
-        out.add_gate(kind, Wire{in[0]}, Wire{in[1]}, Wire{in[2]}).id;
+    const int id = out.clone_gate(proto, in).id;
     if (opts.common_subexpression) seen.emplace(key, id);
     return id;
   };
@@ -110,18 +145,18 @@ OptimizeStats fold_and_cse(const GateGraph& g, const OptimizeOptions& opts,
       map[i] = out.add_const(n.const_value).id;
       continue;
     }
-    std::array<int, 3> in{-1, -1, -1};
-    std::array<const bool*, 3> known{nullptr, nullptr, nullptr};
+    std::array<int, 4> in{-1, -1, -1, -1};
+    std::array<const bool*, 4> known{nullptr, nullptr, nullptr, nullptr};
     for (int j = 0; j < n.fan_in(); ++j) {
       in[j] = map[n.in[j]];
       assert(in[j] >= 0 && "operand folded away before its consumer");
       const GateNode& op = out.nodes()[in[j]];
       if (op.is_const) known[j] = &op.const_value;
     }
-    Fold f = opts.fold_constants ? fold_gate(n.kind, in, known) : Fold::keep();
+    Fold f = opts.fold_constants ? fold_gate(n, in, known) : Fold::keep();
     switch (f.kind) {
       case Fold::Kind::kKeep:
-        map[i] = emit_gate(n.kind, in);
+        map[i] = emit_node(n, in);
         break;
       case Fold::Kind::kConst:
         ++stats.folded;
@@ -131,14 +166,267 @@ OptimizeStats fold_and_cse(const GateGraph& g, const OptimizeOptions& opts,
         ++stats.folded;
         map[i] = f.wire;
         break;
-      case Fold::Kind::kNotOf:
+      case Fold::Kind::kNotOf: {
         ++stats.folded;
-        map[i] = emit_gate(GateKind::kNot, {f.wire, -1, -1});
+        GateNode inv;
+        inv.kind = GateKind::kNot;
+        map[i] = emit_node(inv, {f.wire, -1, -1, -1});
         break;
+      }
     }
   }
   for (const int o : g.outputs()) out.mark_output(Wire{map[o]});
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// LUT cone fusion. Greedy covering in reverse topological order: each live
+// gate roots a cone that repeatedly absorbs one of its frontier ("cut")
+// gates, as long as the cut stays within kLutMaxFanIn and the cone's truth
+// table stays realizable as a single functional bootstrap (tfhe/lut.h). A
+// frontier gate may be absorbed even when it has consumers outside the cone
+// (logic duplication, as in FPGA LUT covering) -- it only counts toward the
+// cone's profit once every consumer is inside fused cones, at which point it
+// is retired. A cone commits when it retires at least one bootstrap.
+// ---------------------------------------------------------------------------
+
+struct Cone {
+  std::vector<int> cut; ///< leaf wires, in LUT input order
+  LutSpec spec;
+};
+
+/// Plaintext value of `id` within a cone, given the cut assignment `bits`
+/// (bit i of `bits` is the value of cone.cut[i]). Everything reachable from
+/// the root without crossing the cut is a cone member or a constant.
+/// `memo` caches member values (keyed by node id, -1 unset) so reconvergent
+/// cones evaluate each member once instead of once per root-to-leaf path.
+bool eval_in_cone(const GateGraph& g, const std::vector<int>& cut,
+                  unsigned bits, int id, std::map<int, bool>& memo) {
+  for (size_t i = 0; i < cut.size(); ++i) {
+    if (cut[i] == id) return ((bits >> i) & 1u) != 0;
+  }
+  const GateNode& n = g.nodes()[id];
+  if (n.is_const) return n.const_value;
+  assert(n.is_gate() && "cone frontier must cover every non-const ancestor");
+  const auto hit = memo.find(id);
+  if (hit != memo.end()) return hit->second;
+  std::array<bool, 4> v{};
+  for (int j = 0; j < n.fan_in(); ++j) {
+    v[static_cast<size_t>(j)] = eval_in_cone(g, cut, bits, n.in[j], memo);
+  }
+  const bool r = node_eval(n, v);
+  memo.emplace(id, r);
+  return r;
+}
+
+/// Truth table of the cone rooted at `root` over the cut, then the weight
+/// search. nullopt when the cut is oversized or the table has no consistent
+/// phase embedding.
+std::optional<LutSpec> realize_cone(const GateGraph& g, int root,
+                                    const std::vector<int>& cut) {
+  if (cut.empty() || cut.size() > static_cast<size_t>(kLutMaxFanIn)) {
+    return std::nullopt;
+  }
+  uint16_t table = 0;
+  for (unsigned b = 0; b < (1u << cut.size()); ++b) {
+    std::map<int, bool> memo;
+    if (eval_in_cone(g, cut, b, root, memo)) {
+      table |= static_cast<uint16_t>(1u << b);
+    }
+  }
+  return solve_lut_cone(static_cast<int>(cut.size()), table);
+}
+
+void fuse_cones(const GateGraph& g, GateGraph& out, std::vector<int>& map,
+                OptimizeStats& stats, bool dce_follows) {
+  const auto& nodes = g.nodes();
+  const int n = static_cast<int>(nodes.size());
+  std::vector<std::vector<int>> cons(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const GateNode& nd = nodes[static_cast<size_t>(i)];
+    if (!nd.is_gate()) continue;
+    for (int j = 0; j < nd.fan_in(); ++j) cons[static_cast<size_t>(nd.in[j])].push_back(i);
+  }
+  std::vector<char> is_output(static_cast<size_t>(n), 0);
+  for (const int o : g.outputs()) is_output[static_cast<size_t>(o)] = 1;
+  // When DCE follows, fusion works the LIVE cone only: gates outside the
+  // outputs' cone of influence are doomed anyway, so they neither root cones
+  // nor pin cone members alive (and the rebuild reaps them early -- they may
+  // reference retired operands). Without a following DCE pass everything
+  // must be treated as live and kept. A graph with no marked outputs treats
+  // every node as live (matching DCE) but also as externally observed, so
+  // nothing may be retired by duplication either.
+  std::vector<char> live(static_cast<size_t>(n), 1);
+  if (g.outputs().empty()) {
+    std::fill(is_output.begin(), is_output.end(), 1);
+  } else if (dce_follows) {
+    std::fill(live.begin(), live.end(), 0);
+    for (const int o : g.outputs()) live[static_cast<size_t>(o)] = 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (!live[static_cast<size_t>(i)]) continue;
+      const GateNode& nd = nodes[static_cast<size_t>(i)];
+      for (int j = 0; j < nd.fan_in(); ++j) live[static_cast<size_t>(nd.in[j])] = 1;
+    }
+  }
+  std::vector<char> dead(static_cast<size_t>(n), 0);
+  std::vector<std::optional<Cone>> fused(static_cast<size_t>(n));
+
+  for (int r = n - 1; r >= 0; --r) {
+    const GateNode& root = nodes[static_cast<size_t>(r)];
+    if (!root.is_gate() || dead[static_cast<size_t>(r)] ||
+        !live[static_cast<size_t>(r)]) {
+      continue;
+    }
+    // A lone NOT is free and a lone LUT is already one bootstrap; both can
+    // still be absorbed into cones rooted above them.
+    if (root.kind == GateKind::kNot) continue;
+
+    std::vector<int> members{r};
+    std::vector<int> cut;
+    const auto in_members = [&](int id) {
+      return std::find(members.begin(), members.end(), id) != members.end();
+    };
+    const auto push_leaf = [&](std::vector<int>& c, int w) {
+      if (nodes[static_cast<size_t>(w)].is_const) return; // known bit, not a LUT input
+      if (in_members(w)) return; // reconvergent edge back into the cone
+      if (std::find(c.begin(), c.end(), w) == c.end()) c.push_back(w);
+    };
+    for (int j = 0; j < root.fan_in(); ++j) push_leaf(cut, root.in[j]);
+
+    // The walk absorbs frontier gates greedily even through UNREALIZABLE
+    // intermediate states (OR(AND, AND) only becomes realizable once the
+    // whole MAJ3 cone is in), snapshotting the best realizable cone seen.
+    std::vector<int> snap_members, snap_cut;
+    std::optional<LutSpec> snap_spec;
+    const auto try_snapshot = [&]() {
+      std::optional<LutSpec> s = realize_cone(g, r, cut);
+      if (s) {
+        snap_members = members;
+        snap_cut = cut;
+        snap_spec = s;
+      }
+    };
+    try_snapshot();
+
+    // Greedy absorption: prefer candidates that retire bootstraps, then
+    // candidates that shrink the cut.
+    for (;;) {
+      int best_cand = -1;
+      int best_score = 0;
+      std::vector<int> best_cut;
+      for (size_t ci = 0; ci < cut.size(); ++ci) {
+        const int c = cut[ci];
+        const GateNode& cn = nodes[static_cast<size_t>(c)];
+        if (!cn.is_gate() || dead[static_cast<size_t>(c)]) continue;
+        std::vector<int> ncut = cut;
+        ncut.erase(ncut.begin() + static_cast<std::ptrdiff_t>(ci));
+        members.push_back(c);
+        for (int j = 0; j < cn.fan_in(); ++j) push_leaf(ncut, cn.in[j]);
+        members.pop_back();
+        if (ncut.size() > static_cast<size_t>(kLutMaxFanIn)) continue;
+        bool dies = !is_output[static_cast<size_t>(c)];
+        for (const int u : cons[static_cast<size_t>(c)]) {
+          if (live[static_cast<size_t>(u)] && !dead[static_cast<size_t>(u)] &&
+              u != r && !in_members(u)) {
+            dies = false;
+            break;
+          }
+        }
+        const int score = 1 + (dies ? 4 * bootstrap_cost(cn.kind) : 0) +
+                          static_cast<int>(cut.size()) - static_cast<int>(ncut.size());
+        if (score > best_score) {
+          best_score = score;
+          best_cand = c;
+          best_cut = std::move(ncut);
+        }
+      }
+      if (best_cand < 0) break;
+      members.push_back(best_cand);
+      cut = std::move(best_cut);
+      try_snapshot();
+    }
+    if (!snap_spec) continue; // e.g. a MUX root: no single-bootstrap embedding
+
+    // Profit: the LUT costs one bootstrap; it must retire strictly more.
+    // A member retires when every consumer is dead or itself retired within
+    // this cone (the root always retires -- the LUT replaces it).
+    members = std::move(snap_members);
+    cut = std::move(snap_cut);
+    std::vector<char> retired(members.size(), 0);
+    retired[0] = 1; // root
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (size_t m = 1; m < members.size(); ++m) {
+        if (retired[m] || is_output[static_cast<size_t>(members[m])]) continue;
+        bool all_gone = true;
+        for (const int u : cons[static_cast<size_t>(members[m])]) {
+          if (dead[static_cast<size_t>(u)] || !live[static_cast<size_t>(u)]) continue;
+          const auto it = std::find(members.begin(), members.end(), u);
+          if (it == members.end() ||
+              !retired[static_cast<size_t>(it - members.begin())]) {
+            all_gone = false;
+            break;
+          }
+        }
+        if (all_gone) {
+          retired[m] = 1;
+          changed = true;
+        }
+      }
+    }
+    int64_t retired_bootstraps = 0;
+    for (size_t m = 0; m < members.size(); ++m) {
+      if (retired[m]) {
+        retired_bootstraps +=
+            bootstrap_cost(nodes[static_cast<size_t>(members[m])].kind);
+      }
+    }
+    if (retired_bootstraps < 2) continue;
+
+    for (size_t m = 1; m < members.size(); ++m) {
+      if (retired[m]) {
+        dead[static_cast<size_t>(members[m])] = 1;
+        ++stats.fused_away;
+      }
+    }
+    // The LUT now consumes the cut wires: record r as their consumer so no
+    // later cone retires a leaf this LUT still reads.
+    for (const int w : cut) cons[static_cast<size_t>(w)].push_back(r);
+    fused[static_cast<size_t>(r)] = Cone{std::move(cut), *snap_spec};
+    ++stats.cones_fused;
+  }
+
+  // Compacting rebuild with LUT nodes in place of fused roots. Non-live
+  // gates are reaped here (counted as DCE's, which would remove them next);
+  // they may reference retired operands, so they must not be cloned.
+  map.assign(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const GateNode& nd = nodes[static_cast<size_t>(i)];
+    if (dead[static_cast<size_t>(i)]) continue;
+    if (nd.is_gate() && !live[static_cast<size_t>(i)]) {
+      ++stats.dead_removed;
+      continue;
+    }
+    if (nd.is_input) {
+      map[static_cast<size_t>(i)] = out.add_input().id;
+    } else if (nd.is_const) {
+      map[static_cast<size_t>(i)] = out.add_const(nd.const_value).id;
+    } else if (fused[static_cast<size_t>(i)]) {
+      const Cone& cone = *fused[static_cast<size_t>(i)];
+      std::vector<Wire> ins;
+      ins.reserve(cone.cut.size());
+      for (const int w : cone.cut) {
+        assert(map[static_cast<size_t>(w)] >= 0 && "cone leaf retired");
+        ins.push_back(Wire{map[static_cast<size_t>(w)]});
+      }
+      map[static_cast<size_t>(i)] = out.add_lut(ins, cone.spec).id;
+    } else {
+      std::array<int, 4> in{-1, -1, -1, -1};
+      for (int j = 0; j < nd.fan_in(); ++j) in[static_cast<size_t>(j)] = map[static_cast<size_t>(nd.in[j])];
+      map[static_cast<size_t>(i)] = out.clone_gate(nd, in).id;
+    }
+  }
+  for (const int o : g.outputs()) out.mark_output(Wire{map[static_cast<size_t>(o)]});
 }
 
 /// Backward liveness from the marked outputs, then compacting rebuild.
@@ -165,12 +453,17 @@ void eliminate_dead(const GateGraph& g, GateGraph& out, std::vector<int>& map,
     } else if (n.is_const) {
       map[i] = out.add_const(n.const_value).id;
     } else {
-      std::array<int, 3> in{-1, -1, -1};
+      std::array<int, 4> in{-1, -1, -1, -1};
       for (int j = 0; j < n.fan_in(); ++j) in[j] = map[n.in[j]];
-      map[i] = out.add_gate(n.kind, Wire{in[0]}, Wire{in[1]}, Wire{in[2]}).id;
+      map[i] = out.clone_gate(n, in).id;
     }
   }
   for (const int o : g.outputs()) out.mark_output(Wire{map[o]});
+}
+
+/// total[i] <- next[total[i]] (dead wires stay dead).
+void compose(std::vector<int>& total, const std::vector<int>& next) {
+  for (int& w : total) w = w >= 0 ? next[static_cast<size_t>(w)] : -1;
 }
 
 } // namespace
@@ -179,20 +472,28 @@ CompiledGraph CompiledGraph::compile(const GateGraph& g,
                                      const OptimizeOptions& opts) {
   CompiledGraph c;
   GateGraph folded;
-  std::vector<int> map_a;
-  c.stats = fold_and_cse(g, opts, folded, map_a);
+  std::vector<int> total;
+  c.stats = fold_and_cse(g, opts, folded, total);
 
-  if (opts.dead_gate_elimination && !folded.outputs().empty()) {
-    std::vector<int> map_b;
-    eliminate_dead(folded, c.graph, map_b, c.stats);
-    c.wire_map.resize(map_a.size());
-    for (size_t i = 0; i < map_a.size(); ++i) {
-      c.wire_map[i] = map_a[i] >= 0 ? map_b[map_a[i]] : -1;
-    }
-  } else {
-    c.graph = std::move(folded);
-    c.wire_map = std::move(map_a);
+  GateGraph fused;
+  GateGraph* cur = &folded;
+  if (opts.fuse_lut_cones) {
+    std::vector<int> map_f;
+    const bool dce_follows =
+        opts.dead_gate_elimination && !folded.outputs().empty();
+    fuse_cones(folded, fused, map_f, c.stats, dce_follows);
+    compose(total, map_f);
+    cur = &fused;
   }
+
+  if (opts.dead_gate_elimination && !cur->outputs().empty()) {
+    std::vector<int> map_d;
+    eliminate_dead(*cur, c.graph, map_d, c.stats);
+    compose(total, map_d);
+  } else {
+    c.graph = std::move(*cur);
+  }
+  c.wire_map = std::move(total);
   c.stats.gates_after = c.graph.num_gates();
   c.stats.bootstraps_after = c.graph.bootstrap_count();
   return c;

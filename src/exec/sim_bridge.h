@@ -15,7 +15,10 @@ namespace matcha::exec {
 
 /// Project the graph's gate nodes (inputs and constants drop out -- they are
 /// data, not work) into a circuit DAG for sim::schedule_gate_dag /
-/// sim::simulate_circuit.
+/// sim::simulate_circuit. A fused LUT node costs bootstrap_cost(kLut) == 1
+/// blind rotation on the chip, exactly like a plain binary gate -- the chip
+/// datapath runs the same per-bootstrap DFG whether the test vector encodes
+/// a sign or a 4-slot LUT, which is why cone fusion is a pure win there too.
 inline sim::GateDag to_gate_dag(const GateGraph& g) {
   sim::GateDag dag;
   dag.gates.reserve(static_cast<size_t>(g.num_gates()));

@@ -16,8 +16,10 @@
 namespace matcha::sim {
 
 /// One gate of a circuit-level DAG. `bootstraps` is the gate's cost in gate
-/// bootstrappings (0 for NOT -- a free linear op; 2 for MUX); `deps` are the
-/// indices of earlier gates whose outputs it consumes.
+/// bootstrappings (0 for NOT -- a free linear op; 2 for MUX; 1 for a fused
+/// k-input LUT, whose functional bootstrap runs the same datapath as a gate
+/// bootstrap); `deps` are the indices of earlier gates whose outputs it
+/// consumes.
 struct GateDagNode {
   int bootstraps = 1;
   std::vector<int> deps;

@@ -10,9 +10,11 @@
 // antisymmetry (testv[j + N] = -testv[j]) that would otherwise constrain f.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "tfhe/bootstrap.h"
+#include "tfhe/lut.h"
 
 namespace matcha {
 
@@ -21,13 +23,18 @@ inline Torus32 encode_message(int value, int slots) {
   return torus_fraction(2 * value + 1, 4 * slots);
 }
 
-/// Nearest-slot decode of a (noisy) phase.
+/// Nearest-slot decode of a (noisy) phase, by CIRCULAR distance: the phase
+/// lives on the torus, so a top-slot phase whose noise carries it past 1/2
+/// (or a slot-0 phase dipping below 0) wraps around numerically but is still
+/// nearest its own slot going the short way round. fabs alone would hand it
+/// to the slot on the far end of the number line.
 inline int decode_message(Torus32 phase, int slots) {
   const double p = torus32_to_double(phase);
   int best = 0;
   double best_d = 1.0;
   for (int i = 0; i < slots; ++i) {
-    const double d = std::fabs(p - (2.0 * i + 1.0) / (4.0 * slots));
+    const double raw = std::fabs(p - (2.0 * i + 1.0) / (4.0 * slots));
+    const double d = std::min(raw, 1.0 - raw); // circular distance
     if (d < best_d) {
       best_d = d;
       best = i;
@@ -55,7 +62,26 @@ LweSample functional_bootstrap(const Engine& eng,
   return key_switch(ks, sample_extract(ws.acc));
 }
 
+/// Pre-bootstrap linear combination of a fused Boolean LUT cone
+/// (tfhe/lut.h): sum_i w_i * x_i + (0, 1/16) places each input combination's
+/// phase at the center of its slots = 4 half-torus cell, ready for one
+/// functional_bootstrap through make_lut_testvector(lut_slot_values(...)).
+/// Inputs must be gate ciphertexts at the standard +-1/8 amplitude.
+inline LweSample lut_cone_input(const LutSpec& spec,
+                                std::span<const LweSample* const> ins,
+                                int n_lwe) {
+  LweSample combo = LweSample::trivial(n_lwe, torus_fraction(1, 16));
+  for (int i = 0; i < spec.k; ++i) {
+    LweSample t = *ins[static_cast<size_t>(i)];
+    if (spec.w[static_cast<size_t>(i)] != 1) t.scale(spec.w[static_cast<size_t>(i)]);
+    combo += t;
+  }
+  return combo;
+}
+
 /// Convenience: encrypt/decrypt multi-valued messages at the gate LWE layer.
+/// (decrypt_message decodes through decode_message, so it inherits the
+/// circular-distance wraparound handling above.)
 LweSample encrypt_message(const LweKey& key, int value, int slots, double sigma,
                           Rng& rng);
 int decrypt_message(const LweKey& key, const LweSample& c, int slots);

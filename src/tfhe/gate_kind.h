@@ -5,17 +5,22 @@
 
 namespace matcha {
 
-enum class GateKind { kNand, kAnd, kOr, kNor, kXor, kXnor, kNot, kMux };
+/// kLut is a fused k-input (k <= 4) Boolean lookup table evaluated as one
+/// programmable bootstrap (tfhe/lut.h); the others are the TFHE gate set.
+enum class GateKind { kNand, kAnd, kOr, kNor, kXor, kXnor, kNot, kMux, kLut };
 
 const char* gate_name(GateKind kind);
 
 /// Two-input gates evaluated as one linear combination + one bootstrapping.
-/// (NOT is a ciphertext negation; MUX is two bootstraps + a key switch.)
+/// (NOT is a ciphertext negation; MUX is two bootstraps + a key switch; LUT
+/// is a weighted combination + one functional bootstrap.)
 inline bool is_binary_gate(GateKind kind) {
-  return kind != GateKind::kNot && kind != GateKind::kMux;
+  return kind != GateKind::kNot && kind != GateKind::kMux &&
+         kind != GateKind::kLut;
 }
 
-/// Gate bootstrappings consumed by one evaluation of `kind`.
+/// Gate bootstrappings consumed by one evaluation of `kind`. A LUT costs a
+/// single bootstrap regardless of fan-in -- the whole point of cone fusion.
 inline int bootstrap_cost(GateKind kind) {
   if (kind == GateKind::kNot) return 0;
   if (kind == GateKind::kMux) return 2;

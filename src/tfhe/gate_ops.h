@@ -48,6 +48,7 @@ inline LweSample binary_gate_input(GateKind kind, const LweSample& a,
     }
     case GateKind::kNot:
     case GateKind::kMux:
+    case GateKind::kLut: // LUT combos carry weights; see tfhe/functional.h
       break;
   }
   return trivial(0); // unreachable for binary kinds

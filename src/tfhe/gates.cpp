@@ -15,6 +15,7 @@ const char* gate_name(GateKind kind) {
     case GateKind::kXnor: return "XNOR";
     case GateKind::kNot: return "NOT";
     case GateKind::kMux: return "MUX";
+    case GateKind::kLut: return "LUT";
   }
   return "?";
 }

@@ -1,0 +1,103 @@
+#include "tfhe/lut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace matcha {
+namespace {
+
+/// All candidate weight vectors for fan-in k, minimum sum w_i^2 first (ties
+/// in generation order, so results are deterministic). Entries come from
+/// {1, -1, 2, -2, 3, -3}; vectors above kLutMaxWeightNorm are dropped.
+/// Built once for every k inside one magic-static initialization, so
+/// concurrent compiles may share it.
+const std::vector<std::array<int8_t, 4>>& weight_candidates(int k) {
+  using List = std::vector<std::array<int8_t, 4>>;
+  static const std::array<List, kLutMaxFanIn + 1> cache = [] {
+    std::array<List, kLutMaxFanIn + 1> all;
+    constexpr int8_t kChoices[] = {1, -1, 2, -2, 3, -3};
+    const auto norm = [](const std::array<int8_t, 4>& v) {
+      int n = 0;
+      for (const int8_t c : v) n += c * c;
+      return n;
+    };
+    for (int k = 1; k <= kLutMaxFanIn; ++k) {
+      List& list = all[static_cast<size_t>(k)];
+      std::array<int8_t, 4> w{0, 0, 0, 0};
+      // Odometer enumeration of kChoices^k.
+      std::vector<int> pick(static_cast<size_t>(k), 0);
+      for (;;) {
+        for (int i = 0; i < k; ++i) w[static_cast<size_t>(i)] = kChoices[pick[static_cast<size_t>(i)]];
+        if (norm(w) <= kLutMaxWeightNorm) list.push_back(w);
+        int i = k - 1;
+        while (i >= 0 && ++pick[static_cast<size_t>(i)] == 6) {
+          pick[static_cast<size_t>(i)] = 0;
+          --i;
+        }
+        if (i < 0) break;
+      }
+      std::stable_sort(list.begin(), list.end(), [&](const auto& a, const auto& b) {
+        return norm(a) < norm(b);
+      });
+    }
+    return all;
+  }();
+  return cache[static_cast<size_t>(k)];
+}
+
+/// Try one weight vector: map every input combination onto its cell and
+/// check the equal-cell / antipodal-cell consistency rules. On success,
+/// `slots` holds the constrained slot signs (+1 true, -1 false, 0 free).
+bool consistent(int k, uint16_t table, const std::array<int8_t, 4>& w,
+                std::array<int, 4>& slots) {
+  slots = {0, 0, 0, 0};
+  for (unsigned b = 0; b < (1u << k); ++b) {
+    int s = 0;
+    for (int i = 0; i < k; ++i) {
+      s += (b >> i) & 1u ? w[static_cast<size_t>(i)] : -w[static_cast<size_t>(i)];
+    }
+    int slot = 0, sign = 0;
+    lut_cell(s, slot, sign);
+    // Required slot value so that sign * value == encoded output bit.
+    const int want = sign * (lut_eval(table, b) ? 1 : -1);
+    if (slots[static_cast<size_t>(slot)] == 0) {
+      slots[static_cast<size_t>(slot)] = want;
+    } else if (slots[static_cast<size_t>(slot)] != want) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<LutSpec> solve_lut_cone(int k, uint16_t table) {
+  if (k < 1 || k > kLutMaxFanIn) return std::nullopt;
+  std::array<int, 4> slots{};
+  for (const auto& w : weight_candidates(k)) {
+    if (consistent(k, table, w, slots)) {
+      LutSpec spec;
+      spec.k = static_cast<int8_t>(k);
+      spec.table = table;
+      spec.w = w;
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+std::array<Torus32, 4> lut_slot_values(const LutSpec& spec, Torus32 mu) {
+  std::array<int, 4> slots{};
+  [[maybe_unused]] const bool ok =
+      consistent(spec.k, spec.table, spec.w, slots);
+  assert(ok && "LutSpec weights inconsistent with its truth table");
+  std::array<Torus32, 4> values{};
+  for (size_t j = 0; j < values.size(); ++j) {
+    // Free slots are never hit by a noiseless combo; pin them to "false".
+    values[j] = slots[j] > 0 ? mu : static_cast<Torus32>(-mu);
+  }
+  return values;
+}
+
+} // namespace matcha

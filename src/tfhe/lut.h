@@ -1,0 +1,77 @@
+// Fused Boolean LUT cones over gate ciphertexts: the math that lets the
+// exec-layer optimizer collapse a k-input cone of Boolean gates (k <= 4)
+// into ONE programmable bootstrap (tfhe/functional.h).
+//
+// Encoding. Gate ciphertexts encrypt +-mu with mu = 1/8, so a linear
+// combination sum_i w_i * x_i (integer weights) plus the trivial offset 1/16
+// has noiseless phase (2s+1)/16 with s = sum_i w_i * sigma_i, sigma_i = +-1.
+// Those phases are exactly the band centers of the slots = 4 half-torus
+// message encoding of tfhe/functional.h -- 8 distinct cells on the full
+// torus, folded by the negacyclic antisymmetry of the test vector
+// (testv[j + N] = -testv[j]) into 4 free slots plus their negated mirror.
+// The decision margin per cell is 1/16, the same as the stock XOR gate.
+//
+// Legality. A truth table is realizable iff some small weight vector maps
+// every input combination consistently onto the cells:
+//   - two combinations landing in the SAME cell must have EQUAL outputs;
+//   - two combinations landing in ANTIPODAL cells (phase difference 1/2)
+//     must have OPPOSITE outputs (the antisymmetry forces the sign).
+// All ten nontrivial 2-input gates pass (this is how TFHE evaluates them in
+// one bootstrap already); MAJ3 (the full-adder carry), XOR3 (the full-adder
+// sum), and a ^ (b & c) pass with weights (1,1,1) / (1,2,2) / (2,1,1);
+// AND3 and MUX do not -- the fusion pass simply keeps cones it cannot prove.
+// Weight norm is capped at sum w_i^2 <= 12 (XOR's stock combo is 8), so a
+// fused cone never exceeds 1.5x the noise variance of the worst stock gate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+
+namespace matcha {
+
+/// Upper bound on fused-cone fan-in: 2^4 combinations is the most the 16
+/// phase cells of the mu = 1/8 grid can ever tell apart.
+inline constexpr int kLutMaxFanIn = 4;
+
+/// Noise budget for the pre-bootstrap combination, in units of the input
+/// variance: sum w_i^2 must stay <= 12 (stock XOR is 8).
+inline constexpr int kLutMaxWeightNorm = 12;
+
+/// A fused k-input Boolean LUT: truth table plus the integer weights of the
+/// pre-bootstrap linear combination sum_i w_i x_i + (0, 1/16).
+struct LutSpec {
+  int8_t k = 0;             ///< fan-in, 1..kLutMaxFanIn
+  uint16_t table = 0;       ///< output bit at index sum_i b_i 2^i
+  std::array<int8_t, 4> w{0, 0, 0, 0}; ///< combo weights, nonzero for i < k
+};
+
+/// Truth-table lookup: output bit for the input combination `idx`.
+inline bool lut_eval(uint16_t table, unsigned idx) {
+  return ((table >> idx) & 1u) != 0;
+}
+
+/// The torus cell hit by combo sum s: phase (2s+1)/16 mod 1 falls in
+/// half-torus slot `slot` (0..3) with `sign` +1, or in its negacyclic mirror
+/// with `sign` -1.
+inline void lut_cell(int s, int& slot, int& sign) {
+  const int t = (((2 * s + 1) % 16) + 16) % 16; // odd, in [1, 15]
+  slot = ((t % 8) - 1) / 2;
+  sign = t < 8 ? 1 : -1;
+}
+
+/// Search for combo weights realizing `table` over k Boolean inputs.
+/// Deterministic, minimum-noise-first (sorted by sum w_i^2, capped at
+/// kLutMaxWeightNorm). Returns nullopt when no consistent weights exist --
+/// the caller must then keep the Boolean cone.
+std::optional<LutSpec> solve_lut_cone(int k, uint16_t table);
+
+/// The four half-torus slot values of the spec's test vector (feed to
+/// make_lut_testvector with slots = 4): +-mu per the truth table, with
+/// unconstrained slots pinned to -mu. `mu` must be the gate amplitude 1/8
+/// for the cell grid to align.
+std::array<Torus32, 4> lut_slot_values(const LutSpec& spec, Torus32 mu);
+
+} // namespace matcha

@@ -127,6 +127,29 @@ TEST(BatchExecutor, EmptyGraph) {
   EXPECT_EQ(ex.last_stats().levels, 0);
 }
 
+TEST(BatchExecutor, EmptyBatchIsANoOp) {
+  // run_batch({}) must be well-defined: no worker wakeup, no bootstrap
+  // counted, an empty result -- and the executor stays usable afterwards.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck1);
+  Rng rng = test::test_rng(12);
+  CircuitBuilder b;
+  const Wire a = b.input(), c = b.input();
+  const Wire out = b.gate_and(a, c);
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+  const std::vector<BatchResult> empty = ex.run_batch(b.graph(), {});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(ex.last_stats().items, 0);
+  EXPECT_EQ(ex.last_stats().gates, 0);
+  EXPECT_EQ(ex.last_stats().bootstraps, 0);
+  EXPECT_EQ(ex.counters().to_spectral_calls, 0);
+  // A normal run after the no-op behaves as usual.
+  const LweSample ca = K.sk.encrypt_bit(1, rng), cb = K.sk.encrypt_bit(0, rng);
+  const BatchResult r = ex.run(b.graph(), {ca, cb});
+  EXPECT_EQ(K.sk.decrypt_bit(r.at(out)), 0);
+  EXPECT_EQ(ex.last_stats().items, 1);
+}
+
 TEST(BatchExecutor, InputsOnlyGraphPassesThrough) {
   const auto& K = shared_keys();
   const auto dk = load_device_keyset(K.deng, K.ck1);

@@ -24,6 +24,48 @@ TEST(Encoding, AllSlotsOnHalfTorus) {
   }
 }
 
+TEST(Encoding, DecodeUsesCircularDistanceAtTheWraparound) {
+  // Regression: decode_message used fabs(p - center) on the unwrapped phase,
+  // so a TOP-slot phase whose noise pushes it past 1/2 lands at ~-0.5 in the
+  // [-0.5, 0.5) representation and decoded as slot 0 (the nearest center on
+  // the number line) instead of the top slot (the nearest center on the
+  // torus). Symmetrically, a slot-0 phase dipping below 0 must stay slot 0.
+  for (const int slots : {2, 4, 8}) {
+    const Torus32 delta = torus_fraction(1, 8 * slots); // half the margin
+    const Torus32 top = encode_message(slots - 1, slots);
+    // Past the 1/2 boundary: top-slot center + 1.5x slot half-spacing.
+    const Torus32 wrapped_up =
+        top + torus_fraction(3, 8 * slots); // = 1/2 + delta, wraps negative
+    EXPECT_LT(torus32_to_double(wrapped_up), 0.0) << "case must wrap";
+    EXPECT_EQ(decode_message(wrapped_up, slots), slots - 1) << slots;
+    // Below the 0 boundary: slot-0 center - 1.5x half-spacing.
+    const Torus32 wrapped_down = encode_message(0, slots) - torus_fraction(3, 8 * slots);
+    EXPECT_EQ(decode_message(wrapped_down, slots), 0) << slots;
+    // Plain in-band noise still decodes to the perturbed slot.
+    for (int v = 0; v < slots; ++v) {
+      EXPECT_EQ(decode_message(encode_message(v, slots) + delta, slots), v);
+      EXPECT_EQ(decode_message(encode_message(v, slots) - delta, slots), v);
+    }
+  }
+}
+
+TEST(Encoding, NoisyRoundTripAcrossSlotCounts) {
+  // Randomized encode -> encrypt -> decrypt -> decode round-trips: phase
+  // noise well inside the slot margin must never flip the decoded value,
+  // including at the slot-0 and top-slot torus boundaries.
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(6);
+  for (const int slots : {2, 4, 8}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const int v = static_cast<int>(rng.uniform_below(static_cast<uint32_t>(slots)));
+      const LweSample c =
+          encrypt_message(K.sk.lwe, v, slots, K.params.lwe.sigma, rng);
+      EXPECT_EQ(decrypt_message(K.sk.lwe, c, slots), v)
+          << "slots=" << slots << " trial=" << trial;
+    }
+  }
+}
+
 TEST(Lut, TestVectorBandsAlign) {
   const Torus32 vals[4] = {1, 2, 3, 4};
   const TorusPolynomial tv = make_lut_testvector(256, vals);

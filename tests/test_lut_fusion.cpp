@@ -1,0 +1,310 @@
+// Functional-bootstrap LUT nodes and the optimizer's cone-fusion pass.
+// Three layers of guarantees:
+//   1. the LutSpec solver only ever emits specs whose phase embedding is
+//      consistent with the truth table (tfhe/lut.h legality rules);
+//   2. a recorded LUT node executes, under encryption, to exactly its truth
+//      table -- including chained LUT -> LUT evaluation (fresh noise);
+//   3. fused CompiledGraphs decrypt bit-identically to their unfused
+//      Boolean-cone counterparts while spending strictly fewer bootstraps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "circuits/word.h"
+#include "exec/batch_executor.h"
+#include "exec/circuit_builder.h"
+#include "exec/sim_bridge.h"
+#include "tfhe/functional.h"
+#include "tfhe/lut.h"
+#include "test_util.h"
+
+namespace matcha {
+namespace {
+
+using circuits::EncWord;
+using exec::BatchExecutor;
+using exec::BatchResult;
+using exec::CircuitBuilder;
+using exec::CompiledGraph;
+using exec::GateGraph;
+using exec::OptimizeOptions;
+using exec::SymWord;
+using exec::SymWordCircuits;
+using exec::Wire;
+using test::shared_keys;
+
+std::unique_ptr<DoubleFftEngine> make_engine() {
+  return std::make_unique<DoubleFftEngine>(shared_keys().params.ring.n_ring);
+}
+
+/// Independent re-check of the solver's contract: every input combination's
+/// cell must decode, through the spec's slot values, to the table's output.
+void expect_spec_consistent(const LutSpec& spec) {
+  const Torus32 mu = torus_fraction(1, 8);
+  const auto slots = lut_slot_values(spec, mu);
+  for (unsigned b = 0; b < (1u << spec.k); ++b) {
+    int s = 0;
+    for (int i = 0; i < spec.k; ++i) {
+      s += (b >> i) & 1u ? spec.w[static_cast<size_t>(i)]
+                         : -spec.w[static_cast<size_t>(i)];
+    }
+    int slot = 0, sign = 0;
+    lut_cell(s, slot, sign);
+    const Torus32 out =
+        sign > 0 ? slots[static_cast<size_t>(slot)]
+                 : static_cast<Torus32>(-slots[static_cast<size_t>(slot)]);
+    const Torus32 want = lut_eval(spec.table, b) ? mu : static_cast<Torus32>(-mu);
+    EXPECT_EQ(out, want) << "table=0x" << std::hex << spec.table << " b=" << b;
+  }
+}
+
+/// Truth table of a k-input helper function.
+template <class F>
+uint16_t table_of(int k, F f) {
+  uint16_t t = 0;
+  for (unsigned b = 0; b < (1u << k); ++b) {
+    if (f(b)) t |= static_cast<uint16_t>(1u << b);
+  }
+  return t;
+}
+
+TEST(LutSolver, AllTwoInputGatesRealizable) {
+  // Every non-constant 2-input function must embed -- TFHE already evaluates
+  // each of them in one bootstrap. The two constant tables have no embedding
+  // (antipodal cells force opposite outputs somewhere); they are constant
+  // folding's job, never a bootstrap's.
+  for (unsigned table = 0; table < 16; ++table) {
+    const auto spec = solve_lut_cone(2, static_cast<uint16_t>(table));
+    if (table == 0x0 || table == 0xF) {
+      EXPECT_FALSE(spec.has_value()) << "constant table " << table;
+      continue;
+    }
+    ASSERT_TRUE(spec.has_value()) << "table " << table;
+    expect_spec_consistent(*spec);
+  }
+}
+
+TEST(LutSolver, KnownAdderConesRealizable) {
+  // The cones the fusion pass lives on: full-adder carry (MAJ3), full-adder
+  // sum (XOR3), and the multiplier's partial-product-absorbing XOR.
+  const uint16_t maj3 = table_of(3, [](unsigned b) {
+    return __builtin_popcount(b) >= 2;
+  });
+  const uint16_t xor3 = table_of(3, [](unsigned b) {
+    return (__builtin_popcount(b) & 1) != 0;
+  });
+  const uint16_t xor_and = table_of(3, [](unsigned b) {
+    return ((b & 1) != 0) != (((b >> 1) & 1) != 0 && ((b >> 2) & 1) != 0);
+  });
+  for (const uint16_t t : {maj3, xor3, xor_and}) {
+    const auto spec = solve_lut_cone(3, t);
+    ASSERT_TRUE(spec.has_value()) << "table 0x" << std::hex << t;
+    expect_spec_consistent(*spec);
+    int norm = 0;
+    for (const int8_t w : spec->w) norm += w * w;
+    EXPECT_LE(norm, kLutMaxWeightNorm);
+  }
+}
+
+TEST(LutSolver, EverySolvedTableIsConsistentExhaustively) {
+  // Whatever subset of the 256 three-input tables the solver accepts, each
+  // accepted spec must verify; rejects are fine (AND3-like tables have no
+  // embedding at mu = 1/8).
+  int solved = 0;
+  for (unsigned table = 0; table < 256; ++table) {
+    const auto spec = solve_lut_cone(3, static_cast<uint16_t>(table));
+    if (!spec) continue;
+    ++solved;
+    expect_spec_consistent(*spec);
+  }
+  // At least the symmetric workhorses must be in the accepted set.
+  EXPECT_GT(solved, 16);
+}
+
+TEST(LutExec, RecordedLutMatchesTableUnderEncryption) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const uint16_t maj3 = table_of(3, [](unsigned b) {
+    return __builtin_popcount(b) >= 2;
+  });
+  const uint16_t xor3 = table_of(3, [](unsigned b) {
+    return (__builtin_popcount(b) & 1) != 0;
+  });
+  for (const uint16_t table : {maj3, xor3}) {
+    CircuitBuilder b;
+    const Wire x = b.input(), y = b.input(), z = b.input();
+    const Wire out = b.gate_lut({x, y, z}, table);
+    b.mark_output(out);
+    BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks,
+                                      K.params.mu(), 2);
+    Rng rng = test::test_rng(91);
+    for (unsigned bits = 0; bits < 8; ++bits) {
+      std::vector<LweSample> in;
+      for (int i = 0; i < 3; ++i) {
+        in.push_back(lwe_encrypt_bit(K.sk.lwe, (bits >> i) & 1, K.params.mu(),
+                                     K.params.lwe.sigma, rng));
+      }
+      const BatchResult r = ex.run(b.graph(), std::move(in));
+      EXPECT_EQ(K.sk.decrypt_bit(r.at(out)), lut_eval(table, bits) ? 1 : 0)
+          << "table 0x" << std::hex << table << " bits " << bits;
+    }
+  }
+}
+
+TEST(LutExec, ChainedLutsRefreshNoise) {
+  // LUT -> LUT chaining: each functional bootstrap outputs a fresh-noise
+  // +-mu ciphertext, so a fused graph can stack LUT levels like gates.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const uint16_t maj3 = table_of(3, [](unsigned b) {
+    return __builtin_popcount(b) >= 2;
+  });
+  const uint16_t xor3 = table_of(3, [](unsigned b) {
+    return (__builtin_popcount(b) & 1) != 0;
+  });
+  CircuitBuilder b;
+  const Wire x = b.input(), y = b.input(), z = b.input(), w = b.input();
+  const Wire m = b.gate_lut({x, y, z}, maj3);
+  const Wire out = b.gate_lut({m, z, w}, xor3);
+  b.mark_output(out);
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+  Rng rng = test::test_rng(92);
+  for (unsigned bits = 0; bits < 16; ++bits) {
+    std::vector<LweSample> in;
+    for (int i = 0; i < 4; ++i) {
+      in.push_back(lwe_encrypt_bit(K.sk.lwe, (bits >> i) & 1, K.params.mu(),
+                                   K.params.lwe.sigma, rng));
+    }
+    const BatchResult r = ex.run(b.graph(), std::move(in));
+    const int maj = __builtin_popcount(bits & 7u) >= 2 ? 1 : 0;
+    const int want = maj ^ ((bits >> 2) & 1) ^ ((bits >> 3) & 1);
+    EXPECT_EQ(K.sk.decrypt_bit(r.at(out)), want) << "bits " << bits;
+  }
+}
+
+TEST(Fusion, AdderConesCollapse) {
+  // A ripple-carry adder is the canonical fusion target: per full-adder bit,
+  // sum (XOR3) and carry (MAJ3) each become one LUT, retiring the two-XOR /
+  // AND-AND-OR cones.
+  CircuitBuilder b;
+  const SymWord x = b.input_word(8), y = b.input_word(8);
+  SymWordCircuits wc(b);
+  const SymWord sum = wc.add(x, y, nullptr, /*with_carry_out=*/true);
+  b.mark_output(sum);
+
+  OptimizeOptions no_fuse;
+  no_fuse.fuse_lut_cones = false;
+  const CompiledGraph unfused = b.compile(no_fuse);
+  const CompiledGraph fused = b.compile();
+
+  EXPECT_GT(fused.stats.cones_fused, 0);
+  EXPECT_GT(fused.stats.fused_away, 0);
+  EXPECT_LT(fused.stats.bootstraps_after, unfused.stats.bootstraps_after);
+  // The headline claim: >= 40% fewer bootstraps on a pure adder.
+  EXPECT_LE(fused.stats.bootstraps_after * 10,
+            unfused.stats.bootstraps_after * 6);
+  for (const auto& n : fused.graph.nodes()) {
+    if (n.is_gate() && n.kind == GateKind::kLut) {
+      EXPECT_GE(n.lut.k, 1);
+      EXPECT_LE(n.lut.k, kLutMaxFanIn);
+      expect_spec_consistent(n.lut);
+    }
+  }
+  // Wavefronts still cover exactly the surviving gates; the sim bridge sees
+  // each LUT as one bootstrap.
+  size_t covered = 0;
+  for (const auto& f : fused.graph.wavefronts()) covered += f.size();
+  EXPECT_EQ(covered, static_cast<size_t>(fused.graph.num_gates()));
+  const sim::GateDag dag = exec::to_gate_dag(fused.graph);
+  EXPECT_EQ(dag.total_bootstraps(), fused.graph.bootstrap_count());
+}
+
+TEST(Fusion, FusedBundleDecryptsIdenticallyToUnfused) {
+  // 4-bit adder + comparator + multiplier bundle: the fused graph must
+  // produce the same plaintexts as the unfused one on every output, across a
+  // batch, and bit-identically across thread counts.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  constexpr int kW = 4;
+
+  CircuitBuilder b;
+  const SymWord x = b.input_word(kW), y = b.input_word(kW);
+  SymWordCircuits wc(b);
+  const SymWord sum = wc.add(x, y, nullptr, /*with_carry_out=*/true);
+  const SymWord prod = wc.multiply(x, y);
+  const Wire gt = wc.greater_than(x, y);
+  const Wire eq = wc.equal(x, y);
+  b.mark_output(sum);
+  b.mark_output(prod);
+  b.mark_output(gt);
+  b.mark_output(eq);
+
+  OptimizeOptions no_fuse;
+  no_fuse.fuse_lut_cones = false;
+  const CompiledGraph unfused = b.compile(no_fuse);
+  const CompiledGraph fused = b.compile();
+  ASSERT_GT(fused.stats.cones_fused, 0);
+  EXPECT_LT(fused.stats.bootstraps_after, unfused.stats.bootstraps_after);
+
+  BatchExecutor<DoubleFftEngine> ex1(make_engine, dk.bk, *dk.ks, K.params.mu(), 1);
+  BatchExecutor<DoubleFftEngine> ex4(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+
+  Rng value_rng = test::test_rng(55);
+  for (int round = 0; round < 3; ++round) {
+    const uint64_t vx = value_rng.uniform_below(1u << kW);
+    const uint64_t vy = value_rng.uniform_below(1u << kW);
+    Rng r1 = test::test_rng(700 + round), r2 = test::test_rng(700 + round);
+    const auto enc_inputs = [&](Rng& rng) {
+      std::vector<LweSample> in;
+      for (const uint64_t v : {vx, vy}) {
+        const EncWord e = circuits::encrypt_word(K.sk, v, kW, rng);
+        in.insert(in.end(), e.bits.begin(), e.bits.end());
+      }
+      return in;
+    };
+    const BatchResult rf = ex4.run(fused.graph, enc_inputs(r1));
+    const BatchResult rs = ex1.run(fused.graph, enc_inputs(r2));
+    // Thread-count determinism holds for LUT nodes too.
+    ASSERT_EQ(rf.values.size(), rs.values.size());
+    for (size_t i = 0; i < rf.values.size(); ++i) {
+      ASSERT_TRUE(rf.values[i].a == rs.values[i].a && rf.values[i].b == rs.values[i].b)
+          << "wire " << i;
+    }
+    Rng r3 = test::test_rng(700 + round);
+    const BatchResult ru = ex4.run(unfused.graph, enc_inputs(r3));
+
+    const auto word_bits = [&](const CompiledGraph& c, const BatchResult& r,
+                               const SymWord& w) {
+      EncWord e;
+      for (const Wire bit : w.bits) e.bits.push_back(r.at(c.remap(bit)));
+      return circuits::decrypt_word(K.sk, e);
+    };
+    const uint64_t want_sum = vx + vy;
+    const uint64_t want_prod = (vx * vy) & 0xF;
+    EXPECT_EQ(word_bits(fused, rf, sum), want_sum);
+    EXPECT_EQ(word_bits(unfused, ru, sum), want_sum);
+    EXPECT_EQ(word_bits(fused, rf, prod), want_prod);
+    EXPECT_EQ(word_bits(unfused, ru, prod), want_prod);
+    EXPECT_EQ(K.sk.decrypt_bit(rf.at(fused.remap(gt))), vx > vy ? 1 : 0);
+    EXPECT_EQ(K.sk.decrypt_bit(ru.at(unfused.remap(gt))), vx > vy ? 1 : 0);
+    EXPECT_EQ(K.sk.decrypt_bit(rf.at(fused.remap(eq))), vx == vy ? 1 : 0);
+    EXPECT_EQ(K.sk.decrypt_bit(ru.at(unfused.remap(eq))), vx == vy ? 1 : 0);
+  }
+}
+
+TEST(Fusion, BitPreservingModeLeavesConesAlone) {
+  CircuitBuilder b;
+  const SymWord x = b.input_word(4), y = b.input_word(4);
+  SymWordCircuits wc(b);
+  const SymWord sum = wc.add(x, y, nullptr, /*with_carry_out=*/false);
+  b.mark_output(sum);
+  const CompiledGraph c = b.compile(OptimizeOptions::bit_preserving());
+  EXPECT_EQ(c.stats.cones_fused, 0);
+  for (const auto& n : c.graph.nodes()) {
+    EXPECT_NE(n.kind, GateKind::kLut);
+  }
+}
+
+} // namespace
+} // namespace matcha
