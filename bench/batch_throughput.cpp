@@ -202,6 +202,10 @@ int main() {
       j.field("wall_ms", st.wall_ms);
       j.field("gates_per_s", st.gates * 1e3 / st.wall_ms);
       j.field("speedup", t1 / st.wall_ms);
+      j.field("pool_dispatches", st.pool_dispatches);
+      j.field("workers", st.workers);
+      j.field("steals", st.steals);
+      j.field("sched_efficiency", st.sched_efficiency);
       j.field("ok", ok);
       j.end_object();
     }
@@ -279,6 +283,10 @@ int main() {
     j.field("threads", threads);
     j.field("wall_ms", es.wall_ms);
     j.field("speedup", t1 / es.wall_ms);
+    j.field("pool_dispatches", es.pool_dispatches);
+    j.field("workers", es.workers);
+    j.field("steals", es.steals);
+    j.field("sched_efficiency", es.sched_efficiency);
     j.field("ok", ok);
     j.end_object();
   }
@@ -341,6 +349,55 @@ int main() {
         j.field("effective_parallelism", r.effective_parallelism);
         j.field("pipeline_occupancy", r.pipeline_occupancy);
         j.field("hbm_utilization", r.hbm_utilization);
+        j.end_object();
+      }
+    }
+  }
+  j.end_array();
+
+  std::printf("\n-- multi-chip sharding (mul8+cmp bundle, partitioned) --\n");
+  std::printf("%-6s%-6s%12s%10s%8s%10s%14s%12s%12s\n", "m", "chips",
+              "makespan_ms", "speedup", "cut", "xfers", "xfer_busy_ms",
+              "link_util", "occupancy");
+  j.name("multichip");
+  j.begin_array();
+  {
+    const sim::GateDag big_dag = exec::to_gate_dag(opt.graph);
+    for (const int m : {1, 3}) {
+      double t_one = 0;
+      for (const int chips : {1, 2, 4}) {
+        const auto r =
+            sim::simulate_circuit_multichip(paper, m, big_dag, chips);
+        if (chips == 1) t_one = r.time_ms;
+        double mean_occ = 0;
+        for (const double o : r.chip_occupancy) mean_occ += o;
+        mean_occ /= r.chip_occupancy.empty() ? 1 : r.chip_occupancy.size();
+        std::printf("%-6d%-6d%12.3f%10.2f%8lld%10lld%14.4f%12.2f%12.2f\n", m,
+                    chips, r.time_ms, t_one / r.time_ms,
+                    static_cast<long long>(r.cut_wires),
+                    static_cast<long long>(r.transfers), r.transfer_busy_ms,
+                    r.link_utilization, mean_occ);
+        j.begin_object();
+        j.field("circuit", "mul8+cmp");
+        j.field("unroll_m", m);
+        j.field("chips", chips);
+        j.field("makespan_ms", r.time_ms);
+        j.field("speedup_vs_1chip", t_one / r.time_ms);
+        j.field("cut_wires", r.cut_wires);
+        j.field("transfers", r.transfers);
+        j.field("transfer_cycles_each", r.transfer_cycles);
+        j.field("transfer_busy_ms", r.transfer_busy_ms);
+        j.field("link_utilization", r.link_utilization);
+        j.field("bootstraps_per_s", r.bootstraps_per_s);
+        j.field("effective_parallelism", r.effective_parallelism);
+        j.name("chip_occupancy");
+        j.begin_array();
+        for (const double o : r.chip_occupancy) j.value(o);
+        j.end_array();
+        j.name("chip_bootstraps");
+        j.begin_array();
+        for (const int64_t b : r.chip_bootstraps) j.value(b);
+        j.end_array();
         j.end_object();
       }
     }

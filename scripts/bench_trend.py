@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fail CI when a commit regresses the deterministic perf metrics.
+
+Usage: bench_trend.py <previous/BENCH_batch_throughput.json> <current/...json>
+
+Compares only metrics that are deterministic functions of the code (optimizer
+bootstrap counts, simulated chip makespans): software wall-clock numbers vary
+with runner load and are ignored. A missing baseline (first run on a branch,
+expired artifact) is a skip, not a failure. Regression tolerance is a small
+relative slack to absorb the JSON emitter's %.6g rounding -- any real model
+or optimizer change lands far outside it.
+"""
+import json
+import sys
+
+TOLERANCE = 0.005  # 0.5% relative slack on simulated makespans
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check(label, prev, cur, failures, lower_is_better=True):
+    if prev is None or cur is None:
+        return
+    worse = cur > prev * (1 + TOLERANCE) if lower_is_better else cur < prev * (1 - TOLERANCE)
+    arrow = "->"
+    line = f"  {label}: {prev:g} {arrow} {cur:g}"
+    if worse:
+        failures.append(line)
+        print(f"REGRESSION{line}")
+    else:
+        print(f"ok        {line}")
+
+
+def by_key(rows, *keys):
+    return {tuple(r[k] for k in keys): r for r in rows}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    prev_path, cur_path = sys.argv[1], sys.argv[2]
+    try:
+        prev = load(prev_path)
+    except OSError:
+        print(f"no baseline at {prev_path}; trend check skipped")
+        return 0
+    cur = load(cur_path)
+    failures = []
+
+    # Optimizer output: post-fusion bootstrap counts must never creep up.
+    p = by_key(prev.get("fusion", []), "circuit")
+    c = by_key(cur.get("fusion", []), "circuit")
+    for key in sorted(p.keys() & c.keys()):
+        check(f"fusion[{key[0]}].bootstraps_fused",
+              p[key]["bootstraps_fused"], c[key]["bootstraps_fused"], failures)
+
+    # Simulated chip: circuit makespans (dependency-aware scheduler).
+    p = by_key(prev.get("sim_circuit", []), "circuit", "unroll_m")
+    c = by_key(cur.get("sim_circuit", []), "circuit", "unroll_m")
+    for key in sorted(p.keys() & c.keys()):
+        check(f"sim_circuit[{key[0]},m={key[1]}].makespan_ms",
+              p[key]["makespan_ms"], c[key]["makespan_ms"], failures)
+
+    # Simulated chip: batch throughput.
+    p = by_key(prev.get("sim_batch", []), "unroll_m", "batch")
+    c = by_key(cur.get("sim_batch", []), "unroll_m", "batch")
+    for key in sorted(p.keys() & c.keys()):
+        check(f"sim_batch[m={key[0]},batch={key[1]}].makespan_ms",
+              p[key]["makespan_ms"], c[key]["makespan_ms"], failures)
+
+    # Multi-chip sharding: per-chip-count makespans and the cut size.
+    p = by_key(prev.get("multichip", []), "circuit", "unroll_m", "chips")
+    c = by_key(cur.get("multichip", []), "circuit", "unroll_m", "chips")
+    for key in sorted(p.keys() & c.keys()):
+        tag = f"multichip[{key[0]},m={key[1]},chips={key[2]}]"
+        check(f"{tag}.makespan_ms",
+              p[key]["makespan_ms"], c[key]["makespan_ms"], failures)
+        check(f"{tag}.cut_wires",
+              p[key]["cut_wires"], c[key]["cut_wires"], failures)
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) vs previous commit:")
+        for f in failures:
+            print(f)
+        return 1
+    print("\nno regressions vs previous commit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,23 @@ std::vector<std::vector<int>> GateGraph::levelize() const {
   return levels;
 }
 
+DataflowInfo GateGraph::dataflow_info() const {
+  DataflowInfo info;
+  info.consumers.resize(nodes_.size());
+  info.gate_indegree.assign(nodes_.size(), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const GateNode& n = nodes_[i];
+    if (!n.is_gate()) continue;
+    for (int j = 0; j < n.fan_in(); ++j) {
+      const int op = n.in[j];
+      if (!nodes_[static_cast<size_t>(op)].is_gate()) continue;
+      info.consumers[static_cast<size_t>(op)].push_back(static_cast<int>(i));
+      ++info.gate_indegree[i];
+    }
+  }
+  return info;
+}
+
 std::vector<std::vector<int>> GateGraph::wavefronts() const {
   auto levels = levelize();
   if (levels.empty()) return {};

@@ -11,9 +11,10 @@
 //
 // compile() runs the optimization pipeline -- constant folding, common-
 // subexpression elimination, dead-gate elimination against the marked
-// outputs -- and the result exposes wavefronts(): maximal antichains of
-// mutually independent gates, the unit of parallel dispatch for both the
-// software BatchExecutor and the chip simulator (exec/sim_bridge.h).
+// outputs. Execution is dataflow-driven: dataflow_info() exposes consumer
+// lists and readiness refcounts (the contract of exec/batch_executor.h and,
+// through exec/sim_bridge.h, the chip simulator); wavefronts() remains as a
+// profiling and partitioning view of the same dependence structure.
 #pragma once
 
 #include <array>
@@ -79,6 +80,19 @@ struct OptimizeOptions {
   static OptimizeOptions bit_preserving() { return {false, true, true, false}; }
 };
 
+/// Dataflow adjacency of a graph: for every node, the gate nodes consuming
+/// its wire, plus every gate's count of gate-node operands. A gate that uses
+/// one wire twice appears twice in that wire's consumer list and counts both
+/// uses in its indegree, so one decrement per consumer edge balances exactly.
+/// This is the readiness-refcount contract of the dataflow executor
+/// (exec/batch_executor.h): a gate may execute once `gate_indegree` operand
+/// completions have been observed -- gates with indegree 0 depend only on
+/// inputs and constants, which are materialized before dispatch.
+struct DataflowInfo {
+  std::vector<std::vector<int>> consumers; ///< per node: consuming gate ids
+  std::vector<int> gate_indegree;          ///< per node: gate-operand count
+};
+
 struct OptimizeStats {
   int gates_before = 0;
   int gates_after = 0;
@@ -125,8 +139,11 @@ class GateGraph {
   /// constants, and every gate sits one past its deepest operand.
   std::vector<std::vector<int>> levelize() const;
   /// The gate levels only (levelize() minus level 0): each wavefront is a set
-  /// of mutually independent gates -- the unit of parallel dispatch.
+  /// of mutually independent gates. Profiling/partitioning view; the executor
+  /// dispatches by per-gate readiness (dataflow_info), not by level.
   std::vector<std::vector<int>> wavefronts() const;
+  /// Consumer lists and readiness refcounts (see DataflowInfo).
+  DataflowInfo dataflow_info() const;
 
  private:
   std::vector<GateNode> nodes_;

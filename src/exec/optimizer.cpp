@@ -241,12 +241,10 @@ void fuse_cones(const GateGraph& g, GateGraph& out, std::vector<int>& map,
                 OptimizeStats& stats, bool dce_follows) {
   const auto& nodes = g.nodes();
   const int n = static_cast<int>(nodes.size());
-  std::vector<std::vector<int>> cons(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const GateNode& nd = nodes[static_cast<size_t>(i)];
-    if (!nd.is_gate()) continue;
-    for (int j = 0; j < nd.fan_in(); ++j) cons[static_cast<size_t>(nd.in[j])].push_back(i);
-  }
+  // Gate-consumer adjacency, shared with the dataflow executor. Only gate
+  // producers' lists are ever queried here (cut candidates and cone members
+  // are gates), so the gate->gate restriction loses nothing.
+  std::vector<std::vector<int>> cons = g.dataflow_info().consumers;
   std::vector<char> is_output(static_cast<size_t>(n), 0);
   for (const int o : g.outputs()) is_output[static_cast<size_t>(o)] = 1;
   // When DCE follows, fusion works the LIVE cone only: gates outside the

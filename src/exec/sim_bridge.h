@@ -1,9 +1,11 @@
 // Feed a recorded GateGraph to the chip simulator: the graph's gate nodes
 // and their true wire dependencies become a sim::GateDag, which
 // sim::schedule_gate_dag dispatches across the chip's pipelines by data
-// readiness. This is the honest replacement for modeling a circuit as a
-// batch of independent bootstrappings -- the simulator sees exactly the
-// dependency structure the software BatchExecutor executes.
+// readiness -- or, sharded by sim::partition_gate_dag, across several chips
+// with inter-chip transfer edges (sim::schedule_gate_dag_multichip). This is
+// the honest replacement for modeling a circuit as a batch of independent
+// bootstrappings -- the simulator sees exactly the dependency structure the
+// software BatchExecutor executes.
 #pragma once
 
 #include <algorithm>

@@ -1,14 +1,16 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 
 namespace matcha::exec {
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
   helpers_.reserve(num_threads_ - 1);
-  for (int slot = 1; slot < num_threads_; ++slot) {
-    helpers_.emplace_back([this, slot] { helper_loop(slot); });
+  for (int i = 1; i < num_threads_; ++i) {
+    helpers_.emplace_back([this] { helper_loop(); });
   }
 }
 
@@ -21,15 +23,22 @@ ThreadPool::~ThreadPool() {
   for (auto& t : helpers_) t.join();
 }
 
-void ThreadPool::helper_loop(int slot) {
+void ThreadPool::helper_loop() {
   uint64_t seen = 0;
   for (;;) {
+    int slot = -1;
     const std::function<void(int)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
+      // Slots are claimed dynamically: a capped dispatch wakes only as many
+      // helpers as it needs, but wakeups and in-transit helpers race, so
+      // whoever observes the generation first takes the next slot. A helper
+      // that finds the job fully claimed just waits for the next one.
+      if (claimed_ >= target_) continue;
+      slot = claimed_++;
       job = job_;
     }
     std::exception_ptr err;
@@ -46,8 +55,10 @@ void ThreadPool::helper_loop(int slot) {
   }
 }
 
-void ThreadPool::run(const std::function<void(int)>& fn) {
-  if (num_threads_ == 1) {
+void ThreadPool::run(const std::function<void(int)>& fn, int max_workers) {
+  const int participants =
+      std::min(num_threads_, std::max(1, max_workers));
+  if (participants == 1) {
     fn(0);
     return;
   }
@@ -55,10 +66,19 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &fn;
     first_error_ = nullptr;
-    pending_ = num_threads_ - 1;
+    target_ = participants;
+    claimed_ = 1; // the caller is slot 0
+    pending_ = participants - 1;
     ++generation_;
   }
-  cv_start_.notify_all();
+  if (participants == num_threads_) {
+    cv_start_.notify_all();
+  } else {
+    // Wake exactly the helpers the job can use. notify_one wakes distinct
+    // waiters; helpers not yet back on the condition variable observe the
+    // generation bump on re-entry, so undelivered notifies are harmless.
+    for (int i = 1; i < participants; ++i) cv_start_.notify_one();
+  }
   std::exception_ptr caller_err;
   try {
     fn(0);
@@ -70,6 +90,166 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
   job_ = nullptr;
   if (caller_err) std::rethrow_exception(caller_err);
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing dataflow dispatch.
+// ---------------------------------------------------------------------------
+
+/// Shared state of one run_tasks call. The deques are mutex-protected rather
+/// than lock-free (Chase-Lev): every task here is a gate bootstrapping --
+/// milliseconds of FFTs -- so queue traffic is a few locks per millisecond
+/// per worker and the simplicity is worth far more than the nanoseconds.
+struct ThreadPool::TaskSink::State {
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<uint64_t> q;
+  };
+
+  explicit State(int workers) : deques(workers) {}
+
+  std::vector<WorkerDeque> deques;
+  std::atomic<int64_t> remaining{0}; ///< tasks not yet executed
+  std::atomic<bool> abort{false};    ///< a task threw; drain and bail
+  std::atomic<int64_t> steals{0};
+
+  // Idle coordination. `epoch` ticks on every push so a worker that scanned
+  // every deque empty cannot sleep through work pushed after its scan: it
+  // records the epoch before scanning and sleeps only while the epoch is
+  // unchanged. Mutating the epoch under the mutex (not just atomically) is
+  // what closes the classic check-then-sleep race.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  uint64_t epoch = 0;
+  int idlers = 0;
+
+  void announce_work() {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lk(idle_mu);
+      ++epoch;
+      wake = idlers > 0;
+    }
+    if (wake) idle_cv.notify_one();
+  }
+
+  void announce_done() {
+    {
+      std::lock_guard<std::mutex> lk(idle_mu);
+      ++epoch;
+    }
+    idle_cv.notify_all();
+  }
+};
+
+void ThreadPool::TaskSink::push(uint64_t task) {
+  auto& d = state_.deques[static_cast<size_t>(slot_)];
+  {
+    std::lock_guard<std::mutex> lk(d.mu);
+    d.q.push_back(task);
+  }
+  state_.announce_work();
+}
+
+ThreadPool::TaskRunStats ThreadPool::run_tasks(std::span<const uint64_t> seeds,
+                                               int64_t total_tasks,
+                                               const TaskFn& fn,
+                                               int max_workers) {
+  TaskRunStats stats;
+  if (total_tasks <= 0) {
+    stats.workers = 0; // nothing dispatched, nobody participated
+    return stats;
+  }
+  const int participants = static_cast<int>(std::min<int64_t>(
+      std::min(num_threads_, std::max(1, max_workers)), total_tasks));
+  stats.workers = participants;
+
+  TaskSink::State state(participants);
+  state.remaining.store(total_tasks, std::memory_order_relaxed);
+  // Seed round-robin so the initial frontier is spread before anyone wakes.
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    state.deques[i % static_cast<size_t>(participants)].q.push_back(seeds[i]);
+  }
+
+  const auto worker = [&](int slot) {
+    TaskSink sink(state, slot);
+    auto& own = state.deques[static_cast<size_t>(slot)];
+    // Pop own deque newest-first (operand locality), else steal the next
+    // busy worker's oldest task.
+    const auto try_get = [&](uint64_t& task, bool& stolen) {
+      {
+        std::lock_guard<std::mutex> lk(own.mu);
+        if (!own.q.empty()) {
+          task = own.q.back();
+          own.q.pop_back();
+          stolen = false;
+          return true;
+        }
+      }
+      for (int v = 1; v < participants; ++v) {
+        auto& victim =
+            state.deques[static_cast<size_t>((slot + v) % participants)];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (!victim.q.empty()) {
+          task = victim.q.front();
+          victim.q.pop_front();
+          stolen = true;
+          return true;
+        }
+      }
+      return false;
+    };
+    for (;;) {
+      if (state.remaining.load(std::memory_order_acquire) <= 0 ||
+          state.abort.load(std::memory_order_relaxed)) {
+        return;
+      }
+      uint64_t task = 0;
+      bool stolen = false;
+      bool got = try_get(task, stolen);
+      if (!got) {
+        // Every deque looked empty. Capture the epoch BEFORE rescanning,
+        // then scan once more: a push that raced the first scan either
+        // landed before the capture (the rescan finds it) or after (the
+        // epoch differs and the wait predicate falls straight through).
+        uint64_t seen;
+        {
+          std::lock_guard<std::mutex> lk(state.idle_mu);
+          seen = state.epoch;
+        }
+        got = try_get(task, stolen);
+        if (!got) {
+          std::unique_lock<std::mutex> lk(state.idle_mu);
+          ++state.idlers;
+          state.idle_cv.wait(lk, [&] {
+            return state.epoch != seen ||
+                   state.remaining.load(std::memory_order_acquire) <= 0 ||
+                   state.abort.load(std::memory_order_relaxed);
+          });
+          --state.idlers;
+          continue;
+        }
+      }
+      if (stolen) state.steals.fetch_add(1, std::memory_order_relaxed);
+      try {
+        fn(sink, task);
+      } catch (...) {
+        // Unblock the crew: nothing new will be pushed, remaining never
+        // drains, so every worker must give up on the run.
+        state.abort.store(true, std::memory_order_relaxed);
+        state.announce_done();
+        throw; // run()'s per-slot machinery records the first error
+      }
+      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        state.announce_done();
+        return;
+      }
+    }
+  };
+
+  run(worker, participants);
+  stats.steals = state.steals.load(std::memory_order_relaxed);
+  return stats;
 }
 
 } // namespace matcha::exec

@@ -1,7 +1,14 @@
 // Persistent worker pool for the batch executor: one fixed crew of threads,
-// fork-join semantics per call. Spawning threads per dependence level would
-// dominate small levels; the pool amortizes thread startup across the whole
-// batch (a deep circuit runs one fork-join per level).
+// two dispatch shapes. `run` is fork-join (every participating slot runs the
+// same callable once); `run_tasks` is a dataflow scheduler -- workers drain
+// per-worker deques of ready tasks, push follow-on tasks as dependencies
+// resolve, and steal from each other when their own deque runs dry, so no
+// barrier ever separates one dependence level from the next.
+//
+// Both shapes cap the number of *participating* slots: waking the whole crew
+// for a one-gate job costs more in wakeup latency than the job itself, so a
+// capped dispatch wakes exactly the helpers it can use (the caller always
+// occupies participating slot 0).
 #pragma once
 
 #include <condition_variable>
@@ -9,6 +16,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -25,13 +33,54 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  /// Invoke fn(slot) for every slot in [0, num_threads) and block until all
-  /// return. The first exception thrown by any slot is rethrown on the
-  /// caller after the join.
-  void run(const std::function<void(int)>& fn);
+  /// Invoke fn(slot) once per participating slot, slots 0..P-1 where
+  /// P = min(num_threads, max_workers), and block until all return. Helpers
+  /// beyond the cap are never woken (a 1-gate job must not stampede the whole
+  /// crew). Slot indices are dense in [0, P) but are claimed dynamically, so
+  /// a given helper thread may run a different slot index on each call. The
+  /// first exception thrown by any slot is rethrown on the caller after the
+  /// join.
+  void run(const std::function<void(int)>& fn, int max_workers = 1 << 30);
+
+  /// Handed to every run_tasks worker: identifies the worker's slot and
+  /// accepts follow-on tasks that became ready while running the current one.
+  class TaskSink {
+   public:
+    int slot() const { return slot_; }
+    /// Enqueue a now-ready task onto this worker's deque (LIFO for the owner,
+    /// stealable FIFO from the far end by idle workers).
+    void push(uint64_t task);
+
+   private:
+    friend class ThreadPool;
+    struct State;
+    TaskSink(State& state, int slot) : state_(state), slot_(slot) {}
+    State& state_;
+    int slot_;
+  };
+
+  using TaskFn = std::function<void(TaskSink&, uint64_t)>;
+
+  struct TaskRunStats {
+    int workers = 1;    ///< slots that participated
+    int64_t steals = 0; ///< tasks executed off another worker's deque
+  };
+
+  /// Dataflow dispatch: seed `seeds` across the participating workers'
+  /// deques, then run fn(sink, task) for every task until exactly
+  /// `total_tasks` have executed (seeds plus everything pushed through the
+  /// sink -- the caller's readiness refcounts must guarantee that count is
+  /// reached). Workers pop their own deque newest-first and steal oldest-first
+  /// from the busiest point of the crew; an idle worker sleeps until new work
+  /// is pushed or the run drains. Participation is capped at
+  /// min(num_threads, max_workers, total_tasks). The first exception thrown
+  /// by a task aborts the run (remaining queued tasks are dropped) and is
+  /// rethrown on the caller.
+  TaskRunStats run_tasks(std::span<const uint64_t> seeds, int64_t total_tasks,
+                         const TaskFn& fn, int max_workers = 1 << 30);
 
  private:
-  void helper_loop(int slot);
+  void helper_loop();
 
   int num_threads_;
   std::vector<std::thread> helpers_;
@@ -39,7 +88,9 @@ class ThreadPool {
   std::condition_variable cv_start_, cv_done_;
   const std::function<void(int)>* job_ = nullptr;
   uint64_t generation_ = 0;
-  int pending_ = 0;
+  int claimed_ = 0; ///< slots handed out for the current generation
+  int target_ = 0;  ///< participating slots for the current generation
+  int pending_ = 0; ///< helpers still running the current generation
   bool stop_ = false;
   std::exception_ptr first_error_;
 };

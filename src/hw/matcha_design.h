@@ -38,6 +38,10 @@ struct MatchaConfig {
   int spm_banks = 32;
   int xbar_bits = 256;
   double hbm_gbps = 640.0;      ///< HBM2 bandwidth, GB/s
+  // Multi-chip system (sim/gate_dag.h multi-chip scheduling): bandwidth of
+  // the shared chip-to-chip link ciphertexts cross between shards. An
+  // HBM-like serial link, an order of magnitude slimmer than local HBM.
+  double interchip_gbps = 64.0;
 };
 
 /// One row of Table 2.

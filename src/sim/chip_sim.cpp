@@ -94,6 +94,49 @@ CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
   return out;
 }
 
+MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
+                                              int unroll_m, const GateDag& dag,
+                                              int num_chips,
+                                              const hw::MatchaConfig& cfg) {
+  SimParams p;
+  p.hw = cfg;
+  p.tfhe = tfhe;
+  p.unroll_m = unroll_m;
+
+  // One LWE ciphertext crosses the link per transfer: (n+1) Torus32 words.
+  const int64_t lwe_bytes = static_cast<int64_t>(p.n_lwe() + 1) * 4;
+  const double link_bytes_per_cycle =
+      cfg.interchip_gbps * 1e9 / p.cycles_per_second();
+  const int64_t transfer_cycles = static_cast<int64_t>(
+      (lwe_bytes + link_bytes_per_cycle - 1) / link_bytes_per_cycle);
+
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const ScheduleResult single = schedule(dfg);
+  const GateDagPartition part = partition_gate_dag(dag, num_chips);
+  const MultiChipScheduleResult s = schedule_gate_dag_multichip(
+      dfg, dag, part, cfg.pipelines, transfer_cycles);
+
+  MultiChipSimResult out;
+  out.num_chips = num_chips;
+  out.gates = s.num_gates;
+  out.total_bootstraps = dag.total_bootstraps();
+  out.cut_wires = s.cut_wires;
+  out.transfers = s.transfers;
+  out.transfer_cycles = transfer_cycles;
+  out.time_ms = s.makespan / p.cycles_per_second() * 1e3;
+  out.transfer_busy_ms = s.transfer_busy_cycles / p.cycles_per_second() * 1e3;
+  out.link_utilization = s.link_utilization;
+  out.chip_occupancy = s.chip_occupancy;
+  out.chip_bootstraps = part.chip_bootstraps;
+  if (out.time_ms > 0) {
+    const double gate_latency_ms = single.makespan / p.cycles_per_second() * 1e3;
+    out.effective_parallelism =
+        out.total_bootstraps * gate_latency_ms / out.time_ms;
+    out.bootstraps_per_s = out.total_bootstraps / (out.time_ms * 1e-3);
+  }
+  return out;
+}
+
 CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
                                   const Netlist& netlist,
                                   const hw::MatchaConfig& cfg) {

@@ -57,4 +57,30 @@ CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
                                   const Netlist& netlist,
                                   const hw::MatchaConfig& cfg = {});
 
+struct MultiChipSimResult {
+  int num_chips = 1;
+  int gates = 0;
+  int64_t total_bootstraps = 0;
+  int64_t cut_wires = 0;    ///< dependence edges crossing chips
+  int64_t transfers = 0;    ///< distinct (value, destination-chip) sends
+  int64_t transfer_cycles = 0; ///< link cycles per send
+  double time_ms = 0;       ///< circuit makespan across the chips
+  double transfer_busy_ms = 0; ///< inter-chip link busy time
+  double link_utilization = 0;
+  double bootstraps_per_s = 0;
+  /// total_bootstraps * single-pipeline gate latency / time.
+  double effective_parallelism = 0;
+  std::vector<double> chip_occupancy;       ///< per-chip TGSW+EP busy fraction
+  std::vector<int64_t> chip_bootstraps;     ///< per-chip load (partition)
+};
+
+/// Shard the circuit DAG across `num_chips` chips (partition_gate_dag) and
+/// schedule it with per-chip pipelines/poly/HBM resources; cross-chip wires
+/// ride a cfg.interchip_gbps link, one LWE ciphertext per transfer. With
+/// num_chips == 1 the makespan equals simulate_circuit's.
+MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
+                                              int unroll_m, const GateDag& dag,
+                                              int num_chips,
+                                              const hw::MatchaConfig& cfg = {});
+
 } // namespace matcha::sim

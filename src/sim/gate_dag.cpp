@@ -1,5 +1,6 @@
 #include "sim/gate_dag.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -32,32 +33,172 @@ int64_t GateDag::critical_path_bootstraps() const {
   return longest;
 }
 
-GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
-                                        int pipelines) {
-  if (pipelines <= 0) {
-    throw std::invalid_argument("schedule_gate_dag: pipelines must be positive");
+namespace {
+
+int64_t count_cut(const GateDag& dag, const std::vector<int>& chip_of) {
+  int64_t cut = 0;
+  for (size_t i = 0; i < dag.gates.size(); ++i) {
+    for (const int d : dag.gates[i].deps) {
+      cut += chip_of[static_cast<size_t>(d)] != chip_of[i];
+    }
   }
-  GateDagScheduleResult r;
+  return cut;
+}
+
+} // namespace
+
+GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips) {
+  if (num_chips <= 0) {
+    throw std::invalid_argument("partition_gate_dag: num_chips must be positive");
+  }
+  const int n = static_cast<int>(dag.gates.size());
+  GateDagPartition part;
+  part.num_chips = num_chips;
+  part.chip_of.assign(static_cast<size_t>(n), 0);
+  part.chip_bootstraps.assign(static_cast<size_t>(num_chips), 0);
+  if (n == 0) return part;
+
+  int64_t total_w = 0;
+  int64_t max_w = 0;
+  for (const auto& g : dag.gates) {
+    total_w += g.bootstraps;
+    max_w = std::max<int64_t>(max_w, g.bootstraps);
+  }
+
+  // Seed: weight-balanced topological prefix blocks. Gates are topologically
+  // indexed (deps point backwards), so contiguous blocks make chip ids
+  // monotone nondecreasing along every edge.
+  if (num_chips > 1 && total_w > 0) {
+    int64_t prefix = 0;
+    for (int i = 0; i < n; ++i) {
+      part.chip_of[static_cast<size_t>(i)] = static_cast<int>(
+          std::min<int64_t>(num_chips - 1, prefix * num_chips / total_w));
+      prefix += dag.gates[static_cast<size_t>(i)].bootstraps;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    part.chip_bootstraps[static_cast<size_t>(part.chip_of[static_cast<size_t>(i)])] +=
+        dag.gates[static_cast<size_t>(i)].bootstraps;
+  }
+
+  // KL-style greedy refinement: move one gate at a time to an adjacent chip
+  // when that strictly reduces the cut, never violating edge monotonicity
+  // (the move stays within [max dep chip, min user chip]) nor the load cap.
+  // Moves are applied immediately; passes repeat until a fixed point.
+  if (num_chips > 1 && n > 1) {
+    std::vector<std::vector<int>> users(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (const int d : dag.gates[static_cast<size_t>(i)].deps) {
+        users[static_cast<size_t>(d)].push_back(i);
+      }
+    }
+    const int64_t load_cap = (total_w + num_chips - 1) / num_chips + max_w;
+    const auto cross = [&](int v, int chip) {
+      int64_t c = 0;
+      for (const int d : dag.gates[static_cast<size_t>(v)].deps) {
+        c += part.chip_of[static_cast<size_t>(d)] != chip;
+      }
+      for (const int u : users[static_cast<size_t>(v)]) {
+        c += part.chip_of[static_cast<size_t>(u)] != chip;
+      }
+      return c;
+    };
+    for (int pass = 0; pass < 12; ++pass) {
+      bool moved = false;
+      for (int v = 0; v < n; ++v) {
+        const int c = part.chip_of[static_cast<size_t>(v)];
+        int lo = 0, hi = num_chips - 1;
+        for (const int d : dag.gates[static_cast<size_t>(v)].deps) {
+          lo = std::max(lo, part.chip_of[static_cast<size_t>(d)]);
+        }
+        for (const int u : users[static_cast<size_t>(v)]) {
+          hi = std::min(hi, part.chip_of[static_cast<size_t>(u)]);
+        }
+        const int64_t w = dag.gates[static_cast<size_t>(v)].bootstraps;
+        const int64_t here = cross(v, c);
+        int best_chip = c;
+        int64_t best_gain = 0;
+        for (const int c2 : {c - 1, c + 1}) {
+          if (c2 < lo || c2 > hi) continue;
+          if (part.chip_bootstraps[static_cast<size_t>(c2)] + w > load_cap) continue;
+          const int64_t gain = here - cross(v, c2);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_chip = c2;
+          }
+        }
+        if (best_chip != c) {
+          part.chip_of[static_cast<size_t>(v)] = best_chip;
+          part.chip_bootstraps[static_cast<size_t>(c)] -= w;
+          part.chip_bootstraps[static_cast<size_t>(best_chip)] += w;
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+  }
+
+  part.cut_wires = count_cut(dag, part.chip_of);
+  return part;
+}
+
+MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
+                                                    const GateDag& dag,
+                                                    const GateDagPartition& part,
+                                                    int pipelines,
+                                                    int64_t transfer_cycles) {
+  if (pipelines <= 0) {
+    throw std::invalid_argument(
+        "schedule_gate_dag_multichip: pipelines must be positive");
+  }
+  if (part.num_chips <= 0 ||
+      part.chip_of.size() != dag.gates.size()) {
+    throw std::invalid_argument(
+        "schedule_gate_dag_multichip: partition does not match the DAG");
+  }
+  if (transfer_cycles < 0) {
+    throw std::invalid_argument(
+        "schedule_gate_dag_multichip: transfer_cycles must be nonnegative");
+  }
+  const int num_chips = part.num_chips;
+  MultiChipScheduleResult r;
   r.num_gates = static_cast<int>(dag.gates.size());
+  r.num_chips = num_chips;
   r.pipelines = pipelines;
   r.gate_end.assign(dag.gates.size(), 0);
+  r.cut_wires = count_cut(dag, part.chip_of);
+  r.chip_occupancy.assign(static_cast<size_t>(num_chips), 0);
+  r.chip_hbm_utilization.assign(static_cast<size_t>(num_chips), 0);
+  r.chip_poly_utilization.assign(static_cast<size_t>(num_chips), 0);
   if (dag.gates.empty() || gate_dfg.nodes.empty()) return r;
 
-  // Backfilling timelines: gates are dispatched one at a time, so a later
-  // gate's early DFG nodes must be able to use idle windows behind an
-  // earlier gate's tail (prologue behind key switch on the shared poly unit,
-  // next gate's bundles behind the current EP chain -- the Fig. 6(b)
-  // pipelining story).
-  std::vector<BackfillTimeline> tgsw(pipelines), ep(pipelines);
-  BackfillTimeline poly, hbm;
-  // Completion of the last gate placed on each pipeline, for the greedy
-  // placement heuristic.
-  std::vector<int64_t> pipe_avail(pipelines, 0);
+  // Per-chip resources: private TGSW/EP pipelines with backfilling timelines
+  // (a later gate's prologue may use idle windows behind an earlier gate's
+  // tail -- the Fig. 6(b) pipelining story), a private polynomial unit and a
+  // private HBM channel. The inter-chip link is the one shared timeline.
+  struct Chip {
+    std::vector<BackfillTimeline> tgsw, ep;
+    BackfillTimeline poly, hbm;
+    std::vector<int64_t> pipe_avail;
+  };
+  std::vector<Chip> chips(static_cast<size_t>(num_chips));
+  for (auto& chip : chips) {
+    chip.tgsw.resize(static_cast<size_t>(pipelines));
+    chip.ep.resize(static_cast<size_t>(pipelines));
+    chip.pipe_avail.assign(static_cast<size_t>(pipelines), 0);
+  }
+  BackfillTimeline link;
+  // Lazily-created transfer completions, one per (value, destination chip):
+  // every consumer on that chip waits on the same send.
+  std::vector<int64_t> transfer_end(dag.gates.size() *
+                                        static_cast<size_t>(num_chips),
+                                    -1);
 
   // Readiness-order dispatch: a gate enters the queue once every operand has
-  // completed, keyed by (data-ready cycle, gate id). Scheduling one gate at
-  // a time in that order models the issue logic seeing only resolved
-  // dependencies -- recording order is irrelevant by construction.
+  // completed (and, cross-chip, arrived), keyed by (data-ready cycle, gate
+  // id). Scheduling one gate at a time in that order models the issue logic
+  // seeing only resolved dependencies -- recording order is irrelevant by
+  // construction.
   std::vector<int> pending(dag.gates.size(), 0);
   std::vector<std::vector<int>> users(dag.gates.size());
   using Entry = std::pair<int64_t, int>; // (ready, gate)
@@ -71,6 +212,29 @@ GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
     if (pending[i] == 0) queue.push({0, static_cast<int>(i)});
   }
 
+  // Data-ready cycle of gate `u` on its own chip: operand completions, plus
+  // a link transfer for every operand produced on a different chip. The
+  // transfer claims the link no earlier than producer completion; the first
+  // consumer chip to need a value pays for (and then shares) the send.
+  const auto arrival = [&](int u) {
+    const int cu = part.chip_of[static_cast<size_t>(u)];
+    int64_t ready = 0;
+    for (const int d : dag.gates[static_cast<size_t>(u)].deps) {
+      int64_t t = r.gate_end[static_cast<size_t>(d)];
+      if (part.chip_of[static_cast<size_t>(d)] != cu) {
+        int64_t& sent =
+            transfer_end[static_cast<size_t>(d) * num_chips + cu];
+        if (sent < 0) {
+          sent = link.claim(t, transfer_cycles);
+          ++r.transfers;
+        }
+        t = sent;
+      }
+      if (t > ready) ready = t;
+    }
+    return ready;
+  };
+
   std::vector<int64_t> node_end(gate_dfg.nodes.size(), 0);
   int scheduled = 0;
   while (!queue.empty()) {
@@ -78,6 +242,7 @@ GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
     queue.pop();
     ++scheduled;
     const GateDagNode& gate = dag.gates[gi];
+    Chip& chip = chips[static_cast<size_t>(part.chip_of[static_cast<size_t>(gi)])];
     int64_t end = ready;
     if (gate.bootstraps > 0) {
       // Greedy pipeline choice: the pair whose last placed gate ends
@@ -85,7 +250,10 @@ GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
       int best = 0;
       int64_t best_start = INT64_MAX;
       for (int p = 0; p < pipelines; ++p) {
-        const int64_t start = pipe_avail[p] > ready ? pipe_avail[p] : ready;
+        const int64_t start =
+            chip.pipe_avail[static_cast<size_t>(p)] > ready
+                ? chip.pipe_avail[static_cast<size_t>(p)]
+                : ready;
         if (start < best_start) {
           best_start = start;
           best = p;
@@ -105,10 +273,14 @@ GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
           }
           BackfillTimeline* unit = nullptr;
           switch (node.resource) {
-            case Resource::kTgswCluster: unit = &tgsw[best]; break;
-            case Resource::kEpCore: unit = &ep[best]; break;
-            case Resource::kPolyUnit: unit = &poly; break;
-            case Resource::kHbm: unit = &hbm; break;
+            case Resource::kTgswCluster:
+              unit = &chip.tgsw[static_cast<size_t>(best)];
+              break;
+            case Resource::kEpCore:
+              unit = &chip.ep[static_cast<size_t>(best)];
+              break;
+            case Resource::kPolyUnit: unit = &chip.poly; break;
+            case Resource::kHbm: unit = &chip.hbm; break;
             case Resource::kCount: break;
           }
           assert(unit != nullptr && "DFG node carries an invalid resource");
@@ -118,33 +290,63 @@ GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
         base = instance_end;
       }
       end = base;
-      pipe_avail[best] = end;
+      chip.pipe_avail[static_cast<size_t>(best)] = end;
     }
     r.gate_end[gi] = end;
     if (end > r.makespan) r.makespan = end;
     for (const int u : users[gi]) {
-      if (--pending[u] == 0) {
-        int64_t u_ready = 0;
-        for (const int d : dag.gates[u].deps) {
-          if (r.gate_end[d] > u_ready) u_ready = r.gate_end[d];
-        }
-        queue.push({u_ready, u});
-      }
+      if (--pending[u] == 0) queue.push({arrival(u), u});
     }
   }
   if (scheduled != r.num_gates) {
-    throw std::invalid_argument("schedule_gate_dag: dependency cycle in DAG");
+    throw std::invalid_argument(
+        "schedule_gate_dag_multichip: dependency cycle in DAG");
   }
 
+  r.transfer_busy_cycles = link.busy();
   if (r.makespan > 0) {
-    int64_t pipeline_busy = 0;
-    for (int p = 0; p < pipelines; ++p) {
-      pipeline_busy += tgsw[p].busy() + ep[p].busy();
+    for (int c = 0; c < num_chips; ++c) {
+      int64_t busy = 0;
+      for (int p = 0; p < pipelines; ++p) {
+        busy += chips[static_cast<size_t>(c)].tgsw[static_cast<size_t>(p)].busy() +
+                chips[static_cast<size_t>(c)].ep[static_cast<size_t>(p)].busy();
+      }
+      r.chip_occupancy[static_cast<size_t>(c)] =
+          static_cast<double>(busy) / (2.0 * pipelines * r.makespan);
+      r.chip_hbm_utilization[static_cast<size_t>(c)] =
+          static_cast<double>(chips[static_cast<size_t>(c)].hbm.busy()) /
+          r.makespan;
+      r.chip_poly_utilization[static_cast<size_t>(c)] =
+          static_cast<double>(chips[static_cast<size_t>(c)].poly.busy()) /
+          r.makespan;
     }
-    r.pipeline_occupancy = static_cast<double>(pipeline_busy) /
-                           (2.0 * pipelines * r.makespan);
-    r.hbm_utilization = static_cast<double>(hbm.busy()) / r.makespan;
-    r.poly_utilization = static_cast<double>(poly.busy()) / r.makespan;
+    r.link_utilization = static_cast<double>(link.busy()) / r.makespan;
+  }
+  return r;
+}
+
+GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
+                                        int pipelines) {
+  if (pipelines <= 0) {
+    throw std::invalid_argument("schedule_gate_dag: pipelines must be positive");
+  }
+  // The one-chip special case of the multi-chip scheduler: a trivial
+  // partition, no transfers, identical greedy placement.
+  GateDagPartition one;
+  one.num_chips = 1;
+  one.chip_of.assign(dag.gates.size(), 0);
+  one.chip_bootstraps.assign(1, dag.total_bootstraps());
+  const MultiChipScheduleResult m =
+      schedule_gate_dag_multichip(gate_dfg, dag, one, pipelines, 0);
+  GateDagScheduleResult r;
+  r.num_gates = m.num_gates;
+  r.pipelines = m.pipelines;
+  r.makespan = m.makespan;
+  r.gate_end = m.gate_end;
+  if (!m.chip_occupancy.empty()) {
+    r.pipeline_occupancy = m.chip_occupancy.front();
+    r.hbm_utilization = m.chip_hbm_utilization.front();
+    r.poly_utilization = m.chip_poly_utilization.front();
   }
   return r;
 }

@@ -6,6 +6,14 @@
 // TGSW-cluster/EP-core pipeline is free, with the polynomial unit and HBM
 // key stream shared chip-wide. This is the honest chip-side view of
 // wavefront parallelism -- recording order never matters, only dependencies.
+//
+// Multi-chip: partition_gate_dag shards the DAG across several chips
+// (greedy KL-style refinement of a weight-balanced topological split,
+// minimizing the wire cut) and schedule_gate_dag_multichip gives every chip
+// its own pipelines, polynomial unit, and HBM channel; a wire whose producer
+// and consumer sit on different chips claims the shared inter-chip link for
+// a transfer before the consumer may issue (an HBM-like edge inserted into
+// the dependence graph).
 #pragma once
 
 #include <cstdint>
@@ -54,5 +62,52 @@ struct GateDagScheduleResult {
 /// never spreads across pipelines.
 GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
                                         int pipelines);
+
+/// A sharding of a GateDag across `num_chips` chips: every gate lives on
+/// exactly one chip, and chip ids are monotone along dependence edges
+/// (chip_of[dep] <= chip_of[gate]), so the chip-level quotient graph is
+/// acyclic by construction -- no transfer cycle can deadlock the schedule.
+struct GateDagPartition {
+  int num_chips = 1;
+  std::vector<int> chip_of;             ///< per gate
+  std::vector<int64_t> chip_bootstraps; ///< per-chip load (bootstraps)
+  int64_t cut_wires = 0; ///< dependence edges whose endpoints differ in chip
+};
+
+/// Shard the DAG into `num_chips` parts: seed with a bootstrap-weight-
+/// balanced topological prefix split (gates arrive topologically sorted, so
+/// contiguous index blocks are chip-monotone), then greedy KL-style
+/// refinement -- repeated single-gate moves to an adjacent chip that strictly
+/// reduce the wire cut, constrained to preserve edge monotonicity and load
+/// balance. Deterministic for a given DAG.
+GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips);
+
+struct MultiChipScheduleResult {
+  int num_gates = 0;
+  int num_chips = 1;
+  int pipelines = 0;             ///< per chip
+  int64_t makespan = 0;          ///< circuit completion (cycles)
+  std::vector<int64_t> gate_end; ///< per-gate completion cycle
+  int64_t cut_wires = 0;         ///< dependence edges crossing chips
+  int64_t transfers = 0; ///< distinct (value, destination-chip) link sends
+  int64_t transfer_busy_cycles = 0; ///< inter-chip link busy cycles
+  double link_utilization = 0;
+  std::vector<double> chip_occupancy;       ///< per-chip TGSW+EP busy fraction
+  std::vector<double> chip_hbm_utilization; ///< per-chip HBM busy fraction
+  std::vector<double> chip_poly_utilization;
+};
+
+/// Multi-chip variant of schedule_gate_dag: every chip owns `pipelines`
+/// TGSW/EP pairs plus a private polynomial unit and HBM channel; gates run on
+/// the chip `part` assigns them. A value consumed on a different chip than
+/// it was produced on first claims the shared inter-chip link for
+/// `transfer_cycles` (earliest start at producer completion) -- one transfer
+/// per distinct (value, destination chip), reused by every consumer there.
+/// With num_chips == 1 this reduces exactly to schedule_gate_dag.
+MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
+                                                    const GateDag& dag,
+                                                    const GateDagPartition& part,
+                                                    int pipelines,
+                                                    int64_t transfer_cycles);
 
 } // namespace matcha::sim

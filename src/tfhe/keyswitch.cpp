@@ -14,14 +14,17 @@ KeySwitchKey make_keyswitch_key(const LweKey& in, const LweKey& out,
   ks.table.reserve(static_cast<size_t>(ks.n_in) * p.t * base);
   for (int i = 0; i < ks.n_in; ++i) {
     for (int j = 0; j < p.t; ++j) {
+      // Digit j scales by base^{-(j+1)} = 2^shift; once the digit window
+      // slides past the torus LSB (t * basebit > 32) there is nothing left
+      // to encode -- keep placeholders so at(i, j, v) indexing stays dense.
+      const int shift = 32 - (j + 1) * p.basebit;
       for (uint32_t v = 0; v < base; ++v) {
-        if (v == 0) {
+        if (v == 0 || shift < 0) {
           ks.table.push_back(LweSample(ks.n_out)); // placeholder, never used
           continue;
         }
         // message: v * s_in[i] / base^{j+1}
-        const Torus32 mu = static_cast<Torus32>(v) * in.s[i]
-                           * (1u << (32 - (j + 1) * p.basebit));
+        const Torus32 mu = static_cast<Torus32>(v) * in.s[i] * (1u << shift);
         ks.table.push_back(lwe_encrypt(out, mu, p.sigma, rng));
       }
     }
@@ -34,12 +37,18 @@ LweSample key_switch(const KeySwitchKey& ks, const LweSample& c) {
   LweSample out(ks.n_out);
   out.b = c.b;
   const int prec_bits = ks.params.t * ks.params.basebit;
-  const Torus32 round_offset = 1u << (32 - prec_bits - 1);
+  // Round-to-nearest offset: half the last digit's ulp, 2^(31 - prec_bits).
+  // At full 32-bit precision that is half an indivisible torus unit, which
+  // rounds to zero -- shifting by a negative amount instead is UB.
+  const Torus32 round_offset =
+      prec_bits >= 32 ? 0 : 1u << (32 - prec_bits - 1);
   const uint32_t mask = ks.params.base() - 1;
   for (int i = 0; i < ks.n_in; ++i) {
     const Torus32 ai = c.a[i] + round_offset;
     for (int j = 0; j < ks.params.t; ++j) {
-      const uint32_t v = (ai >> (32 - (j + 1) * ks.params.basebit)) & mask;
+      const int shift = 32 - (j + 1) * ks.params.basebit;
+      if (shift < 0) break; // digits past the torus LSB carry nothing
+      const uint32_t v = (ai >> shift) & mask;
       if (v != 0) out -= ks.at(i, j, v);
     }
   }

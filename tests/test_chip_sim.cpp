@@ -91,6 +91,35 @@ TEST(ChipSim, WeightedGateDagEntryPoint) {
   EXPECT_GE(r.time_ms, r.gate_latency_ms);
 }
 
+TEST(ChipSim, MultiChipShardingBeatsOneChipWhenHbmBound) {
+  // m=3 is the paper's memory-bound regime: one chip's HBM channel throttles
+  // the wide multiplier, so sharding across two chips (two HBM channels, two
+  // pipeline banks) must strictly beat it even though the shards now pay for
+  // cross-chip wire transfers.
+  const Netlist n = array_multiplier_netlist(8);
+  GateDag dag;
+  dag.gates.resize(n.deps.size());
+  for (size_t i = 0; i < n.deps.size(); ++i) dag.gates[i].deps = n.deps[i];
+  const auto r1 = simulate_circuit_multichip(kParams, 3, dag, 1);
+  const auto r2 = simulate_circuit_multichip(kParams, 3, dag, 2);
+  const auto r4 = simulate_circuit_multichip(kParams, 3, dag, 4);
+  EXPECT_LT(r2.time_ms, r1.time_ms);
+  EXPECT_LT(r4.time_ms, r2.time_ms);
+  EXPECT_GT(r2.cut_wires, 0);
+  EXPECT_GT(r2.transfers, 0);
+  EXPECT_GT(r2.transfer_busy_ms, 0.0);
+  // The partition stays load-balanced: no chip hoards the bootstraps.
+  ASSERT_EQ(r2.chip_bootstraps.size(), 2u);
+  const int64_t total = r2.chip_bootstraps[0] + r2.chip_bootstraps[1];
+  EXPECT_EQ(total, dag.total_bootstraps());
+  EXPECT_GT(r2.chip_bootstraps[0] * 3, total); // each side holds > 1/3
+  EXPECT_GT(r2.chip_bootstraps[1] * 3, total);
+  // One chip reduces exactly to the single-chip scheduler.
+  const auto legacy = simulate_circuit(kParams, 3, dag);
+  EXPECT_DOUBLE_EQ(r1.time_ms, legacy.time_ms);
+  EXPECT_EQ(r1.transfers, 0);
+}
+
 TEST(ChipSim, EmptyNetlist) {
   const auto r = simulate_circuit(kParams, 2, Netlist{});
   EXPECT_EQ(r.gates, 0);

@@ -178,6 +178,11 @@ TEST(BatchExecutor, SingleGate) {
   EXPECT_EQ(ex.last_stats().gates, 1);
   EXPECT_EQ(ex.last_stats().bootstraps, 1);
   EXPECT_EQ(ex.last_stats().levels, 1);
+  // A 1-gate run is one pool dispatch with one participating worker -- the
+  // dataflow dispatch never wakes workers it cannot feed.
+  EXPECT_EQ(ex.last_stats().pool_dispatches, 1);
+  EXPECT_EQ(ex.last_stats().workers, 1);
+  EXPECT_EQ(ex.last_stats().steals, 0);
 
   // Bit-identical to the eager evaluator.
   auto ev = dk.make_evaluator(K.deng, K.params.mu());
@@ -243,6 +248,11 @@ TEST(BatchExecutor, RunBatchMatchesIndividualRuns) {
   ASSERT_EQ(rb.size(), 3u);
   EXPECT_EQ(par.last_stats().items, 3);
   EXPECT_EQ(par.last_stats().gates, 3 * c.b.graph().num_gates());
+  // Barrier-free contract: the whole 3-item batch is one pool dispatch, not
+  // one per dependence level, and the scheduler-efficiency metric is sane.
+  EXPECT_EQ(par.last_stats().pool_dispatches, 1);
+  EXPECT_GT(par.last_stats().sched_efficiency, 0.0);
+  EXPECT_LE(par.last_stats().sched_efficiency, 1.05);
   for (size_t i = 0; i < 3; ++i) {
     Rng rng = test::test_rng(300 + i);
     const BatchResult ri =
