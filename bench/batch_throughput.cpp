@@ -16,7 +16,7 @@
 #include "exec/batch_executor.h"
 #include "exec/circuit_builder.h"
 #include "exec/sim_bridge.h"
-#include "fft/double_fft.h"
+#include "fft/simd_fft.h"
 #include "sim/chip_sim.h"
 #include "sim/matcha_sim.h"
 
@@ -134,10 +134,13 @@ int main() {
   std::printf("keygen (test_small, m=2)...\n");
   const SecretKeyset sk = SecretKeyset::generate(params, rng);
   const CloudKeyset cloud = make_cloud_keyset(sk, /*unroll_m=*/2, rng);
-  DoubleFftEngine eng(params.ring.n_ring);
+  // The software gate path runs the SIMD spectral engine (runtime-dispatched
+  // kernels; MATCHA_SIMD=off pins the scalar fallback for A/B runs).
+  SimdFftEngine eng(params.ring.n_ring);
+  std::printf("software engine: simd_fft (%s kernels)\n", eng.level_name());
   const auto dev = load_device_keyset(eng, cloud);
   const auto make_engine = [&] {
-    return std::make_unique<DoubleFftEngine>(params.ring.n_ring);
+    return std::make_unique<SimdFftEngine>(params.ring.n_ring);
   };
 
   std::FILE* jf = std::fopen("BENCH_batch_throughput.json", "w");
@@ -152,6 +155,8 @@ int main() {
   }
   JsonWriter j(jf);
   j.begin_object();
+  j.field("software_engine", "simd_fft");
+  j.field("simd_kernels", eng.level_name());
 
   std::printf("\n-- software batch execution (exec/BatchExecutor) --\n");
   std::printf("%-8s%-8s%-8s%-8s%12s%12s%10s%8s\n", "blocks", "gates", "levels",
@@ -177,8 +182,8 @@ int main() {
 
     double t1 = 0;
     for (const int threads : {1, 2, 4, 8}) {
-      BatchExecutor<DoubleFftEngine> ex(make_engine, dev.bk, *dev.ks,
-                                        params.mu(), threads);
+      BatchExecutor<SimdFftEngine> ex(make_engine, dev.bk, *dev.ks,
+                                      params.mu(), threads);
       const BatchResult r = ex.run(graph, inputs);
       const auto& st = ex.last_stats();
       if (threads == 1) t1 = st.wall_ms;
@@ -266,8 +271,8 @@ int main() {
   j.begin_array();
   double t1 = 0;
   for (const int threads : {1, 2, 4, 8}) {
-    BatchExecutor<DoubleFftEngine> ex(make_engine, dev.bk, *dev.ks,
-                                      params.mu(), threads);
+    BatchExecutor<SimdFftEngine> ex(make_engine, dev.bk, *dev.ks,
+                                    params.mu(), threads);
     const BatchResult r = ex.run(opt.graph, inputs);
     const auto& es = ex.last_stats();
     if (threads == 1) t1 = es.wall_ms;

@@ -1,18 +1,39 @@
-// google-benchmark microbenchmarks of the library's kernels: the FFT engines
-// (both flows, several DVQTF widths), external products, bundle
-// construction, and whole gates at the fast test parameters.
-#include <benchmark/benchmark.h>
+// Micro-kernel latencies of the spectral bottom layer, scalar vs SIMD:
+// forward/inverse negacyclic FFT, pointwise MAC, bundle rotation, external
+// product, and a whole software gate bootstrap, with the double-precision
+// reference engine alongside. Emits BENCH_micro_kernels.json (JsonWriter)
+// so scripts/bench_trend.py can gate software-bootstrap-latency regressions
+// commit over commit.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "bku/bundle.h"
+#include "bench/fig_common.h"
 #include "fft/double_fft.h"
-#include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 #include "tfhe/keyset.h"
 
 namespace {
 
 using namespace matcha;
+using bench::JsonWriter;
 
-constexpr int kRingN = 1024;
+constexpr int kRingN = 1024; // the paper's N for kernel-level numbers
+
+double time_ns_per_op(const std::function<void()>& fn, int reps) {
+  fn(); // warm caches + page in buffers
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::nano>(dt).count() / reps;
+}
+
+struct Row {
+  std::string kernel, path;
+  double ns_op;
+};
 
 TorusPolynomial random_torus_poly(Rng& rng, int n) {
   TorusPolynomial p(n);
@@ -26,120 +47,160 @@ IntPolynomial random_digit_poly(Rng& rng, int n) {
   return p;
 }
 
-void BM_ToSpectral_Double_BreadthFirst(benchmark::State& state) {
-  Rng rng(1);
-  DoubleFftEngine eng(kRingN, FftFlow::kBreadthFirstCooleyTukey);
-  const TorusPolynomial p = random_torus_poly(rng, kRingN);
-  SpectralD s;
-  for (auto _ : state) {
-    eng.to_spectral_torus(p, s);
-    benchmark::DoNotOptimize(s.v.data());
-  }
-}
-BENCHMARK(BM_ToSpectral_Double_BreadthFirst);
-
-void BM_ToSpectral_Double_DepthFirstCP(benchmark::State& state) {
-  Rng rng(1);
-  DoubleFftEngine eng(kRingN, FftFlow::kDepthFirstConjugatePair);
-  const TorusPolynomial p = random_torus_poly(rng, kRingN);
-  SpectralD s;
-  for (auto _ : state) {
-    eng.to_spectral_torus(p, s);
-    benchmark::DoNotOptimize(s.v.data());
-  }
-}
-BENCHMARK(BM_ToSpectral_Double_DepthFirstCP);
-
-void BM_ToSpectral_Lift(benchmark::State& state) {
-  Rng rng(1);
-  LiftFftEngine eng(kRingN, static_cast<int>(state.range(0)));
-  const TorusPolynomial p = random_torus_poly(rng, kRingN);
-  SpectralI s;
-  for (auto _ : state) {
-    eng.to_spectral_torus(p, s);
-    benchmark::DoNotOptimize(s.re.data());
-  }
-}
-BENCHMARK(BM_ToSpectral_Lift)->Arg(38)->Arg(64);
-
-void BM_FromSpectralAcc_Lift(benchmark::State& state) {
-  Rng rng(1);
-  LiftFftEngine eng(kRingN, 64);
-  SpectralI sa, sb;
-  SpectralAccI acc;
-  eng.to_spectral_int(random_digit_poly(rng, kRingN), sa);
-  eng.to_spectral_torus(random_torus_poly(rng, kRingN), sb);
-  eng.acc_init(acc);
-  eng.mac(acc, sa, sb);
-  TorusPolynomial out(kRingN);
-  for (auto _ : state) {
-    eng.from_spectral_acc(acc, out);
-    benchmark::DoNotOptimize(out.coeffs.data());
-  }
-}
-BENCHMARK(BM_FromSpectralAcc_Lift);
-
+/// FFT/MAC/rot/EP rows for one engine. `Engine` only needs the common engine
+/// concept; `path` labels the row ("scalar", "avx2", "reference_double", ...).
 template <class Engine>
-struct EpFixtureState {
-  TfheParams params = TfheParams::security110();
-  Rng rng{17};
-  SecretKeyset sk = SecretKeyset::generate(params, rng);
-  Engine eng{params.ring.n_ring};
-  TGswSpectral<Engine> tgsw;
-  TLweSample acc{params.ring.n_ring};
-  ExternalProductWorkspace<Engine> ws{eng, params.gadget};
+void kernel_rows(Engine& eng, const char* path, std::vector<Row>& out) {
+  Rng rng(17);
+  const TfheParams params = TfheParams::security110();
+  const TorusPolynomial tp = random_torus_poly(rng, kRingN);
+  const IntPolynomial ip = random_digit_poly(rng, kRingN);
 
-  EpFixtureState() {
-    DoubleFftEngine enc_eng(params.ring.n_ring);
-    SpectralD key_spec;
-    enc_eng.to_spectral_int(sk.tlwe.s, key_spec);
-    const TGswSample raw = tgsw_encrypt(enc_eng, sk.tlwe, key_spec,
-                                        params.gadget, 1, params.ring.sigma,
-                                        rng);
-    tgsw = tgsw_to_spectral(eng, raw);
-    for (auto& c : acc.a.coeffs) c = rng.uniform_torus();
-    for (auto& c : acc.b.coeffs) c = rng.uniform_torus();
-  }
-};
+  typename Engine::Spectral sa, sb;
+  typename Engine::SpectralAcc acc;
+  eng.to_spectral_int(ip, sa);
+  eng.to_spectral_torus(tp, sb);
+  eng.acc_init(acc);
+  TorusPolynomial back(kRingN);
 
-void BM_ExternalProduct_Double(benchmark::State& state) {
-  static EpFixtureState<DoubleFftEngine> f;
-  for (auto _ : state) {
-    external_product(f.eng, f.params.gadget, f.tgsw, f.acc, f.ws);
-    benchmark::DoNotOptimize(f.acc.b.coeffs.data());
-  }
+  out.push_back({"fft_fwd", path,
+                 time_ns_per_op([&] { eng.to_spectral_torus(tp, sb); }, 400)});
+  eng.mac(acc, sa, sb);
+  out.push_back({"fft_inv", path,
+                 time_ns_per_op([&] { eng.from_spectral_acc(acc, back); }, 400)});
+  out.push_back(
+      {"mac", path, time_ns_per_op([&] { eng.mac(acc, sa, sb); }, 2000)});
+  typename Engine::Spectral dst(eng.spectral_size());
+  out.push_back({"rot_scale_add", path, time_ns_per_op([&] {
+                   eng.rot_scale_add(dst, sb, 1234);
+                 }, 2000)});
+
+  // External product at the paper parameters (Bg=1024, l=3).
+  SecretKeyset sk = [&] {
+    Rng krng(23);
+    return SecretKeyset::generate(params, krng);
+  }();
+  DoubleFftEngine enc_eng(kRingN);
+  SpectralD key_spec;
+  enc_eng.to_spectral_int(sk.tlwe.s, key_spec);
+  Rng erng(29);
+  const TGswSample raw = tgsw_encrypt(enc_eng, sk.tlwe, key_spec,
+                                      params.gadget, 1, params.ring.sigma,
+                                      erng);
+  auto tgsw = tgsw_to_spectral(eng, raw);
+  ExternalProductWorkspace<Engine> ws(eng, params.gadget);
+  TLweSample ep_acc(kRingN);
+  for (auto& c : ep_acc.a.coeffs) c = erng.uniform_torus();
+  for (auto& c : ep_acc.b.coeffs) c = erng.uniform_torus();
+  out.push_back({"external_product", path, time_ns_per_op([&] {
+                   external_product(eng, params.gadget, tgsw, ep_acc, ws);
+                 }, 200)});
 }
-BENCHMARK(BM_ExternalProduct_Double);
 
-void BM_ExternalProduct_Lift64(benchmark::State& state) {
-  static EpFixtureState<LiftFftEngine> f;
-  for (auto _ : state) {
-    external_product(f.eng, f.params.gadget, f.tgsw, f.acc, f.ws);
-    benchmark::DoNotOptimize(f.acc.b.coeffs.data());
-  }
+/// One full software gate bootstrap (test_small, m=2 bundle mode) ns/op.
+template <class Engine>
+double bootstrap_ns(Engine& eng, const SecretKeyset& sk, const CloudKeyset& ck) {
+  const auto dk = load_device_keyset(eng, ck);
+  BootstrapWorkspace<Engine> ws(eng, dk.bk.gadget);
+  Rng rng(31);
+  const LweSample x = sk.encrypt_bit(1, rng);
+  return time_ns_per_op(
+      [&] { (void)bootstrap(eng, dk.bk, *dk.ks, sk.params.mu(), x, ws); }, 20);
 }
-BENCHMARK(BM_ExternalProduct_Lift64);
-
-struct GateFixtureState {
-  TfheParams params = TfheParams::test_small();
-  Rng rng{23};
-  SecretKeyset sk = SecretKeyset::generate(params, rng);
-  CloudKeyset ck = make_cloud_keyset(sk, 2, rng);
-  DoubleFftEngine eng{params.ring.n_ring};
-  DeviceKeyset<DoubleFftEngine> dk = load_device_keyset(eng, ck);
-  GateEvaluator<DoubleFftEngine> ev = dk.make_evaluator(eng, params.mu());
-  LweSample ca = sk.encrypt_bit(1, rng), cb = sk.encrypt_bit(0, rng);
-};
-
-void BM_GateNand_TestParams_m2(benchmark::State& state) {
-  static GateFixtureState f;
-  for (auto _ : state) {
-    LweSample out = f.ev.gate_nand(f.ca, f.cb);
-    benchmark::DoNotOptimize(out.b);
-  }
-}
-BENCHMARK(BM_GateNand_TestParams_m2)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const SimdLevel hw = detect_simd_level();
+  const SimdLevel active = active_simd_level();
+  // Label rows by the kernel set the dispatcher actually returned, not the
+  // requested level: a binary whose vector backend wasn't compiled in falls
+  // back to scalar, and mislabeled rows would trip the trend gate.
+  const char* active_name = spectral_kernels(active).name;
+  std::printf("micro kernels: N=%d, hw=%s, active=%s\n", kRingN,
+              simd_level_name(hw), active_name);
+
+  std::vector<Row> rows;
+  {
+    SimdFftEngine scalar_eng(kRingN, SimdLevel::kScalar);
+    kernel_rows(scalar_eng, "scalar", rows);
+  }
+  if (std::string(active_name) != "scalar") {
+    SimdFftEngine simd_eng(kRingN, active);
+    kernel_rows(simd_eng, simd_eng.level_name(), rows);
+  }
+  {
+    DoubleFftEngine ref_eng(kRingN);
+    kernel_rows(ref_eng, "reference_double", rows);
+  }
+
+  std::printf("%-18s%-18s%14s\n", "kernel", "path", "ns/op");
+  for (const Row& r : rows) {
+    std::printf("%-18s%-18s%14.0f\n", r.kernel.c_str(), r.path.c_str(), r.ns_op);
+  }
+
+  // Whole-gate bootstraps at the unit-test parameters (m = 2 bundle mode),
+  // the latency the batch executor pays per gate.
+  std::printf("\nbootstrap (test_small, m=2):\n");
+  Rng krng(20240601);
+  const TfheParams small = TfheParams::test_small();
+  const SecretKeyset sk = SecretKeyset::generate(small, krng);
+  const CloudKeyset ck = make_cloud_keyset(sk, /*unroll_m=*/2, krng);
+  struct BootRow {
+    std::string path;
+    double ns_op;
+  };
+  std::vector<BootRow> boots;
+  {
+    SimdFftEngine eng(small.ring.n_ring, SimdLevel::kScalar);
+    boots.push_back({"scalar", bootstrap_ns(eng, sk, ck)});
+  }
+  if (std::string(active_name) != "scalar") {
+    SimdFftEngine eng(small.ring.n_ring, active);
+    boots.push_back({eng.level_name(), bootstrap_ns(eng, sk, ck)});
+  }
+  {
+    DoubleFftEngine eng(small.ring.n_ring);
+    boots.push_back({"reference_double", bootstrap_ns(eng, sk, ck)});
+  }
+  for (const BootRow& b : boots) {
+    std::printf("%-18s%14.0f ns/op  (%.2f ms)\n", b.path.c_str(), b.ns_op,
+                b.ns_op * 1e-6);
+  }
+
+  std::FILE* jf = std::fopen("BENCH_micro_kernels.json", "w");
+  if (jf == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_micro_kernels.json\n");
+    return 0;
+  }
+  JsonWriter j(jf);
+  j.begin_object();
+  j.field("ring_n", kRingN);
+  j.field("simd_hw", simd_level_name(hw));
+  j.field("simd_active", active_name);
+  j.name("kernels");
+  j.begin_array();
+  for (const Row& r : rows) {
+    j.begin_object();
+    j.field("kernel", r.kernel.c_str());
+    j.field("path", r.path.c_str());
+    j.field("ns_op", r.ns_op);
+    j.end_object();
+  }
+  j.end_array();
+  j.name("bootstrap");
+  j.begin_array();
+  for (const BootRow& b : boots) {
+    j.begin_object();
+    j.field("path", b.path.c_str());
+    j.field("params", "test_small");
+    j.field("unroll_m", 2);
+    j.field("ns_op", b.ns_op);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::fclose(jf);
+  std::printf("\nwrote BENCH_micro_kernels.json\n");
+  return 0;
+}

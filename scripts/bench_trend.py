@@ -1,19 +1,33 @@
 #!/usr/bin/env python3
-"""Fail CI when a commit regresses the deterministic perf metrics.
+"""Fail CI when a commit regresses the tracked perf metrics.
 
-Usage: bench_trend.py <previous/BENCH_batch_throughput.json> <current/...json>
+Usage:
+  bench_trend.py <previous/BENCH_batch_throughput.json> <current/...json>
+  bench_trend.py <previous-dir> <current-dir>
 
-Compares only metrics that are deterministic functions of the code (optimizer
-bootstrap counts, simulated chip makespans): software wall-clock numbers vary
-with runner load and are ignored. A missing baseline (first run on a branch,
-expired artifact) is a skip, not a failure. Regression tolerance is a small
-relative slack to absorb the JSON emitter's %.6g rounding -- any real model
-or optimizer change lands far outside it.
+With directories, every known BENCH_*.json present in BOTH trees is compared
+(batch_throughput + micro_kernels today).
+
+Two metric classes, two tolerances:
+  * deterministic functions of the code (optimizer bootstrap counts,
+    simulated chip makespans): 0.5% slack, just enough to absorb the JSON
+    emitter's %.6g rounding -- any real model/optimizer change lands far
+    outside it.
+  * measured software latency (the micro-kernel software-bootstrap ns/op):
+    a wide tolerance band for runner noise; only a real slowdown of the
+    spectral engine trips it. Paths are compared only when both runs used
+    the same SIMD level (simd_active), so a runner without AVX2 never
+    diffs apples against oranges.
+
+A missing baseline (first run on a branch, expired artifact) is a skip, not
+a failure.
 """
 import json
+import os
 import sys
 
-TOLERANCE = 0.005  # 0.5% relative slack on simulated makespans
+TOLERANCE = 0.005        # deterministic metrics
+SW_LATENCY_TOLERANCE = 0.35  # measured ns/op band for runner noise
 
 
 def load(path):
@@ -21,12 +35,11 @@ def load(path):
         return json.load(f)
 
 
-def check(label, prev, cur, failures, lower_is_better=True):
+def check(label, prev, cur, failures, tolerance=TOLERANCE, lower_is_better=True):
     if prev is None or cur is None:
         return
-    worse = cur > prev * (1 + TOLERANCE) if lower_is_better else cur < prev * (1 - TOLERANCE)
-    arrow = "->"
-    line = f"  {label}: {prev:g} {arrow} {cur:g}"
+    worse = cur > prev * (1 + tolerance) if lower_is_better else cur < prev * (1 - tolerance)
+    line = f"  {label}: {prev:g} -> {cur:g}"
     if worse:
         failures.append(line)
         print(f"REGRESSION{line}")
@@ -38,19 +51,7 @@ def by_key(rows, *keys):
     return {tuple(r[k] for k in keys): r for r in rows}
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__)
-        return 2
-    prev_path, cur_path = sys.argv[1], sys.argv[2]
-    try:
-        prev = load(prev_path)
-    except OSError:
-        print(f"no baseline at {prev_path}; trend check skipped")
-        return 0
-    cur = load(cur_path)
-    failures = []
-
+def compare_batch_throughput(prev, cur, failures):
     # Optimizer output: post-fusion bootstrap counts must never creep up.
     p = by_key(prev.get("fusion", []), "circuit")
     c = by_key(cur.get("fusion", []), "circuit")
@@ -82,12 +83,68 @@ def main():
         check(f"{tag}.cut_wires",
               p[key]["cut_wires"], c[key]["cut_wires"], failures)
 
+
+def compare_micro_kernels(prev, cur, failures):
+    # Software-bootstrap-latency gate: same-path ns/op within the noise band.
+    if prev.get("simd_active") != cur.get("simd_active"):
+        print(f"  micro_kernels: simd_active changed "
+              f"({prev.get('simd_active')} -> {cur.get('simd_active')}); "
+              f"latency comparison skipped")
+        return
+    p = by_key(prev.get("bootstrap", []), "path")
+    c = by_key(cur.get("bootstrap", []), "path")
+    for key in sorted(p.keys() & c.keys()):
+        check(f"micro_kernels.bootstrap[{key[0]}].ns_op",
+              p[key]["ns_op"], c[key]["ns_op"], failures,
+              tolerance=SW_LATENCY_TOLERANCE)
+
+
+COMPARATORS = {
+    "BENCH_batch_throughput.json": compare_batch_throughput,
+    "BENCH_micro_kernels.json": compare_micro_kernels,
+}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    prev_path, cur_path = sys.argv[1], sys.argv[2]
+    failures = []
+    compared = 0
+
+    if os.path.isdir(cur_path):
+        pairs = [(os.path.join(prev_path, name), os.path.join(cur_path, name),
+                  fn) for name, fn in sorted(COMPARATORS.items())]
+    else:
+        fn = COMPARATORS.get(os.path.basename(cur_path),
+                             compare_batch_throughput)
+        pairs = [(prev_path, cur_path, fn)]
+
+    for prev_file, cur_file, fn in pairs:
+        try:
+            prev = load(prev_file)
+        except OSError:
+            print(f"no baseline at {prev_file}; skipped")
+            continue
+        try:
+            cur = load(cur_file)
+        except OSError:
+            print(f"no current data at {cur_file}; skipped")
+            continue
+        print(f"-- {os.path.basename(cur_file)}")
+        fn(prev, cur, failures)
+        compared += 1
+
     if failures:
         print(f"\n{len(failures)} perf regression(s) vs previous commit:")
         for f in failures:
             print(f)
         return 1
-    print("\nno regressions vs previous commit")
+    if compared == 0:
+        print("no baseline found; trend check skipped")
+    else:
+        print("\nno regressions vs previous commit")
     return 0
 
 

@@ -2,6 +2,7 @@
 
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 
 namespace matcha {
 
@@ -27,5 +28,9 @@ template bool build_bundle<LiftFftEngine>(const LiftFftEngine&,
                                           const DeviceBootstrapKey<LiftFftEngine>&,
                                           int, const std::vector<int32_t>&,
                                           TGswSpectral<LiftFftEngine>&);
+template bool build_bundle<SimdFftEngine>(const SimdFftEngine&,
+                                          const DeviceBootstrapKey<SimdFftEngine>&,
+                                          int, const std::vector<int32_t>&,
+                                          TGswSpectral<SimdFftEngine>&);
 
 } // namespace matcha

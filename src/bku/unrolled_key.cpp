@@ -4,6 +4,7 @@
 
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 
 namespace matcha {
 
@@ -59,5 +60,7 @@ template DeviceBootstrapKey<DoubleFftEngine> load_bootstrap_key<DoubleFftEngine>
     const DoubleFftEngine&, const UnrolledBootstrapKey&);
 template DeviceBootstrapKey<LiftFftEngine> load_bootstrap_key<LiftFftEngine>(
     const LiftFftEngine&, const UnrolledBootstrapKey&);
+template DeviceBootstrapKey<SimdFftEngine> load_bootstrap_key<SimdFftEngine>(
+    const SimdFftEngine&, const UnrolledBootstrapKey&);
 
 } // namespace matcha

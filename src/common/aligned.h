@@ -1,0 +1,55 @@
+// Cache-line-aligned allocation for the planar spectral buffers.
+//
+// Every hot kernel in the SIMD spectral engine (fft/simd.h and the
+// fft/spectral_kernels_*.cpp TUs) streams over contiguous double planes; a
+// 64-byte allocation guarantee keeps those planes on aligned cache lines and
+// lets vector loads start aligned whenever the loop bounds allow it. The
+// kernels themselves only *require* natural element alignment (they use
+// unaligned vector loads), so AlignedVector is a performance contract, not a
+// correctness one -- see DESIGN.md "Spectral engine" for the full alignment
+// contract.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace matcha {
+
+inline constexpr std::size_t kSpectralAlign = 64;
+
+template <class T, std::size_t Align = kSpectralAlign>
+struct AlignedAllocator {
+  using value_type = T;
+  /// Explicit rebind: allocator_traits cannot synthesize one across the
+  /// non-type Align parameter.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage (the planar spectral planes).
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace matcha

@@ -1,0 +1,59 @@
+#include "common/simd_dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace matcha {
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kNeon: return "neon";
+  }
+  return "?";
+}
+
+SimdLevel detect_simd_level() {
+#if defined(__x86_64__) || defined(__i386__)
+  // FMA is required alongside AVX2: the kernels fuse every complex
+  // multiply-accumulate and are compiled with -mfma.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+  return SimdLevel::kScalar;
+#elif defined(__aarch64__)
+  return SimdLevel::kNeon; // Advanced SIMD is baseline on aarch64
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel resolve_simd_level(const char* override_value, SimdLevel hw) {
+  if (override_value == nullptr || *override_value == '\0' ||
+      std::strcmp(override_value, "native") == 0) {
+    return hw;
+  }
+  if (std::strcmp(override_value, "off") == 0 ||
+      std::strcmp(override_value, "scalar") == 0) {
+    return SimdLevel::kScalar;
+  }
+  // A requested ISA is honored only when the hardware actually runs it;
+  // anything else (including unknown strings) degrades to scalar rather
+  // than crashing on an illegal instruction.
+  if (std::strcmp(override_value, "avx2") == 0) {
+    return hw == SimdLevel::kAvx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  }
+  if (std::strcmp(override_value, "neon") == 0) {
+    return hw == SimdLevel::kNeon ? SimdLevel::kNeon : SimdLevel::kScalar;
+  }
+  return SimdLevel::kScalar;
+}
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level =
+      resolve_simd_level(std::getenv("MATCHA_SIMD"), detect_simd_level());
+  return level;
+}
+
+} // namespace matcha

@@ -1,0 +1,38 @@
+// Runtime ISA dispatch for the SIMD spectral kernels.
+//
+// The library ships three implementations of the planar spectral kernel set
+// (scalar, AVX2+FMA, NEON); which one runs is decided once per process from
+// the host CPU plus an environment override:
+//
+//   MATCHA_SIMD=off|scalar   force the portable scalar kernels
+//   MATCHA_SIMD=avx2|neon    request that ISA (falls back to scalar when the
+//                            binary/CPU cannot run it)
+//   MATCHA_SIMD=native       (or unset) use the best level the CPU supports
+//
+// The override exists so CI can pin the scalar fallback on hardware that
+// *does* have vector units, keeping both code paths green (ci.yml dispatch
+// matrix), and so benches can measure scalar-vs-SIMD on one machine.
+#pragma once
+
+namespace matcha {
+
+enum class SimdLevel {
+  kScalar,
+  kAvx2, ///< x86-64 AVX2 + FMA3
+  kNeon, ///< aarch64 Advanced SIMD
+};
+
+const char* simd_level_name(SimdLevel level);
+
+/// Best level the running CPU supports (no environment override applied).
+SimdLevel detect_simd_level();
+
+/// Resolve an override string against a hardware level. `override_value` may
+/// be nullptr (no override). Pure function, exposed for unit tests.
+SimdLevel resolve_simd_level(const char* override_value, SimdLevel hw);
+
+/// detect_simd_level() combined with the MATCHA_SIMD override, computed once
+/// and cached for the process lifetime.
+SimdLevel active_simd_level();
+
+} // namespace matcha

@@ -11,7 +11,11 @@
 // Determinism: every worker slot owns a private Engine instance (engines
 // carry mutable scratch buffers and counters -- sharing one across threads
 // would race) plus its own BootstrapWorkspace, while the spectral
-// bootstrapping key and key-switching key are shared read-only. A gate's
+// bootstrapping key and key-switching key are shared read-only. This
+// aliasing contract holds for the planar SIMD engine too: its kernels only
+// ever read the shared key's SpectralP planes, and every buffer they write
+// (digit/spectral arenas, accumulators, FFT scratch) lives in the worker's
+// private engine or workspace. A gate's
 // output depends only on its input ciphertexts and bootstrapping is
 // deterministic, so results are bit-identical to sequential execution
 // regardless of thread count, steal pattern, or batch grouping.

@@ -20,6 +20,7 @@ DoubleFftEngine::DoubleFftEngine(int n_ring, FftFlow flow)
   } else {
     cp_fwd_ = std::make_unique<CpFft>(m_, +1);
     cp_inv_ = std::make_unique<CpFft>(m_, -1);
+    dft_src_.resize(m_);
   }
   work_.resize(m_);
 }
@@ -38,9 +39,11 @@ void DoubleFftEngine::bit_reverse(std::complex<double>* data) const {
 
 void DoubleFftEngine::dft(std::complex<double>* data, int sign) const {
   if (flow_ == FftFlow::kDepthFirstConjugatePair) {
+    // CpFft::transform needs non-aliasing in/out; stage the input through a
+    // preallocated buffer instead of a per-call heap allocation.
     const CpFft& t = sign > 0 ? *cp_fwd_ : *cp_inv_;
-    std::vector<std::complex<double>> tmp(data, data + m_);
-    t.transform(tmp.data(), data);
+    std::copy(data, data + m_, dft_src_.begin());
+    t.transform(dft_src_.data(), data);
     return;
   }
   // Breadth-first iterative radix-2 DIT.
@@ -63,7 +66,7 @@ void DoubleFftEngine::dft(std::complex<double>* data, int sign) const {
 void DoubleFftEngine::to_spectral_int(const IntPolynomial& p, Spectral& out) const {
   ScopedTimer t(counters_.to_spectral_ns, counters_.to_spectral_calls);
   assert(p.size() == n_);
-  out.v.resize(m_);
+  if (out.size() != m_) out.v.resize(m_); // no-op on presized workspaces
   for (int j = 0; j < m_; ++j) {
     const std::complex<double> c{static_cast<double>(p.coeffs[j]),
                                  static_cast<double>(p.coeffs[j + m_])};
@@ -75,7 +78,7 @@ void DoubleFftEngine::to_spectral_int(const IntPolynomial& p, Spectral& out) con
 void DoubleFftEngine::to_spectral_torus(const TorusPolynomial& p, Spectral& out) const {
   ScopedTimer t(counters_.to_spectral_ns, counters_.to_spectral_calls);
   assert(p.size() == n_);
-  out.v.resize(m_);
+  if (out.size() != m_) out.v.resize(m_); // no-op on presized workspaces
   for (int j = 0; j < m_; ++j) {
     const std::complex<double> c{
         static_cast<double>(static_cast<int32_t>(p.coeffs[j])),
@@ -88,7 +91,7 @@ void DoubleFftEngine::to_spectral_torus(const TorusPolynomial& p, Spectral& out)
 void DoubleFftEngine::from_spectral_torus(const Spectral& s, TorusPolynomial& out) const {
   ScopedTimer t(counters_.from_spectral_ns, counters_.from_spectral_calls);
   assert(s.size() == m_);
-  out.coeffs.resize(n_);
+  if (out.size() != n_) out.coeffs.resize(n_);
   std::copy(s.v.begin(), s.v.end(), work_.begin());
   dft(work_.data(), -1);
   const double inv_m = 1.0 / m_;

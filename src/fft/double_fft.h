@@ -73,6 +73,7 @@ class DoubleFftEngine {
   std::vector<std::complex<double>> roots_fwd_, roots_inv_; ///< breadth-first tables
   std::unique_ptr<CpFft> cp_fwd_, cp_inv_;
   mutable std::vector<std::complex<double>> work_;
+  mutable std::vector<std::complex<double>> dft_src_; ///< depth-first input copy
   mutable EngineCounters counters_;
 };
 

@@ -1,5 +1,17 @@
 // Shared per-engine instrumentation. The Fig. 1 latency breakdown and the
 // simulator's activity factors are regenerated from these counters.
+//
+// Counter scope contract (what keeps bench/fig1_breakdown's percentages
+// summing sanely): the _ns timers cover DISJOINT, NON-NESTED scopes. Each
+// public to_spectral/from_spectral entry point -- including the SIMD
+// engine's fused external-product path, which times each of its 2l forward
+// and 2 inverse transforms exactly once via forward_raw/inverse_raw -- opens
+// one timer for its whole kernel, and no helper it calls opens another.
+// Work outside the transforms (gadget decomposition, spectral MAC, bundle
+// rotations) is deliberately uncounted: GateEvaluator derives its "other"
+// slice as bootstrap_wall - ifft - fft, so any double-counted nested scope
+// would push that slice negative. When fusing kernels, attribute each
+// sub-phase to at most one counter.
 #pragma once
 
 #include <chrono>

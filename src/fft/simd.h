@@ -1,0 +1,170 @@
+// Portable SIMD shim for the planar spectral kernels.
+//
+// Each ISA is a policy struct exposing the same tiny vocabulary of W-wide
+// double-lane operations; fft/spectral_kernels_impl.h instantiates one
+// kernel set per policy and the per-ISA TUs export them behind the runtime
+// vtable (fft/spectral_kernels.h). The policies are deliberately minimal:
+// load/store, add/sub/mul, fused multiply-add/sub, int32->double widening,
+// the library's fixed rounding point, the Torus32 wrap-around store, and one
+// shuffle-heavy helper (the adjacent-pair butterfly of the final radix-2
+// stage) that cannot be expressed lane-wise.
+//
+// Rounding contract: round_away(x) = trunc(x + copysign(0.5, x)) -- round
+// half away from zero, the same rule std::llround applies. All three
+// policies compute it with this exact double sequence, so a given kernel
+// level is deterministic, and every level agrees with std::llround whenever
+// x is farther than one ulp from a half-integer (always true on the decrypt
+// path, whose spectral error is bounded far below 0.5; see DESIGN.md).
+//
+// The AVX2 policy only compiles in TUs built with -mavx2 -mfma
+// (spectral_kernels_avx2.cpp); including this header elsewhere is harmless.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace matcha::simd {
+
+// ------------------------------------------------------------------ scalar
+struct Scalar {
+  static constexpr int W = 1;
+  using vd = double;
+
+  static vd load(const double* p) { return *p; }
+  static void store(double* p, vd v) { *p = v; }
+  static vd set1(double x) { return x; }
+  static vd add(vd a, vd b) { return a + b; }
+  static vd sub(vd a, vd b) { return a - b; }
+  static vd mul(vd a, vd b) { return a * b; }
+  static vd fmadd(vd a, vd b, vd c) { return a * b + c; }
+  static vd fmsub(vd a, vd b, vd c) { return a * b - c; }
+  static vd load_i32(const int32_t* p) { return static_cast<double>(*p); }
+  static vd round_away(vd x) { return std::trunc(x + std::copysign(0.5, x)); }
+  static void store_torus(uint32_t* p, vd x) {
+    // int64 -> uint32 narrows mod 2^32, realizing the torus wrap. |x| stays
+    // below 2^52 (DESIGN.md scaling bound) so the conversion is exact.
+    *p = static_cast<uint32_t>(static_cast<int64_t>(x));
+  }
+  /// (a, b) -> (a + b, a - b) over `pairs` adjacent pairs; src may == dst.
+  static void butterfly_pairs(const double* src, double* dst, int pairs) {
+    for (int i = 0; i < pairs; ++i) {
+      const double a = src[2 * i], b = src[2 * i + 1];
+      dst[2 * i] = a + b;
+      dst[2 * i + 1] = a - b;
+    }
+  }
+};
+
+// ------------------------------------------------------------- AVX2 + FMA
+#if defined(__AVX2__) && defined(__FMA__)
+struct Avx2 {
+  static constexpr int W = 4;
+  using vd = __m256d;
+
+  static vd load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, vd v) { _mm256_storeu_pd(p, v); }
+  static vd set1(double x) { return _mm256_set1_pd(x); }
+  static vd add(vd a, vd b) { return _mm256_add_pd(a, b); }
+  static vd sub(vd a, vd b) { return _mm256_sub_pd(a, b); }
+  static vd mul(vd a, vd b) { return _mm256_mul_pd(a, b); }
+  static vd fmadd(vd a, vd b, vd c) { return _mm256_fmadd_pd(a, b, c); }
+  static vd fmsub(vd a, vd b, vd c) { return _mm256_fmsub_pd(a, b, c); }
+  static vd load_i32(const int32_t* p) {
+    return _mm256_cvtepi32_pd(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static vd round_away(vd x) {
+    const vd sign = _mm256_and_pd(x, _mm256_set1_pd(-0.0));
+    const vd half = _mm256_or_pd(_mm256_set1_pd(0.5), sign);
+    return _mm256_round_pd(_mm256_add_pd(x, half),
+                           _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+  }
+  static void store_torus(uint32_t* p, vd x) {
+    // Reduce the integral value mod 2^32 into [0, 2^32), then use the 2^52
+    // mantissa trick: fl(v + 2^52) carries v verbatim in its low 32 bits.
+    // Every step is exact for integral |x| < 2^52.
+    const vd two32 = _mm256_set1_pd(4294967296.0);
+    const vd q = _mm256_floor_pd(_mm256_mul_pd(x, _mm256_set1_pd(1.0 / 4294967296.0)));
+    const vd v = _mm256_fnmadd_pd(q, two32, x);
+    const vd biased = _mm256_add_pd(v, _mm256_set1_pd(4503599627370496.0)); // 2^52
+    const __m256i bits = _mm256_castpd_si256(biased);
+    const __m256i low = _mm256_permutevar8x32_epi32(
+        bits, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p),
+                     _mm256_castsi256_si128(low));
+  }
+  static void butterfly_pairs(const double* src, double* dst, int pairs) {
+    int i = 0;
+    for (; i + 2 <= pairs; i += 2) {
+      const vd x = _mm256_loadu_pd(src + 2 * i);        // a0 b0 a1 b1
+      const vd y = _mm256_permute_pd(x, 0b0101);        // b0 a0 b1 a1
+      const vd nx = _mm256_xor_pd(x, _mm256_set1_pd(-0.0));
+      // addsub(y, -x) = [y0+x0, y1-x1, ...] = [a+b, a-b, ...]
+      _mm256_storeu_pd(dst + 2 * i, _mm256_addsub_pd(y, nx));
+    }
+    for (; i < pairs; ++i) {
+      const double a = src[2 * i], b = src[2 * i + 1];
+      dst[2 * i] = a + b;
+      dst[2 * i + 1] = a - b;
+    }
+  }
+};
+#endif // __AVX2__ && __FMA__
+
+// ------------------------------------------------------------------- NEON
+#if defined(__aarch64__)
+struct Neon {
+  static constexpr int W = 2;
+  using vd = float64x2_t;
+
+  static vd load(const double* p) { return vld1q_f64(p); }
+  static void store(double* p, vd v) { vst1q_f64(p, v); }
+  static vd set1(double x) { return vdupq_n_f64(x); }
+  static vd add(vd a, vd b) { return vaddq_f64(a, b); }
+  static vd sub(vd a, vd b) { return vsubq_f64(a, b); }
+  static vd mul(vd a, vd b) { return vmulq_f64(a, b); }
+  static vd fmadd(vd a, vd b, vd c) { return vfmaq_f64(c, a, b); }
+  static vd fmsub(vd a, vd b, vd c) {
+    return vnegq_f64(vfmsq_f64(c, a, b)); // -(c - a*b) = a*b - c
+  }
+  static vd load_i32(const int32_t* p) {
+    return vcvtq_f64_s64(vmovl_s32(vld1_s32(p)));
+  }
+  static vd round_away(vd x) {
+    const uint64x2_t signbit = vdupq_n_u64(0x8000000000000000ull);
+    const uint64x2_t sign =
+        vandq_u64(vreinterpretq_u64_f64(x), signbit);
+    const vd half = vreinterpretq_f64_u64(
+        vorrq_u64(vreinterpretq_u64_f64(vdupq_n_f64(0.5)), sign));
+    return vrndq_f64(vaddq_f64(x, half)); // vrndq = round toward zero
+  }
+  static void store_torus(uint32_t* p, vd x) {
+    const int64x2_t t = vcvtq_s64_f64(x); // toward zero; x already integral
+    vst1_u32(p, vmovn_u64(vreinterpretq_u64_s64(t)));
+  }
+  static void butterfly_pairs(const double* src, double* dst, int pairs) {
+    int i = 0;
+    for (; i + 2 <= pairs; i += 2) {
+      const float64x2x2_t ab = vld2q_f64(src + 2 * i); // deinterleave a|b
+      float64x2x2_t r;
+      r.val[0] = vaddq_f64(ab.val[0], ab.val[1]);
+      r.val[1] = vsubq_f64(ab.val[0], ab.val[1]);
+      vst2q_f64(dst + 2 * i, r);
+    }
+    for (; i < pairs; ++i) {
+      const double a = src[2 * i], b = src[2 * i + 1];
+      dst[2 * i] = a + b;
+      dst[2 * i + 1] = a - b;
+    }
+  }
+};
+#endif // __aarch64__
+
+} // namespace matcha::simd

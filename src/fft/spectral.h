@@ -11,10 +11,12 @@
 // paper's terms noted in comments.
 #pragma once
 
+#include <algorithm>
 #include <complex>
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/types.h"
 
 namespace matcha {
@@ -27,6 +29,24 @@ struct SpectralD {
   explicit SpectralD(int m) : v(m) {}
   int size() const { return static_cast<int>(v.size()); }
   void clear() { std::fill(v.begin(), v.end(), std::complex<double>{0.0, 0.0}); }
+};
+
+/// Planar split-format spectral data for the SIMD engine (fft/simd_fft.h):
+/// separate 64-byte-aligned re[]/im[] planes so every kernel -- butterflies,
+/// pointwise MAC, bundle rotations -- runs as contiguous full-width vector
+/// arithmetic with no interleave shuffles. Values live in the engine's fixed
+/// digit-reversed storage order (see fft/spectral_kernels.h); only the
+/// owning engine may interpret individual slots.
+struct SpectralP {
+  AlignedVector<double> re, im;
+
+  SpectralP() = default;
+  explicit SpectralP(int m) : re(m, 0.0), im(m, 0.0) {}
+  int size() const { return static_cast<int>(re.size()); }
+  void clear() {
+    std::fill(re.begin(), re.end(), 0.0);
+    std::fill(im.begin(), im.end(), 0.0);
+  }
 };
 
 /// Spectral data for the integer lifting engine (structure-of-arrays so the

@@ -1,0 +1,316 @@
+// Generic planar-kernel bodies, templated over a fft/simd.h policy.
+//
+// Included by the per-ISA translation units only
+// (spectral_kernels_{scalar,avx2,neon}.cpp); never include this from
+// headers. Each elementwise loop runs a full-width vector body followed by a
+// simd::Scalar tail -- the late radix-4 stages have quarters (q = 1 or 2)
+// narrower than the AVX2 width, and the tail reuses the exact same
+// butterfly template at W = 1.
+//
+// Index-heavy kernels that need integer lanes (rot_scale_add's table
+// gathers, decompose's shift/mask pipeline) get portable scalar bodies here;
+// the AVX2 TU overrides them with hand-vectorized versions.
+#pragma once
+
+#include <cstdint>
+
+#include "fft/simd.h"
+#include "fft/spectral_kernels.h"
+
+namespace matcha::detail {
+
+/// Radix-4 DIF butterfly (forward, sign +1) at slot `base + j`, twiddles
+/// from `st`. In-place on re/im.
+template <class P>
+inline void dif_butterfly(const PlanStage& st, double* re, double* im,
+                          int base, int j) {
+  using v = typename P::vd;
+  const int q = st.q;
+  double* r0 = re + base + j;
+  double* i0 = im + base + j;
+  const v ar = P::load(r0), ai = P::load(i0);
+  const v br = P::load(r0 + q), bi = P::load(i0 + q);
+  const v cr = P::load(r0 + 2 * q), ci = P::load(i0 + 2 * q);
+  const v dr = P::load(r0 + 3 * q), di = P::load(i0 + 3 * q);
+
+  const v t0r = P::add(ar, cr), t0i = P::add(ai, ci);
+  const v t1r = P::sub(ar, cr), t1i = P::sub(ai, ci);
+  const v t2r = P::add(br, dr), t2i = P::add(bi, di);
+  const v t3r = P::sub(br, dr), t3i = P::sub(bi, di);
+
+  P::store(r0, P::add(t0r, t2r));
+  P::store(i0, P::add(t0i, t2i));
+
+  const v b1r = P::sub(t1r, t3i), b1i = P::add(t1i, t3r); // t1 + i*t3
+  const v b2r = P::sub(t0r, t2r), b2i = P::sub(t0i, t2i);
+  const v b3r = P::add(t1r, t3i), b3i = P::sub(t1i, t3r); // t1 - i*t3
+
+  const v w1r = P::load(st.w1r() + j), w1i = P::load(st.w1i() + j);
+  const v w2r = P::load(st.w2r() + j), w2i = P::load(st.w2i() + j);
+  const v w3r = P::load(st.w3r() + j), w3i = P::load(st.w3i() + j);
+  P::store(r0 + q, P::fmsub(b1r, w1r, P::mul(b1i, w1i)));
+  P::store(i0 + q, P::fmadd(b1r, w1i, P::mul(b1i, w1r)));
+  P::store(r0 + 2 * q, P::fmsub(b2r, w2r, P::mul(b2i, w2i)));
+  P::store(i0 + 2 * q, P::fmadd(b2r, w2i, P::mul(b2i, w2r)));
+  P::store(r0 + 3 * q, P::fmsub(b3r, w3r, P::mul(b3i, w3i)));
+  P::store(i0 + 3 * q, P::fmadd(b3r, w3i, P::mul(b3i, w3r)));
+}
+
+/// First forward stage (size m): the negacyclic twist is fused into the
+/// input loads, z[t] = (in[t] + i*in[t+m]) * twist[t].
+template <class P>
+inline void dif_butterfly_twist(const NegacyclicPlan& plan,
+                                const PlanStage& st, const int32_t* in,
+                                double* re, double* im, int j) {
+  using v = typename P::vd;
+  const int q = st.q;
+  const int m = plan.m;
+  v xr[4], xi[4];
+  for (int r = 0; r < 4; ++r) {
+    const int t = j + r * q;
+    const v lo = P::load_i32(in + t);
+    const v hi = P::load_i32(in + t + m);
+    const v twr = P::load(plan.twist_re.data() + t);
+    const v twi = P::load(plan.twist_im.data() + t);
+    xr[r] = P::fmsub(lo, twr, P::mul(hi, twi));
+    xi[r] = P::fmadd(lo, twi, P::mul(hi, twr));
+  }
+  const v t0r = P::add(xr[0], xr[2]), t0i = P::add(xi[0], xi[2]);
+  const v t1r = P::sub(xr[0], xr[2]), t1i = P::sub(xi[0], xi[2]);
+  const v t2r = P::add(xr[1], xr[3]), t2i = P::add(xi[1], xi[3]);
+  const v t3r = P::sub(xr[1], xr[3]), t3i = P::sub(xi[1], xi[3]);
+
+  P::store(re + j, P::add(t0r, t2r));
+  P::store(im + j, P::add(t0i, t2i));
+
+  const v b1r = P::sub(t1r, t3i), b1i = P::add(t1i, t3r);
+  const v b2r = P::sub(t0r, t2r), b2i = P::sub(t0i, t2i);
+  const v b3r = P::add(t1r, t3i), b3i = P::sub(t1i, t3r);
+
+  const v w1r = P::load(st.w1r() + j), w1i = P::load(st.w1i() + j);
+  const v w2r = P::load(st.w2r() + j), w2i = P::load(st.w2i() + j);
+  const v w3r = P::load(st.w3r() + j), w3i = P::load(st.w3i() + j);
+  P::store(re + j + q, P::fmsub(b1r, w1r, P::mul(b1i, w1i)));
+  P::store(im + j + q, P::fmadd(b1r, w1i, P::mul(b1i, w1r)));
+  P::store(re + j + 2 * q, P::fmsub(b2r, w2r, P::mul(b2i, w2i)));
+  P::store(im + j + 2 * q, P::fmadd(b2r, w2i, P::mul(b2i, w2r)));
+  P::store(re + j + 3 * q, P::fmsub(b3r, w3r, P::mul(b3i, w3i)));
+  P::store(im + j + 3 * q, P::fmadd(b3r, w3i, P::mul(b3i, w3r)));
+}
+
+/// Radix-4 DIT butterfly (inverse, sign -1; `st` holds conjugated twiddles).
+/// Reads inr/ini, writes outr/outi at the same slots (pointers may be equal
+/// for the in-place middle stages).
+template <class P>
+inline void dit_butterfly(const PlanStage& st, const double* inr,
+                          const double* ini, double* outr, double* outi,
+                          int base, int j) {
+  using v = typename P::vd;
+  const int q = st.q;
+  const double* r0 = inr + base + j;
+  const double* i0 = ini + base + j;
+  const v a0r = P::load(r0), a0i = P::load(i0);
+
+  const v w1r = P::load(st.w1r() + j), w1i = P::load(st.w1i() + j);
+  const v w2r = P::load(st.w2r() + j), w2i = P::load(st.w2i() + j);
+  const v w3r = P::load(st.w3r() + j), w3i = P::load(st.w3i() + j);
+  const v x1r = P::load(r0 + q), x1i = P::load(i0 + q);
+  const v x2r = P::load(r0 + 2 * q), x2i = P::load(i0 + 2 * q);
+  const v x3r = P::load(r0 + 3 * q), x3i = P::load(i0 + 3 * q);
+  const v a1r = P::fmsub(x1r, w1r, P::mul(x1i, w1i));
+  const v a1i = P::fmadd(x1r, w1i, P::mul(x1i, w1r));
+  const v a2r = P::fmsub(x2r, w2r, P::mul(x2i, w2i));
+  const v a2i = P::fmadd(x2r, w2i, P::mul(x2i, w2r));
+  const v a3r = P::fmsub(x3r, w3r, P::mul(x3i, w3i));
+  const v a3i = P::fmadd(x3r, w3i, P::mul(x3i, w3r));
+
+  const v s0r = P::add(a0r, a2r), s0i = P::add(a0i, a2i);
+  const v s1r = P::sub(a0r, a2r), s1i = P::sub(a0i, a2i);
+  const v s2r = P::add(a1r, a3r), s2i = P::add(a1i, a3i);
+  const v s3r = P::sub(a1r, a3r), s3i = P::sub(a1i, a3i);
+
+  double* o0 = outr + base + j;
+  double* oi0 = outi + base + j;
+  P::store(o0, P::add(s0r, s2r));
+  P::store(oi0, P::add(s0i, s2i));
+  P::store(o0 + q, P::add(s1r, s3i));      // s1 - i*s3
+  P::store(oi0 + q, P::sub(s1i, s3r));
+  P::store(o0 + 2 * q, P::sub(s0r, s2r));
+  P::store(oi0 + 2 * q, P::sub(s0i, s2i));
+  P::store(o0 + 3 * q, P::sub(s1r, s3i));  // s1 + i*s3
+  P::store(oi0 + 3 * q, P::add(s1i, s3r));
+}
+
+/// Last inverse stage (size m): the four outputs are untwisted, scaled by
+/// 1/m (folded into plan.itwist), rounded half-away-from-zero, and stored as
+/// wrapped Torus32 coefficients out[t] (real) / out[t+m] (imag).
+template <class P>
+inline void dit_last_butterfly(const NegacyclicPlan& plan,
+                               const PlanStage& st, const double* inr,
+                               const double* ini, uint32_t* out, int j) {
+  using v = typename P::vd;
+  const int q = st.q;
+  const int m = plan.m;
+  const v a0r = P::load(inr + j), a0i = P::load(ini + j);
+
+  const v w1r = P::load(st.w1r() + j), w1i = P::load(st.w1i() + j);
+  const v w2r = P::load(st.w2r() + j), w2i = P::load(st.w2i() + j);
+  const v w3r = P::load(st.w3r() + j), w3i = P::load(st.w3i() + j);
+  const v x1r = P::load(inr + j + q), x1i = P::load(ini + j + q);
+  const v x2r = P::load(inr + j + 2 * q), x2i = P::load(ini + j + 2 * q);
+  const v x3r = P::load(inr + j + 3 * q), x3i = P::load(ini + j + 3 * q);
+  const v a1r = P::fmsub(x1r, w1r, P::mul(x1i, w1i));
+  const v a1i = P::fmadd(x1r, w1i, P::mul(x1i, w1r));
+  const v a2r = P::fmsub(x2r, w2r, P::mul(x2i, w2i));
+  const v a2i = P::fmadd(x2r, w2i, P::mul(x2i, w2r));
+  const v a3r = P::fmsub(x3r, w3r, P::mul(x3i, w3i));
+  const v a3i = P::fmadd(x3r, w3i, P::mul(x3i, w3r));
+
+  const v s0r = P::add(a0r, a2r), s0i = P::add(a0i, a2i);
+  const v s1r = P::sub(a0r, a2r), s1i = P::sub(a0i, a2i);
+  const v s2r = P::add(a1r, a3r), s2i = P::add(a1i, a3i);
+  const v s3r = P::sub(a1r, a3r), s3i = P::sub(a1i, a3i);
+
+  const v pr[4] = {P::add(s0r, s2r), P::add(s1r, s3i), P::sub(s0r, s2r),
+                   P::sub(s1r, s3i)};
+  const v pi[4] = {P::add(s0i, s2i), P::sub(s1i, s3r), P::sub(s0i, s2i),
+                   P::add(s1i, s3r)};
+  for (int r = 0; r < 4; ++r) {
+    const int t = j + r * q;
+    const v twr = P::load(plan.itwist_re.data() + t);
+    const v twi = P::load(plan.itwist_im.data() + t);
+    const v outr = P::fmsub(pr[r], twr, P::mul(pi[r], twi));
+    const v outi = P::fmadd(pr[r], twi, P::mul(pi[r], twr));
+    P::store_torus(out + t, P::round_away(outr));
+    P::store_torus(out + t + m, P::round_away(outi));
+  }
+}
+
+template <class V>
+struct PlanarKernels {
+  static void forward(const NegacyclicPlan& plan, const int32_t* in,
+                      double* re, double* im) {
+    const int m = plan.m;
+    const PlanStage& st0 = plan.fwd.front();
+    int j = 0;
+    for (; j + V::W <= st0.q; j += V::W) {
+      dif_butterfly_twist<V>(plan, st0, in, re, im, j);
+    }
+    for (; j < st0.q; ++j) {
+      dif_butterfly_twist<simd::Scalar>(plan, st0, in, re, im, j);
+    }
+    for (size_t s = 1; s < plan.fwd.size(); ++s) {
+      const PlanStage& st = plan.fwd[s];
+      for (int base = 0; base < m; base += st.size) {
+        int k = 0;
+        for (; k + V::W <= st.q; k += V::W) dif_butterfly<V>(st, re, im, base, k);
+        for (; k < st.q; ++k) dif_butterfly<simd::Scalar>(st, re, im, base, k);
+      }
+    }
+    if (plan.pair_stage) {
+      V::butterfly_pairs(re, re, m / 2);
+      V::butterfly_pairs(im, im, m / 2);
+    }
+  }
+
+  static void inverse_torus(const NegacyclicPlan& plan, const double* sre,
+                            const double* sim, double* wre, double* wim,
+                            uint32_t* out) {
+    const int m = plan.m;
+    const double* cr = sre;
+    const double* ci = sim;
+    if (plan.pair_stage) {
+      V::butterfly_pairs(sre, wre, m / 2);
+      V::butterfly_pairs(sim, wim, m / 2);
+      cr = wre;
+      ci = wim;
+    }
+    for (size_t s = 0; s + 1 < plan.inv.size(); ++s) {
+      const PlanStage& st = plan.inv[s];
+      for (int base = 0; base < m; base += st.size) {
+        int k = 0;
+        for (; k + V::W <= st.q; k += V::W) {
+          dit_butterfly<V>(st, cr, ci, wre, wim, base, k);
+        }
+        for (; k < st.q; ++k) {
+          dit_butterfly<simd::Scalar>(st, cr, ci, wre, wim, base, k);
+        }
+      }
+      cr = wre;
+      ci = wim;
+    }
+    const PlanStage& last = plan.inv.back();
+    int j = 0;
+    for (; j + V::W <= last.q; j += V::W) {
+      dit_last_butterfly<V>(plan, last, cr, ci, out, j);
+    }
+    for (; j < last.q; ++j) {
+      dit_last_butterfly<simd::Scalar>(plan, last, cr, ci, out, j);
+    }
+  }
+
+  static void mac(int m, const double* ar, const double* ai, const double* br,
+                  const double* bi, double* accr, double* acci) {
+    using v = typename V::vd;
+    int k = 0;
+    for (; k + V::W <= m; k += V::W) {
+      const v xr = V::load(ar + k), xi = V::load(ai + k);
+      const v yr = V::load(br + k), yi = V::load(bi + k);
+      const v rr = V::fmsub(xr, yr, V::mul(xi, yi));
+      const v ri = V::fmadd(xr, yi, V::mul(xi, yr));
+      V::store(accr + k, V::add(V::load(accr + k), rr));
+      V::store(acci + k, V::add(V::load(acci + k), ri));
+    }
+    for (; k < m; ++k) {
+      accr[k] += ar[k] * br[k] - ai[k] * bi[k];
+      acci[k] += ar[k] * bi[k] + ai[k] * br[k];
+    }
+  }
+
+  static void add_assign(int m, double* dr, double* di, const double* sr,
+                         const double* si) {
+    int k = 0;
+    for (; k + V::W <= m; k += V::W) {
+      V::store(dr + k, V::add(V::load(dr + k), V::load(sr + k)));
+      V::store(di + k, V::add(V::load(di + k), V::load(si + k)));
+    }
+    for (; k < m; ++k) {
+      dr[k] += sr[k];
+      di[k] += si[k];
+    }
+  }
+};
+
+/// Portable rot_scale_add: per slot, two table lookups replace the serial
+/// f *= step recurrence (mod 2N is a mask -- N is a power of two).
+inline void generic_rot_scale_add(const NegacyclicPlan& plan, double* dr,
+                                  double* di, const double* sr,
+                                  const double* si, int64_t c) {
+  const int64_t two_n = 2 * static_cast<int64_t>(plan.n);
+  const uint32_t mask = static_cast<uint32_t>(two_n - 1);
+  const uint32_t cm = static_cast<uint32_t>((c % two_n) + two_n) & mask;
+  for (int k = 0; k < plan.m; ++k) {
+    const uint32_t idx =
+        (static_cast<uint32_t>(plan.ft1[k]) * cm) & mask;
+    const double fr = plan.rot_re[idx] - 1.0;
+    const double fi = plan.rot_im[idx];
+    dr[k] += fr * sr[k] - fi * si[k];
+    di[k] += fr * si[k] + fi * sr[k];
+  }
+}
+
+/// Portable signed gadget decomposition; one contiguous pass per digit.
+inline void generic_decompose(int l, int bg_bits, uint32_t offset, int n,
+                              const uint32_t* p, int32_t* const* digits) {
+  const uint32_t mask = (1u << bg_bits) - 1;
+  const int32_t half = 1 << (bg_bits - 1);
+  for (int j = 0; j < l; ++j) {
+    const int sh = 32 - (j + 1) * bg_bits;
+    int32_t* dj = digits[j];
+    for (int i = 0; i < n; ++i) {
+      dj[i] = static_cast<int32_t>(((p[i] + offset) >> sh) & mask) - half;
+    }
+  }
+}
+
+} // namespace matcha::detail

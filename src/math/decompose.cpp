@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "common/simd_dispatch.h"
+#include "fft/spectral_kernels.h"
+
 namespace matcha {
 
 Torus32 GadgetParams::rounding_offset() const {
@@ -29,20 +32,17 @@ void decompose_coefficient(const GadgetParams& g, Torus32 t, int32_t* digits) {
 void decompose_polynomial(const GadgetParams& g, const TorusPolynomial& p,
                           IntPolynomial* digits) {
   const int n = p.size();
+  assert(g.l <= 32); // l * bg_bits <= 32 bounds l
+  int32_t* planes[32];
   for (int j = 0; j < g.l; ++j) {
     assert(digits[j].size() == n);
+    planes[j] = digits[j].coeffs.data();
   }
-  const uint32_t bg = g.bg();
-  const uint32_t mask = bg - 1;
-  const int32_t half = static_cast<int32_t>(bg / 2);
-  const Torus32 offset = g.rounding_offset();
-  for (int i = 0; i < n; ++i) {
-    const Torus32 tt = p.coeffs[i] + offset;
-    for (int j = 0; j < g.l; ++j) {
-      const uint32_t raw = (tt >> (32 - (j + 1) * g.bg_bits)) & mask;
-      digits[j].coeffs[i] = static_cast<int32_t>(raw) - half;
-    }
-  }
+  // Integer-exact on every kernel level, so routing through the runtime
+  // dispatch (scalar / AVX2 / NEON) never changes a digit.
+  spectral_kernels(active_simd_level())
+      .decompose(g.l, g.bg_bits, g.rounding_offset(), n, p.coeffs.data(),
+                 planes);
 }
 
 int32_t mod_switch_to_2n(Torus32 t, int n_ring) {

@@ -2,11 +2,13 @@
 
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 
 namespace matcha {
 
 template struct BootstrapWorkspace<DoubleFftEngine>;
 template struct BootstrapWorkspace<LiftFftEngine>;
+template struct BootstrapWorkspace<SimdFftEngine>;
 
 template void blind_rotate<DoubleFftEngine>(const DoubleFftEngine&,
                                             const DeviceBootstrapKey<DoubleFftEngine>&,
@@ -37,6 +39,21 @@ template LweSample bootstrap<LiftFftEngine>(const LiftFftEngine&,
                                             const KeySwitchKey&, Torus32,
                                             const LweSample&,
                                             BootstrapWorkspace<LiftFftEngine>&,
+                                            BlindRotateMode);
+
+template void blind_rotate<SimdFftEngine>(const SimdFftEngine&,
+                                          const DeviceBootstrapKey<SimdFftEngine>&,
+                                          const LweSample&, const TorusPolynomial&,
+                                          BootstrapWorkspace<SimdFftEngine>&,
+                                          BlindRotateMode);
+template LweSample bootstrap_wo_keyswitch<SimdFftEngine>(
+    const SimdFftEngine&, const DeviceBootstrapKey<SimdFftEngine>&, Torus32,
+    const LweSample&, BootstrapWorkspace<SimdFftEngine>&, BlindRotateMode);
+template LweSample bootstrap<SimdFftEngine>(const SimdFftEngine&,
+                                            const DeviceBootstrapKey<SimdFftEngine>&,
+                                            const KeySwitchKey&, Torus32,
+                                            const LweSample&,
+                                            BootstrapWorkspace<SimdFftEngine>&,
                                             BlindRotateMode);
 
 } // namespace matcha

@@ -4,6 +4,7 @@
 
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 
 namespace matcha {
 
@@ -40,5 +41,9 @@ template LweSample functional_bootstrap<LiftFftEngine>(
     const LiftFftEngine&, const DeviceBootstrapKey<LiftFftEngine>&,
     const KeySwitchKey&, const TorusPolynomial&, const LweSample&,
     BootstrapWorkspace<LiftFftEngine>&, BlindRotateMode);
+template LweSample functional_bootstrap<SimdFftEngine>(
+    const SimdFftEngine&, const DeviceBootstrapKey<SimdFftEngine>&,
+    const KeySwitchKey&, const TorusPolynomial&, const LweSample&,
+    BootstrapWorkspace<SimdFftEngine>&, BlindRotateMode);
 
 } // namespace matcha

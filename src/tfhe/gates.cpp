@@ -2,6 +2,7 @@
 
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 
 namespace matcha {
 
@@ -22,5 +23,6 @@ const char* gate_name(GateKind kind) {
 
 template class GateEvaluator<DoubleFftEngine>;
 template class GateEvaluator<LiftFftEngine>;
+template class GateEvaluator<SimdFftEngine>;
 
 } // namespace matcha

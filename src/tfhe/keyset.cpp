@@ -2,6 +2,7 @@
 
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 
 namespace matcha {
 
@@ -35,5 +36,7 @@ template DeviceKeyset<DoubleFftEngine> load_device_keyset<DoubleFftEngine>(
     const DoubleFftEngine&, const CloudKeyset&);
 template DeviceKeyset<LiftFftEngine> load_device_keyset<LiftFftEngine>(
     const LiftFftEngine&, const CloudKeyset&);
+template DeviceKeyset<SimdFftEngine> load_device_keyset<SimdFftEngine>(
+    const SimdFftEngine&, const CloudKeyset&);
 
 } // namespace matcha

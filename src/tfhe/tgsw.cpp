@@ -2,6 +2,7 @@
 
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
+#include "fft/simd_fft.h"
 
 namespace matcha {
 
@@ -30,5 +31,16 @@ template void external_product<LiftFftEngine>(
     const LiftFftEngine&, const GadgetParams&,
     const TGswSpectral<LiftFftEngine>&, TLweSample&,
     ExternalProductWorkspace<LiftFftEngine>&);
+
+// The SIMD engine shares the generic encrypt/load paths; its external
+// product is the fused non-template overload in fft/simd_fft.cpp (the
+// generic template body does not apply to its planar workspace).
+template TGswSample tgsw_encrypt<SimdFftEngine>(const SimdFftEngine&,
+                                                const TLweKey&,
+                                                const SpectralP&,
+                                                const GadgetParams&, int32_t,
+                                                double, Rng&);
+template TGswSpectral<SimdFftEngine> tgsw_to_spectral<SimdFftEngine>(
+    const SimdFftEngine&, const TGswSample&);
 
 } // namespace matcha

@@ -72,6 +72,10 @@ TGswSpectral<Engine> tgsw_to_spectral(const Engine& eng, const TGswSample& s) {
 }
 
 /// Scratch buffers for external products (allocated once per pipeline).
+/// Every buffer -- including each digit spectrum -- is sized up front so the
+/// hot path never allocates; the engines' to_spectral resize guards then
+/// always no-op. Specialized for the SIMD engine (fft/simd_fft.h) with one
+/// contiguous planar arena.
 template <class Engine>
 struct ExternalProductWorkspace {
   std::vector<IntPolynomial> digits;                ///< 2l digit polynomials
@@ -81,7 +85,8 @@ struct ExternalProductWorkspace {
   ExternalProductWorkspace(const Engine& eng, const GadgetParams& g) {
     const int n = eng.ring_n();
     digits.assign(2 * g.l, IntPolynomial(n));
-    digit_spec.resize(2 * g.l);
+    digit_spec.assign(2 * g.l,
+                      typename Engine::Spectral(eng.spectral_size()));
     eng.acc_init(acc_a);
     eng.acc_init(acc_b);
   }
