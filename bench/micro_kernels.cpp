@@ -97,6 +97,119 @@ void kernel_rows(Engine& eng, const char* path, std::vector<Row>& out) {
                  }, 200)});
 }
 
+// ---- keyswitch rows --------------------------------------------------------
+
+/// The pre-SoA keyswitch, reconstructed as the bandwidth baseline: an
+/// LweSample table with v == 0 placeholder rows, pointer-chased per-row heap
+/// blocks, a fresh output allocation per call, and a scalar accumulate.
+struct SeedAosKeySwitch {
+  int n_in, n_out, t_used;
+  KeySwitchParams params;
+  std::vector<LweSample> table; ///< [i][j][v] incl. placeholders, like the seed
+
+  explicit SeedAosKeySwitch(const KeySwitchKey& ks)
+      : n_in(ks.n_in), n_out(ks.n_out), t_used(ks.t_used), params(ks.params) {
+    const int base = params.base();
+    table.assign(static_cast<size_t>(n_in) * t_used * base, LweSample(n_out));
+    for (int i = 0; i < n_in; ++i) {
+      for (int j = 0; j < t_used; ++j) {
+        for (int v = 1; v < base; ++v) {
+          table[(static_cast<size_t>(i) * t_used + j) * base + v] =
+              ks.row_sample(i, j, static_cast<uint32_t>(v));
+        }
+      }
+    }
+  }
+
+  LweSample eval(const LweSample& c) const {
+    LweSample out(n_out); // per-call allocation, as the seed did
+    out.b = c.b;
+    const int prec_bits = params.t * params.basebit;
+    const Torus32 off = prec_bits >= 32 ? 0 : 1u << (32 - prec_bits - 1);
+    const uint32_t mask = static_cast<uint32_t>(params.base()) - 1;
+    for (int i = 0; i < n_in; ++i) {
+      for (int j = 0; j < t_used; ++j) {
+        const int shift = 32 - (j + 1) * params.basebit;
+        const uint32_t v = ((c.a[static_cast<size_t>(i)] + off) >> shift) & mask;
+        if (v == 0) continue;
+        const LweSample& row =
+            table[(static_cast<size_t>(i) * t_used + j) * params.base() + v];
+        for (int k = 0; k < n_out; ++k) {
+          out.a[static_cast<size_t>(k)] -= row.a[static_cast<size_t>(k)];
+        }
+        out.b -= row.b;
+      }
+    }
+    return out;
+  }
+};
+
+struct KsRow {
+  std::string path, mode;
+  double ns_per_sample;
+  double eff_gb_s; ///< key_bytes / time-per-sample: delivered accumulate BW
+};
+
+/// Keyswitch latency rows at test_small: the seed AoS baseline, the SoA
+/// per-sample path (scalar + active SIMD), and the batch-amortized path that
+/// streams the key once per batch.
+void keyswitch_rows(const CloudKeyset& ck, const char* active_name,
+                    std::vector<KsRow>& out) {
+  const KeySwitchKey& ks = ck.ks;
+  const double key_bytes = static_cast<double>(ks.key_bytes());
+  const auto eff = [&](double ns) { return key_bytes / ns; }; // bytes/ns = GB/s
+
+  Rng srng(0x4B53);
+  constexpr int kPool = 32;
+  std::vector<LweSample> in(kPool, LweSample(ks.n_in));
+  for (auto& c : in) {
+    for (auto& a : c.a) a = srng.uniform_torus();
+    c.b = srng.uniform_torus();
+  }
+
+  { // seed baseline
+    const SeedAosKeySwitch seed(ks);
+    int idx = 0;
+    const double ns = time_ns_per_op(
+        [&] { (void)seed.eval(in[static_cast<size_t>(idx++ % kPool)]); }, 400);
+    out.push_back({"seed_aos", "per_sample", ns, eff(ns)});
+  }
+
+  const auto per_sample = [&](SimdLevel level, const char* path) {
+    LweSample o(ks.n_out);
+    int idx = 0;
+    const double ns = time_ns_per_op(
+        [&] { key_switch_into(ks, in[static_cast<size_t>(idx++ % kPool)], o,
+                              level); },
+        400);
+    out.push_back({path, "per_sample", ns, eff(ns)});
+  };
+  const auto batched = [&](SimdLevel level, const char* path, int batch) {
+    std::vector<LweSample> o(static_cast<size_t>(batch), LweSample(ks.n_out));
+    std::vector<const LweSample*> inp;
+    std::vector<LweSample*> outp;
+    for (int k = 0; k < batch; ++k) {
+      inp.push_back(&in[static_cast<size_t>(k % kPool)]);
+      outp.push_back(&o[static_cast<size_t>(k)]);
+    }
+    KeySwitchWorkspace ws;
+    const double ns = time_ns_per_op(
+        [&] { key_switch_batch(ks, inp.data(), outp.data(), batch, ws, level); },
+        200) / batch;
+    out.push_back({path, "batch" + std::to_string(batch), ns, eff(ns)});
+  };
+
+  per_sample(SimdLevel::kScalar, "scalar");
+  batched(SimdLevel::kScalar, "scalar", 8);
+  batched(SimdLevel::kScalar, "scalar", 32);
+  if (std::string(active_name) != "scalar") {
+    const SimdLevel active = active_simd_level();
+    per_sample(active, active_name);
+    batched(active, active_name, 8);
+    batched(active, active_name, 32);
+  }
+}
+
 /// One full software gate bootstrap (test_small, m=2 bundle mode) ns/op.
 template <class Engine>
 double bootstrap_ns(Engine& eng, const SecretKeyset& sk, const CloudKeyset& ck) {
@@ -139,13 +252,26 @@ int main() {
     std::printf("%-18s%-18s%14.0f\n", r.kernel.c_str(), r.path.c_str(), r.ns_op);
   }
 
-  // Whole-gate bootstraps at the unit-test parameters (m = 2 bundle mode),
-  // the latency the batch executor pays per gate.
-  std::printf("\nbootstrap (test_small, m=2):\n");
   Rng krng(20240601);
   const TfheParams small = TfheParams::test_small();
   const SecretKeyset sk = SecretKeyset::generate(small, krng);
   const CloudKeyset ck = make_cloud_keyset(sk, /*unroll_m=*/2, krng);
+
+  // Keyswitch: seed AoS baseline vs SoA per-sample vs batch-amortized key
+  // streaming, at the same test_small key the bootstrap rows use.
+  std::vector<KsRow> ks_rows;
+  keyswitch_rows(ck, active_name, ks_rows);
+  std::printf("\nkeyswitch (test_small, key %.1f MB):\n",
+              static_cast<double>(ck.ks.key_bytes()) / (1024.0 * 1024.0));
+  std::printf("%-18s%-14s%16s%12s\n", "path", "mode", "ns/sample", "GB/s");
+  for (const KsRow& r : ks_rows) {
+    std::printf("%-18s%-14s%16.0f%12.2f\n", r.path.c_str(), r.mode.c_str(),
+                r.ns_per_sample, r.eff_gb_s);
+  }
+
+  // Whole-gate bootstraps at the unit-test parameters (m = 2 bundle mode),
+  // the latency the batch executor pays per gate.
+  std::printf("\nbootstrap (test_small, m=2):\n");
   struct BootRow {
     std::string path;
     double ns_op;
@@ -185,6 +311,18 @@ int main() {
     j.field("kernel", r.kernel.c_str());
     j.field("path", r.path.c_str());
     j.field("ns_op", r.ns_op);
+    j.end_object();
+  }
+  j.end_array();
+  j.name("keyswitch");
+  j.begin_array();
+  for (const KsRow& r : ks_rows) {
+    j.begin_object();
+    j.field("path", r.path.c_str());
+    j.field("mode", r.mode.c_str());
+    j.field("params", "test_small");
+    j.field("ns_per_sample", r.ns_per_sample);
+    j.field("eff_gb_s", r.eff_gb_s);
     j.end_object();
   }
   j.end_array();

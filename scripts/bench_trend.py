@@ -98,6 +98,16 @@ def compare_micro_kernels(prev, cur, failures):
               p[key]["ns_op"], c[key]["ns_op"], failures,
               tolerance=SW_LATENCY_TOLERANCE)
 
+    # Keyswitch gate: per-sample latency of every (path, mode) row present in
+    # both runs -- the batch-amortized rows are the PR-6 headline and must not
+    # drift back toward the per-sample cost.
+    p = by_key(prev.get("keyswitch", []), "path", "mode")
+    c = by_key(cur.get("keyswitch", []), "path", "mode")
+    for key in sorted(p.keys() & c.keys()):
+        check(f"micro_kernels.keyswitch[{key[0]},{key[1]}].ns_per_sample",
+              p[key]["ns_per_sample"], c[key]["ns_per_sample"], failures,
+              tolerance=SW_LATENCY_TOLERANCE)
+
 
 COMPARATORS = {
     "BENCH_batch_throughput.json": compare_batch_throughput,

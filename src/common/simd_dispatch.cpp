@@ -5,10 +5,27 @@
 
 namespace matcha {
 
+namespace {
+
+/// Tier order within the x86 family: scalar < avx2 < avx512. NEON is its own
+/// single-tier family on aarch64.
+int x86_rank(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return 0;
+    case SimdLevel::kAvx2: return 1;
+    case SimdLevel::kAvx512: return 2;
+    case SimdLevel::kNeon: return -1; // not an x86 tier
+  }
+  return -1;
+}
+
+} // namespace
+
 const char* simd_level_name(SimdLevel level) {
   switch (level) {
     case SimdLevel::kScalar: return "scalar";
     case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
     case SimdLevel::kNeon: return "neon";
   }
   return "?";
@@ -16,8 +33,12 @@ const char* simd_level_name(SimdLevel level) {
 
 SimdLevel detect_simd_level() {
 #if defined(__x86_64__) || defined(__i386__)
-  // FMA is required alongside AVX2: the kernels fuse every complex
-  // multiply-accumulate and are compiled with -mfma.
+  // The AVX-512 kernels use F (arithmetic, masks) and DQ (vcvttpd2qq on the
+  // Torus32 store path); FMA is required alongside AVX2 because the kernels
+  // fuse every complex multiply-accumulate and are compiled with -mfma.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq")) {
+    return SimdLevel::kAvx512;
+  }
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
     return SimdLevel::kAvx2;
   }
@@ -29,6 +50,15 @@ SimdLevel detect_simd_level() {
 #endif
 }
 
+bool simd_level_available(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return true;
+  const SimdLevel hw = detect_simd_level();
+  if (level == hw) return true;
+  // Lower x86 tiers run on wider x86 hardware (AVX-512 implies AVX2+FMA).
+  const int want = x86_rank(level), have = x86_rank(hw);
+  return want >= 0 && have >= 0 && want <= have;
+}
+
 SimdLevel resolve_simd_level(const char* override_value, SimdLevel hw) {
   if (override_value == nullptr || *override_value == '\0' ||
       std::strcmp(override_value, "native") == 0) {
@@ -38,11 +68,19 @@ SimdLevel resolve_simd_level(const char* override_value, SimdLevel hw) {
       std::strcmp(override_value, "scalar") == 0) {
     return SimdLevel::kScalar;
   }
-  // A requested ISA is honored only when the hardware actually runs it;
-  // anything else (including unknown strings) degrades to scalar rather
-  // than crashing on an illegal instruction.
-  if (std::strcmp(override_value, "avx2") == 0) {
-    return hw == SimdLevel::kAvx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  // A requested ISA is honored only when the hardware actually runs it. An
+  // x86 request above the hardware tier degrades to the hardware tier
+  // (avx512 on an AVX2 box runs avx2); anything else -- cross-architecture
+  // requests, unknown strings -- degrades to scalar rather than crashing on
+  // an illegal instruction.
+  if (std::strcmp(override_value, "avx512") == 0 ||
+      std::strcmp(override_value, "avx2") == 0) {
+    const SimdLevel want = std::strcmp(override_value, "avx512") == 0
+                               ? SimdLevel::kAvx512
+                               : SimdLevel::kAvx2;
+    const int have = x86_rank(hw);
+    if (have <= 0) return SimdLevel::kScalar;
+    return x86_rank(want) <= have ? want : hw;
   }
   if (std::strcmp(override_value, "neon") == 0) {
     return hw == SimdLevel::kNeon ? SimdLevel::kNeon : SimdLevel::kScalar;

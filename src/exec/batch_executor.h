@@ -1,12 +1,23 @@
 // Dataflow-parallel execution of a recorded GateGraph -- the software
 // counterpart of MATCHA keeping many concurrent gate bootstrappings in
-// flight. run_batch makes every (batch item x gate) pair one task and
+// flight. run_batch makes every (item group x gate) pair one task and
 // dispatches the whole batch in a single pool invocation: a task becomes
 // ready the moment its last gate operand completes (a per-task readiness
 // refcount seeded from GateGraph::dataflow_info), so item A's deep gates
 // overlap item B's shallow ones and a straggling carry chain never holds an
 // unrelated item at a barrier. There is no per-wavefront fork-join; workers
 // drain work-stealing deques (ThreadPool::run_tasks) until the batch is dry.
+//
+// Keyswitch batching: a task evaluates one gate for a *group* of batch items
+// (up to kKsGroupTarget when the batch is deep enough to keep every worker
+// fed). The gate lowering is split into bootstrap-without-keyswitch per item
+// followed by ONE key_switch_batch flush for the group, so the keyswitch key
+// -- the largest read-only operand -- streams from memory once per group
+// instead of once per item (tfhe/keyswitch.h). Group size trades key-traffic
+// amortization against task-level parallelism, so it shrinks to
+// items / num_threads when the batch is narrow; correctness never depends on
+// it (exact mod-2^32 arithmetic makes grouped and per-item keyswitch
+// bit-identical).
 //
 // Determinism: every worker slot owns a private Engine instance (engines
 // carry mutable scratch buffers and counters -- sharing one across threads
@@ -25,11 +36,13 @@
 // completion (see DESIGN.md "Batched execution subsystem").
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -93,10 +106,26 @@ class BatchExecutor {
                 Torus32 mu, int num_threads,
                 BlindRotateMode mode = BlindRotateMode::kBundle)
       : bk_(bk), ks_(ks), mu_(mu), mode_(mode), pool_(num_threads) {
-    workers_.reserve(pool_.num_threads());
-    for (int t = 0; t < pool_.num_threads(); ++t) {
-      workers_.push_back(std::make_unique<Worker>(make_engine(), bk.gadget));
-    }
+    // Construct each worker's engine and workspace ON the thread that will
+    // run it (ThreadPool slots are fixed per thread): first-touch places the
+    // scratch arenas in that thread's local memory, which is what makes the
+    // pages local on NUMA/multi-CCX hosts (DESIGN.md thread-scaling notes).
+    // Engine factories are not required to be thread-safe, so the factory
+    // call itself is serialized; the workspace allocation -- the part whose
+    // placement matters -- happens outside the lock.
+    workers_.resize(static_cast<size_t>(pool_.num_threads()));
+    std::mutex factory_mu;
+    pool_.run(
+        [&](int slot) {
+          std::unique_ptr<Engine> eng;
+          {
+            std::lock_guard<std::mutex> lk(factory_mu);
+            eng = make_engine();
+          }
+          workers_[static_cast<size_t>(slot)] =
+              std::make_unique<Worker>(std::move(eng), bk.gadget);
+        },
+        pool_.num_threads());
   }
 
   int num_threads() const { return pool_.num_threads(); }
@@ -153,20 +182,24 @@ class BatchExecutor {
       }
     }
 
-    // Readiness refcounts for every (item, gate) task: a task may run once
-    // all of its gate operands have completed (input/const operands were
-    // materialized above). Completion decrements each consumer's count with
-    // acquire-release ordering, so the worker that drops a count to zero has
-    // observed every operand ciphertext the earlier decrementers wrote.
-    // Rebuilt per run on purpose: it costs microseconds against the batch's
-    // millisecond-scale bootstraps, and caching it on the graph's address
-    // would silently go stale if the caller appends gates between runs.
+    // Task space: (item group x gate). All items of a group finish a gate in
+    // the same task, so their consumers' operands complete together and one
+    // readiness refcount per (group, gate) suffices -- seeded from the plain
+    // gate indegree exactly as in the ungrouped executor. Completion
+    // decrements each consumer's count with acquire-release ordering, so the
+    // worker that drops a count to zero has observed every operand
+    // ciphertext the earlier decrementers wrote. Rebuilt per run on purpose:
+    // it costs microseconds against the batch's millisecond-scale
+    // bootstraps, and caching it on the graph's address would silently go
+    // stale if the caller appends gates between runs.
+    const int group_size = ks_group_for(items);
+    const int num_groups = (items + group_size - 1) / group_size;
     const DataflowInfo flow = g.dataflow_info();
     std::vector<std::atomic<int>> pending(
-        static_cast<size_t>(items) * static_cast<size_t>(num_nodes));
+        static_cast<size_t>(num_groups) * static_cast<size_t>(num_nodes));
     std::vector<uint64_t> seeds;
-    for (int b = 0; b < items; ++b) {
-      const uint64_t base = static_cast<uint64_t>(b) * num_nodes;
+    for (int grp = 0; grp < num_groups; ++grp) {
+      const uint64_t base = static_cast<uint64_t>(grp) * num_nodes;
       for (int i = 0; i < num_nodes; ++i) {
         if (!g.nodes()[i].is_gate()) continue;
         pending[base + i].store(flow.gate_indegree[i],
@@ -176,21 +209,22 @@ class BatchExecutor {
     }
 
     const int64_t total_tasks =
-        static_cast<int64_t>(g.num_gates()) * items;
+        static_cast<int64_t>(g.num_gates()) * num_groups;
     ThreadPool::TaskRunStats run_stats;
     run_stats.workers = 0; // stays 0 when there is nothing to dispatch
     if (total_tasks > 0) {
       const auto task = [&](ThreadPool::TaskSink& sink, uint64_t t) {
-        const int item = static_cast<int>(t / static_cast<uint64_t>(num_nodes));
+        const int grp = static_cast<int>(t / static_cast<uint64_t>(num_nodes));
         const int gate = static_cast<int>(t % static_cast<uint64_t>(num_nodes));
+        const int b0 = grp * group_size;
+        const int b1 = std::min(items, b0 + group_size);
         Worker& w = *workers_[static_cast<size_t>(sink.slot())];
         const auto g0 = std::chrono::steady_clock::now();
-        auto& values = results[static_cast<size_t>(item)].values;
-        values[gate] = eval_gate(w, g, gate, values);
+        eval_gate_group(w, g, gate, b0, b1, results);
         w.busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
                          std::chrono::steady_clock::now() - g0)
                          .count();
-        const uint64_t base = static_cast<uint64_t>(item) * num_nodes;
+        const uint64_t base = static_cast<uint64_t>(grp) * num_nodes;
         for (const int c : flow.consumers[static_cast<size_t>(gate)]) {
           if (pending[base + c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
             sink.push(base + c);
@@ -208,7 +242,7 @@ class BatchExecutor {
       busy_ns += w->busy_ns;
     }
     stats_.items = items;
-    stats_.gates = total_tasks;
+    stats_.gates = static_cast<int64_t>(g.num_gates()) * items;
     stats_.bootstraps = g.bootstrap_count() * items;
     stats_.levels = static_cast<int>(g.wavefronts().size());
     stats_.pool_dispatches = total_tasks > 0 ? 1 : 0;
@@ -235,42 +269,88 @@ class BatchExecutor {
     std::unique_ptr<Engine> engine;
     BootstrapWorkspace<Engine> ws;
     int64_t busy_ns = 0; ///< time inside gate kernels during the last run
+    // Keyswitch-batching scratch: the group's pre-keyswitch N-LWE samples
+    // and the digit workspace the batched flush reuses across tasks.
+    std::vector<LweSample> stage;
+    std::vector<const LweSample*> ks_in;
+    std::vector<LweSample*> ks_out;
+    KeySwitchWorkspace ks_ws;
 
     Worker(std::unique_ptr<Engine> eng, const GadgetParams& gadget)
         : engine(std::move(eng)), ws(*engine, gadget) {}
   };
 
-  LweSample eval_gate(Worker& w, const GateGraph& g, int id,
-                      const std::vector<LweSample>& v) {
+  /// Amortization wants large groups (the keyswitch key streams once per
+  /// group); the dataflow scheduler wants enough tasks to feed every worker.
+  /// Group up to kKsGroupTarget items, but never so coarsely that a worker
+  /// sees fewer than one group of the batch.
+  static constexpr int kKsGroupTarget = 8;
+  int ks_group_for(int items) const {
+    return std::max(1, std::min(kKsGroupTarget, items / pool_.num_threads()));
+  }
+
+  /// Evaluate gate `id` for batch items [b0, b1): per-item bootstraps
+  /// without the key switch into the worker's staging buffers, then one
+  /// batched keyswitch flush into the items' result slots.
+  void eval_gate_group(Worker& w, const GateGraph& g, int id, int b0, int b1,
+                       std::vector<BatchResult>& results) {
     const GateNode& n = g.nodes()[static_cast<size_t>(id)];
     const Engine& eng = *w.engine;
-    switch (n.kind) {
-      case GateKind::kNot: {
+    if (n.kind == GateKind::kNot) {
+      for (int b = b0; b < b1; ++b) {
+        auto& v = results[static_cast<size_t>(b)].values;
         LweSample r = v[n.in[0]];
         r.negate();
-        return r;
+        v[static_cast<size_t>(id)] = std::move(r);
       }
-      case GateKind::kMux:
-        return mux_gate_eval(eng, bk_, ks_, mu_, v[n.in[0]], v[n.in[1]],
-                             v[n.in[2]], w.ws, mode_);
-      case GateKind::kLut: {
-        // One weighted linear combination + one functional bootstrap, however
-        // many Boolean gates the cone replaced (tfhe/lut.h).
-        std::array<const LweSample*, 4> ins{};
-        for (int j = 0; j < n.fan_in(); ++j) ins[static_cast<size_t>(j)] = &v[n.in[j]];
-        const LweSample combo =
-            lut_cone_input(n.lut, std::span<const LweSample* const>(
-                                      ins.data(), static_cast<size_t>(n.fan_in())),
-                           bk_.n_lwe);
-        const TorusPolynomial& tv = *node_testv_[static_cast<size_t>(id)];
-        return functional_bootstrap(eng, bk_, ks_, tv, combo, w.ws, mode_);
-      }
-      default: {
-        LweSample combo =
-            binary_gate_input(n.kind, v[n.in[0]], v[n.in[1]], mu_, bk_.n_lwe);
-        return bootstrap(eng, bk_, ks_, mu_, combo, w.ws, mode_);
+      return;
+    }
+    const int count = b1 - b0;
+    if (static_cast<int>(w.stage.size()) < count) {
+      w.stage.resize(static_cast<size_t>(count));
+    }
+    for (int b = b0; b < b1; ++b) {
+      const auto& v = results[static_cast<size_t>(b)].values;
+      LweSample& pre = w.stage[static_cast<size_t>(b - b0)];
+      switch (n.kind) {
+        case GateKind::kMux:
+          mux_pre_keyswitch_into(eng, bk_, mu_, v[n.in[0]], v[n.in[1]],
+                                 v[n.in[2]], w.ws, pre, mode_);
+          break;
+        case GateKind::kLut: {
+          // One weighted linear combination + one functional bootstrap,
+          // however many Boolean gates the cone replaced (tfhe/lut.h).
+          std::array<const LweSample*, 4> ins{};
+          for (int j = 0; j < n.fan_in(); ++j) {
+            ins[static_cast<size_t>(j)] = &v[n.in[j]];
+          }
+          const LweSample combo = lut_cone_input(
+              n.lut,
+              std::span<const LweSample* const>(
+                  ins.data(), static_cast<size_t>(n.fan_in())),
+              bk_.n_lwe);
+          const TorusPolynomial& tv = *node_testv_[static_cast<size_t>(id)];
+          functional_bootstrap_wo_keyswitch_into(eng, bk_, tv, combo, w.ws,
+                                                 pre, mode_);
+          break;
+        }
+        default: {
+          LweSample combo =
+              binary_gate_input(n.kind, v[n.in[0]], v[n.in[1]], mu_, bk_.n_lwe);
+          bootstrap_wo_keyswitch_into(eng, bk_, mu_, combo, w.ws, pre, mode_);
+        }
       }
     }
+    // Deferred flush: one streaming pass over the keyswitch key serves the
+    // whole group (bit-identical to per-item key_switch -- exact mod-2^32).
+    w.ks_in.resize(static_cast<size_t>(count));
+    w.ks_out.resize(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      w.ks_in[static_cast<size_t>(k)] = &w.stage[static_cast<size_t>(k)];
+      w.ks_out[static_cast<size_t>(k)] =
+          &results[static_cast<size_t>(b0 + k)].values[static_cast<size_t>(id)];
+    }
+    key_switch_batch(ks_, w.ks_in.data(), w.ks_out.data(), count, w.ks_ws);
   }
 
   /// Resolve (building on demand) the LUT test vectors the graph needs, plus

@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
   helpers_.reserve(num_threads_ - 1);
   for (int i = 1; i < num_threads_; ++i) {
-    helpers_.emplace_back([this] { helper_loop(); });
+    helpers_.emplace_back([this, i] { helper_loop(i); });
   }
 }
 
@@ -23,22 +23,19 @@ ThreadPool::~ThreadPool() {
   for (auto& t : helpers_) t.join();
 }
 
-void ThreadPool::helper_loop() {
+void ThreadPool::helper_loop(int slot) {
   uint64_t seen = 0;
   for (;;) {
-    int slot = -1;
     const std::function<void(int)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
-      // Slots are claimed dynamically: a capped dispatch wakes only as many
-      // helpers as it needs, but wakeups and in-transit helpers race, so
-      // whoever observes the generation first takes the next slot. A helper
-      // that finds the job fully claimed just waits for the next one.
-      if (claimed_ >= target_) continue;
-      slot = claimed_++;
+      // Fixed slot ownership: this thread IS slot `slot` in every dispatch
+      // (per-slot state -- engines, first-touch-placed arenas -- must stay on
+      // its thread). A capped dispatch simply leaves the high slots asleep.
+      if (slot >= target_) continue;
       job = job_;
     }
     std::exception_ptr err;
@@ -67,18 +64,14 @@ void ThreadPool::run(const std::function<void(int)>& fn, int max_workers) {
     job_ = &fn;
     first_error_ = nullptr;
     target_ = participants;
-    claimed_ = 1; // the caller is slot 0
     pending_ = participants - 1;
     ++generation_;
   }
-  if (participants == num_threads_) {
-    cv_start_.notify_all();
-  } else {
-    // Wake exactly the helpers the job can use. notify_one wakes distinct
-    // waiters; helpers not yet back on the condition variable observe the
-    // generation bump on re-entry, so undelivered notifies are harmless.
-    for (int i = 1; i < participants; ++i) cv_start_.notify_one();
-  }
+  // Slots are fixed per helper thread, and notify_one cannot target a
+  // specific waiter -- waking an arbitrary helper could leave a needed slot
+  // asleep forever. notify_all is the only correct wakeup; non-participating
+  // helpers observe slot >= target_ and re-sleep without running anything.
+  cv_start_.notify_all();
   std::exception_ptr caller_err;
   try {
     fn(0);
@@ -174,8 +167,13 @@ ThreadPool::TaskRunStats ThreadPool::run_tasks(std::span<const uint64_t> seeds,
   const auto worker = [&](int slot) {
     TaskSink sink(state, slot);
     auto& own = state.deques[static_cast<size_t>(slot)];
-    // Pop own deque newest-first (operand locality), else steal the next
-    // busy worker's oldest task.
+    // Pop own deque newest-first (operand locality). When dry, steal
+    // oldest-first in two passes: first from victims inside this slot's
+    // kStealComplex group (fixed slot ownership maps adjacent slots to
+    // adjacent OS threads, so a same-group steal keeps the stolen task's
+    // operand ciphertexts inside one core complex's shared cache), then from
+    // the rest of the crew.
+    const int my_cx = slot / kStealComplex;
     const auto try_get = [&](uint64_t& task, bool& stolen) {
       {
         std::lock_guard<std::mutex> lk(own.mu);
@@ -186,15 +184,18 @@ ThreadPool::TaskRunStats ThreadPool::run_tasks(std::span<const uint64_t> seeds,
           return true;
         }
       }
-      for (int v = 1; v < participants; ++v) {
-        auto& victim =
-            state.deques[static_cast<size_t>((slot + v) % participants)];
-        std::lock_guard<std::mutex> lk(victim.mu);
-        if (!victim.q.empty()) {
-          task = victim.q.front();
-          victim.q.pop_front();
-          stolen = true;
-          return true;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int v = 1; v < participants; ++v) {
+          const int vict = (slot + v) % participants;
+          if ((vict / kStealComplex == my_cx) != (pass == 0)) continue;
+          auto& victim = state.deques[static_cast<size_t>(vict)];
+          std::lock_guard<std::mutex> lk(victim.mu);
+          if (!victim.q.empty()) {
+            task = victim.q.front();
+            victim.q.pop_front();
+            stolen = true;
+            return true;
+          }
         }
       }
       return false;

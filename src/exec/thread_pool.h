@@ -5,10 +5,12 @@
 // resolve, and steal from each other when their own deque runs dry, so no
 // barrier ever separates one dependence level from the next.
 //
-// Both shapes cap the number of *participating* slots: waking the whole crew
-// for a one-gate job costs more in wakeup latency than the job itself, so a
-// capped dispatch wakes exactly the helpers it can use (the caller always
-// occupies participating slot 0).
+// Both shapes cap the number of *participating* slots (the caller always
+// occupies participating slot 0). Slot ownership is fixed -- helper thread i
+// is slot i in every dispatch -- so per-slot state built once (engines,
+// first-touch-placed workspaces) keeps its thread and memory locality for
+// the pool's lifetime; a capped dispatch briefly wakes the non-participating
+// helpers, which observe the cap and re-sleep without running.
 #pragma once
 
 #include <condition_variable>
@@ -34,12 +36,14 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Invoke fn(slot) once per participating slot, slots 0..P-1 where
-  /// P = min(num_threads, max_workers), and block until all return. Helpers
-  /// beyond the cap are never woken (a 1-gate job must not stampede the whole
-  /// crew). Slot indices are dense in [0, P) but are claimed dynamically, so
-  /// a given helper thread may run a different slot index on each call. The
-  /// first exception thrown by any slot is rethrown on the caller after the
-  /// join.
+  /// P = min(num_threads, max_workers), and block until all return. Slot
+  /// ownership is FIXED: helper thread i always runs slot i (the caller is
+  /// slot 0), so per-slot state built in one dispatch (worker engines,
+  /// first-touch-placed scratch arenas) stays on the same OS thread -- and
+  /// the same NUMA node / core complex -- in every later dispatch. Helpers
+  /// with slot >= P observe the generation bump and go back to sleep without
+  /// running. The first exception thrown by any slot is rethrown on the
+  /// caller after the join.
   void run(const std::function<void(int)>& fn, int max_workers = 1 << 30);
 
   /// Handed to every run_tasks worker: identifies the worker's slot and
@@ -70,8 +74,11 @@ class ThreadPool {
   /// deques, then run fn(sink, task) for every task until exactly
   /// `total_tasks` have executed (seeds plus everything pushed through the
   /// sink -- the caller's readiness refcounts must guarantee that count is
-  /// reached). Workers pop their own deque newest-first and steal oldest-first
-  /// from the busiest point of the crew; an idle worker sleeps until new work
+  /// reached). Workers pop their own deque newest-first; when dry they steal
+  /// oldest-first, preferring victims inside their own kStealComplex-slot
+  /// group (adjacent slots map to adjacent OS threads, so a same-group steal
+  /// keeps operand traffic inside one core complex's shared cache) before
+  /// scanning the rest of the crew. An idle worker sleeps until new work
   /// is pushed or the run drains. Participation is capped at
   /// min(num_threads, max_workers, total_tasks). The first exception thrown
   /// by a task aborts the run (remaining queued tasks are dropped) and is
@@ -79,8 +86,13 @@ class ThreadPool {
   TaskRunStats run_tasks(std::span<const uint64_t> seeds, int64_t total_tasks,
                          const TaskFn& fn, int max_workers = 1 << 30);
 
+  /// Steal-locality group width (slots per core complex). Matches the common
+  /// 4-core CCX/cluster granularity; a wrong guess only reorders steal
+  /// preference, it never affects correctness.
+  static constexpr int kStealComplex = 4;
+
  private:
-  void helper_loop();
+  void helper_loop(int slot);
 
   int num_threads_;
   std::vector<std::thread> helpers_;
@@ -88,7 +100,6 @@ class ThreadPool {
   std::condition_variable cv_start_, cv_done_;
   const std::function<void(int)>* job_ = nullptr;
   uint64_t generation_ = 0;
-  int claimed_ = 0; ///< slots handed out for the current generation
   int target_ = 0;  ///< participating slots for the current generation
   int pending_ = 0; ///< helpers still running the current generation
   bool stop_ = false;

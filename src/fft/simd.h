@@ -9,15 +9,24 @@
 // shuffle-heavy helper (the adjacent-pair butterfly of the final radix-2
 // stage) that cannot be expressed lane-wise.
 //
+// Alongside the double lanes every policy exposes a WU-wide *integer* lane
+// vocabulary over uint32 (load/store, add/sub, shift/mask, nonzero-select).
+// Torus arithmetic is exact mod 2^32, so these lanes are bit-identical
+// across every ISA by construction; the keyswitch kernels (digit extraction
+// and the streaming row accumulate, fft/spectral_kernels_impl.h) are built
+// from them.
+//
 // Rounding contract: round_away(x) = trunc(x + copysign(0.5, x)) -- round
-// half away from zero, the same rule std::llround applies. All three
-// policies compute it with this exact double sequence, so a given kernel
-// level is deterministic, and every level agrees with std::llround whenever
-// x is farther than one ulp from a half-integer (always true on the decrypt
+// half away from zero, the same rule std::llround applies. All policies
+// compute it with this exact double sequence, so a given kernel level is
+// deterministic, and every level agrees with std::llround whenever x is
+// farther than one ulp from a half-integer (always true on the decrypt
 // path, whose spectral error is bounded far below 0.5; see DESIGN.md).
 //
 // The AVX2 policy only compiles in TUs built with -mavx2 -mfma
-// (spectral_kernels_avx2.cpp); including this header elsewhere is harmless.
+// (spectral_kernels_avx2.cpp), the AVX-512 policy in TUs built with
+// -mavx512f -mavx512dq (spectral_kernels_avx512.cpp); including this header
+// elsewhere is harmless.
 #pragma once
 
 #include <cmath>
@@ -60,6 +69,19 @@ struct Scalar {
       dst[2 * i + 1] = a - b;
     }
   }
+
+  // Integer (uint32) lanes.
+  static constexpr int WU = 1;
+  using vu = uint32_t;
+  static vu load_u32(const uint32_t* p) { return *p; }
+  static void store_u32(uint32_t* p, vu v) { *p = v; }
+  static vu set1_u32(uint32_t x) { return x; }
+  static vu add_u32(vu a, vu b) { return a + b; }
+  static vu sub_u32(vu a, vu b) { return a - b; }
+  static vu and_u32(vu a, vu b) { return a & b; }
+  static vu srl_u32(vu a, int count) { return a >> count; }
+  /// Per-lane: cond != 0 ? a : b.
+  static vu select_nz_u32(vu cond, vu a, vu b) { return cond != 0 ? a : b; }
 };
 
 // ------------------------------------------------------------- AVX2 + FMA
@@ -115,8 +137,107 @@ struct Avx2 {
       dst[2 * i + 1] = a - b;
     }
   }
+
+  // Integer (uint32) lanes.
+  static constexpr int WU = 8;
+  using vu = __m256i;
+  static vu load_u32(const uint32_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store_u32(uint32_t* p, vu v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static vu set1_u32(uint32_t x) {
+    return _mm256_set1_epi32(static_cast<int32_t>(x));
+  }
+  static vu add_u32(vu a, vu b) { return _mm256_add_epi32(a, b); }
+  static vu sub_u32(vu a, vu b) { return _mm256_sub_epi32(a, b); }
+  static vu and_u32(vu a, vu b) { return _mm256_and_si256(a, b); }
+  static vu srl_u32(vu a, int count) {
+    return _mm256_srl_epi32(a, _mm_cvtsi32_si128(count));
+  }
+  static vu select_nz_u32(vu cond, vu a, vu b) {
+    const vu is_zero = _mm256_cmpeq_epi32(cond, _mm256_setzero_si256());
+    return _mm256_blendv_epi8(a, b, is_zero);
+  }
 };
 #endif // __AVX2__ && __FMA__
+
+// ----------------------------------------------------------- AVX-512 F+DQ
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+struct Avx512 {
+  static constexpr int W = 8;
+  using vd = __m512d;
+
+  static vd load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, vd v) { _mm512_storeu_pd(p, v); }
+  static vd set1(double x) { return _mm512_set1_pd(x); }
+  static vd add(vd a, vd b) { return _mm512_add_pd(a, b); }
+  static vd sub(vd a, vd b) { return _mm512_sub_pd(a, b); }
+  static vd mul(vd a, vd b) { return _mm512_mul_pd(a, b); }
+  static vd fmadd(vd a, vd b, vd c) { return _mm512_fmadd_pd(a, b, c); }
+  static vd fmsub(vd a, vd b, vd c) { return _mm512_fmsub_pd(a, b, c); }
+  static vd load_i32(const int32_t* p) {
+    return _mm512_cvtepi32_pd(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static vd round_away(vd x) {
+    const vd sign = _mm512_and_pd(x, _mm512_set1_pd(-0.0)); // DQ: vandpd
+    const vd half = _mm512_or_pd(_mm512_set1_pd(0.5), sign);
+    return _mm512_roundscale_pd(_mm512_add_pd(x, half),
+                                _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+  }
+  static void store_torus(uint32_t* p, vd x) {
+    // DQ's direct double->int64 conversion (truncating; x is integral, so
+    // exact), then vpmovqd narrows mod 2^32 -- the torus wrap.
+    const __m512i t = _mm512_cvttpd_epi64(x);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p),
+                        _mm512_cvtepi64_epi32(t));
+  }
+  static void butterfly_pairs(const double* src, double* dst, int pairs) {
+    int i = 0;
+    for (; i + 4 <= pairs; i += 4) {
+      const vd x = _mm512_loadu_pd(src + 2 * i); // a0 b0 a1 b1 ...
+      // Pair swap via shuffle_pd (GCC's _mm512_permute_pd goes through
+      // _mm512_undefined_pd and trips -Wmaybe-uninitialized).
+      const vd y = _mm512_shuffle_pd(x, x, 0x55); // b0 a0 b1 a1 ...
+      // even lanes: x=a, y=b -> a+b; odd lanes: x=b, y=a -> y-x = a-b.
+      _mm512_storeu_pd(dst + 2 * i,
+                       _mm512_mask_sub_pd(_mm512_add_pd(x, y),
+                                          static_cast<__mmask8>(0xAA), y, x));
+    }
+    for (; i < pairs; ++i) {
+      const double a = src[2 * i], b = src[2 * i + 1];
+      dst[2 * i] = a + b;
+      dst[2 * i + 1] = a - b;
+    }
+  }
+
+  // Integer (uint32) lanes.
+  static constexpr int WU = 16;
+  using vu = __m512i;
+  static vu load_u32(const uint32_t* p) {
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+  }
+  static void store_u32(uint32_t* p, vu v) {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+  }
+  static vu set1_u32(uint32_t x) {
+    return _mm512_set1_epi32(static_cast<int32_t>(x));
+  }
+  static vu add_u32(vu a, vu b) { return _mm512_add_epi32(a, b); }
+  static vu sub_u32(vu a, vu b) { return _mm512_sub_epi32(a, b); }
+  static vu and_u32(vu a, vu b) { return _mm512_and_si512(a, b); }
+  static vu srl_u32(vu a, int count) {
+    return _mm512_srl_epi32(a, _mm_cvtsi32_si128(count));
+  }
+  static vu select_nz_u32(vu cond, vu a, vu b) {
+    const __mmask16 nz =
+        _mm512_test_epi32_mask(cond, cond); // lane != 0
+    return _mm512_mask_blend_epi32(nz, b, a);
+  }
+};
+#endif // __AVX512F__ && __AVX512DQ__
 
 // ------------------------------------------------------------------- NEON
 #if defined(__aarch64__)
@@ -163,6 +284,23 @@ struct Neon {
       dst[2 * i] = a + b;
       dst[2 * i + 1] = a - b;
     }
+  }
+
+  // Integer (uint32) lanes.
+  static constexpr int WU = 4;
+  using vu = uint32x4_t;
+  static vu load_u32(const uint32_t* p) { return vld1q_u32(p); }
+  static void store_u32(uint32_t* p, vu v) { vst1q_u32(p, v); }
+  static vu set1_u32(uint32_t x) { return vdupq_n_u32(x); }
+  static vu add_u32(vu a, vu b) { return vaddq_u32(a, b); }
+  static vu sub_u32(vu a, vu b) { return vsubq_u32(a, b); }
+  static vu and_u32(vu a, vu b) { return vandq_u32(a, b); }
+  static vu srl_u32(vu a, int count) {
+    return vshlq_u32(a, vdupq_n_s32(-count)); // negative count = right shift
+  }
+  static vu select_nz_u32(vu cond, vu a, vu b) {
+    const uint32x4_t nz = vtstq_u32(cond, cond); // lane != 0 -> all-ones
+    return vbslq_u32(nz, a, b);
   }
 };
 #endif // __aarch64__

@@ -1,6 +1,6 @@
 // Plan construction + runtime kernel dispatch. The scalar kernel set is
-// instantiated here; the AVX2/NEON sets live in their own TUs so they can be
-// compiled with the matching ISA flags.
+// instantiated here; the AVX2/AVX-512/NEON sets live in their own TUs so
+// they can be compiled with the matching ISA flags.
 #include "fft/spectral_kernels.h"
 
 #include <cassert>
@@ -109,16 +109,25 @@ const SpectralKernels kScalarKernels = {
     &detail::generic_rot_scale_add,
     &detail::PlanarKernels<simd::Scalar>::add_assign,
     &detail::generic_decompose,
+    &detail::u32_sub<simd::Scalar>,
+    &detail::ks_digits<simd::Scalar>,
+    &detail::generic_ks_gather_b,
 };
 
 } // namespace
 
 // Defined in the per-ISA TUs; null when the binary lacks that backend.
 const SpectralKernels* spectral_kernels_avx2();
+const SpectralKernels* spectral_kernels_avx512();
 const SpectralKernels* spectral_kernels_neon();
 
 const SpectralKernels& spectral_kernels(SimdLevel level) {
   switch (level) {
+    case SimdLevel::kAvx512:
+      // Degrade within the x86 family: a binary built without the AVX-512 TU
+      // (non-GCC/Clang, non-x86) still gets the widest set it does have.
+      if (const SpectralKernels* k = spectral_kernels_avx512()) return *k;
+      [[fallthrough]];
     case SimdLevel::kAvx2:
       if (const SpectralKernels* k = spectral_kernels_avx2()) return *k;
       break;

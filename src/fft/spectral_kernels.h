@@ -25,7 +25,8 @@
 // vector boundary, so a stage touches one contiguous table block.
 //
 // Kernel implementations live in per-ISA translation units
-// (spectral_kernels_{scalar,avx2,neon}.cpp) instantiating
+// (spectral_kernels.cpp scalar, spectral_kernels_{avx2,avx512,neon}.cpp)
+// instantiating
 // spectral_kernels_impl.h over the fft/simd.h policies; spectral_kernels()
 // picks the vtable for a SimdLevel at runtime.
 #pragma once
@@ -106,6 +107,22 @@ struct SpectralKernels {
   /// N-int32 buffer; buffers must not overlap p.
   void (*decompose)(int l, int bg_bits, uint32_t offset, int n,
                     const uint32_t* p, int32_t* const* digits);
+
+  // -- keyswitch streaming kernels (tfhe/keyswitch.cpp). Torus arithmetic is
+  //    exact mod 2^32, so every level produces bit-identical results.
+
+  /// dst[k] -= src[k] over n uint32 lanes. The keyswitch inner accumulate:
+  /// one contiguous SoA key row subtracted from an output a[] vector.
+  void (*u32_sub)(uint32_t* dst, const uint32_t* src, int n);
+  /// Keyswitch digit extraction, j-major to match the SoA key row order:
+  /// out[j*n_in + i] = ((a[i] + off) >> (32 - (j+1)*basebit)) & (2^basebit-1)
+  /// for j in [0, t). Caller guarantees t*basebit <= 32.
+  void (*ks_digits)(const uint32_t* a, int n_in, int t, int basebit,
+                    uint32_t off, uint32_t* out);
+  /// Sum of selected key b-plane entries: for each row r in [0, rows) with
+  /// digit d[r] != 0, accumulate b_plane[r*(base-1) + d[r] - 1] (mod 2^32).
+  uint32_t (*ks_gather_b)(const uint32_t* d, const uint32_t* b_plane,
+                          int rows, int base);
 };
 
 /// The kernel set for `level`. Requesting a level this binary/CPU cannot run

@@ -82,6 +82,44 @@ void decompose_avx2(int l, int bg_bits, uint32_t offset, int n,
   }
 }
 
+/// Gathered b-plane sum via masked hardware gather: lanes whose digit is
+/// zero keep the zero source (their key row does not exist), the others
+/// fetch b_plane[r*(base-1) + d[r] - 1]; eight rows per iteration.
+uint32_t ks_gather_b_avx2(const uint32_t* d, const uint32_t* b_plane,
+                          int rows, int base) {
+  const int stride = base - 1;
+  const __m256i vstride = _mm256_set1_epi32(stride);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i ramp = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  int r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + r));
+    const __m256i nz = _mm256_xor_si256(_mm256_cmpeq_epi32(v, zero),
+                                        _mm256_set1_epi32(-1)); // v != 0
+    const __m256i row = _mm256_add_epi32(_mm256_set1_epi32(r), ramp);
+    const __m256i idx = _mm256_add_epi32(_mm256_mullo_epi32(row, vstride),
+                                         _mm256_sub_epi32(v, one));
+    const __m256i g = _mm256_mask_i32gather_epi32(
+        zero, reinterpret_cast<const int*>(b_plane), idx, nz, 4);
+    acc = _mm256_add_epi32(acc, g);
+  }
+  // Horizontal mod-2^32 sum of the eight lanes.
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  uint32_t out = static_cast<uint32_t>(_mm_cvtsi128_si32(s));
+  for (; r < rows; ++r) {
+    const uint32_t v = d[r];
+    if (v != 0) out += b_plane[static_cast<size_t>(r) * stride + (v - 1)];
+  }
+  return out;
+}
+
 const SpectralKernels kAvx2Kernels = {
     "avx2",
     &detail::PlanarKernels<simd::Avx2>::forward,
@@ -90,6 +128,9 @@ const SpectralKernels kAvx2Kernels = {
     &rot_scale_add_avx2,
     &detail::PlanarKernels<simd::Avx2>::add_assign,
     &decompose_avx2,
+    &detail::u32_sub<simd::Avx2>,
+    &detail::ks_digits<simd::Avx2>,
+    &ks_gather_b_avx2,
 };
 
 } // namespace

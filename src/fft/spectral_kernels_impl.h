@@ -313,4 +313,52 @@ inline void generic_decompose(int l, int bg_bits, uint32_t offset, int n,
   }
 }
 
+// ---------------------------------------------------- keyswitch kernels
+// Pure uint32 arithmetic (exact mod 2^32): every policy's lanes compute the
+// same bits, so the vector body + scalar tail split never changes results.
+
+/// Streaming row accumulate: dst[k] -= src[k] over n uint32 lanes.
+template <class V>
+void u32_sub(uint32_t* dst, const uint32_t* src, int n) {
+  int k = 0;
+  for (; k + V::WU <= n; k += V::WU) {
+    V::store_u32(dst + k, V::sub_u32(V::load_u32(dst + k), V::load_u32(src + k)));
+  }
+  for (; k < n; ++k) dst[k] -= src[k];
+}
+
+/// Digit extraction for one input sample, j-major (out[j*n_in + i]) so the
+/// batch accumulate walks the SoA key rows and the digit array in lockstep.
+template <class V>
+void ks_digits(const uint32_t* a, int n_in, int t, int basebit, uint32_t off,
+               uint32_t* out) {
+  const uint32_t mask = (1u << basebit) - 1;
+  const auto voff = V::set1_u32(off);
+  const auto vmask = V::set1_u32(mask);
+  for (int j = 0; j < t; ++j) {
+    const int sh = 32 - (j + 1) * basebit;
+    uint32_t* oj = out + static_cast<size_t>(j) * n_in;
+    int i = 0;
+    for (; i + V::WU <= n_in; i += V::WU) {
+      const auto biased = V::add_u32(V::load_u32(a + i), voff);
+      V::store_u32(oj + i, V::and_u32(V::srl_u32(biased, sh), vmask));
+    }
+    for (; i < n_in; ++i) oj[i] = ((a[i] + off) >> sh) & mask;
+  }
+}
+
+/// Gathered b-plane sum. Scalar body -- the b plane is `rows` words against
+/// the a planes' `rows*n_out`, so this is off the roofline; the AVX2/AVX-512
+/// TUs override it with masked hardware gathers.
+inline uint32_t generic_ks_gather_b(const uint32_t* d, const uint32_t* b_plane,
+                                    int rows, int base) {
+  const int stride = base - 1;
+  uint32_t acc = 0;
+  for (int r = 0; r < rows; ++r) {
+    const uint32_t v = d[r];
+    if (v != 0) acc += b_plane[static_cast<size_t>(r) * stride + (v - 1)];
+  }
+  return acc;
+}
+
 } // namespace matcha::detail

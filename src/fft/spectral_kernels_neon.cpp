@@ -47,6 +47,10 @@ const SpectralKernels kNeonKernels = {
     &detail::generic_rot_scale_add,
     &detail::PlanarKernels<simd::Neon>::add_assign,
     &decompose_neon,
+    &detail::u32_sub<simd::Neon>,
+    &detail::ks_digits<simd::Neon>,
+    // No integer gather on aarch64; the portable row-skipping loop stays.
+    &detail::generic_ks_gather_b,
 };
 
 } // namespace

@@ -9,7 +9,10 @@ namespace matcha::io {
 
 namespace {
 
-constexpr uint32_t kVersion = 1;
+// v2: KeySwitchKey switched from an LweSample table (with placeholder rows)
+// to the planar SoA arenas of tfhe/keyswitch.h -- t_used plus two raw
+// Torus32 planes on the wire, a straight memcpy of the in-memory layout.
+constexpr uint32_t kVersion = 2;
 
 void put_raw(std::ostream& os, const void* p, size_t n) {
   os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
@@ -48,19 +51,27 @@ void check_header(std::istream& is, uint32_t magic, const char* what) {
   }
 }
 
-template <class T>
-void put_vec(std::ostream& os, const std::vector<T>& v) {
+template <class T, class A>
+void put_vec(std::ostream& os, const std::vector<T, A>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   put(os, static_cast<uint64_t>(v.size()));
   if (!v.empty()) put_raw(os, v.data(), v.size() * sizeof(T));
 }
 
-template <class T>
-std::vector<T> get_vec(std::istream& is) {
+/// Read into an existing vector (any allocator -- the keyswitch arenas are
+/// AlignedVectors and must keep their 64B-aligned storage).
+template <class T, class A>
+void get_vec_into(std::istream& is, std::vector<T, A>& v) {
   const uint64_t n = get<uint64_t>(is);
   if (n > (1ULL << 32)) throw std::runtime_error("matcha::io: absurd length");
-  std::vector<T> v(n);
+  v.resize(n);
   if (n) get_raw(is, v.data(), n * sizeof(T));
+}
+
+template <class T>
+std::vector<T> get_vec(std::istream& is) {
+  std::vector<T> v;
+  get_vec_into(is, v);
   return v;
 }
 
@@ -188,11 +199,9 @@ void write_keyswitch_key(std::ostream& os, const KeySwitchKey& k) {
   put(os, k.params.sigma);
   put(os, static_cast<int32_t>(k.n_in));
   put(os, static_cast<int32_t>(k.n_out));
-  put(os, static_cast<uint64_t>(k.table.size()));
-  for (const auto& s : k.table) {
-    put_vec(os, s.a);
-    put(os, s.b);
-  }
+  put(os, static_cast<int32_t>(k.t_used));
+  put_vec(os, k.a_plane);
+  put_vec(os, k.b_plane);
 }
 
 KeySwitchKey read_keyswitch_key(std::istream& is) {
@@ -203,13 +212,14 @@ KeySwitchKey read_keyswitch_key(std::istream& is) {
   k.params.sigma = get<double>(is);
   k.n_in = get<int32_t>(is);
   k.n_out = get<int32_t>(is);
-  const uint64_t count = get<uint64_t>(is);
-  k.table.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    LweSample s;
-    s.a = get_vec<Torus32>(is);
-    s.b = get<Torus32>(is);
-    k.table.push_back(std::move(s));
+  k.t_used = get<int32_t>(is);
+  get_vec_into(is, k.a_plane);
+  get_vec_into(is, k.b_plane);
+  const size_t rows =
+      static_cast<size_t>(k.n_in) * k.t_used * (k.params.base() - 1);
+  if (k.b_plane.size() != rows ||
+      k.a_plane.size() != rows * static_cast<size_t>(k.n_out)) {
+    throw std::runtime_error("matcha::io: KeySwitchKey arena size mismatch");
   }
   return k;
 }

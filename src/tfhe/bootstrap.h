@@ -26,6 +26,8 @@ struct BootstrapWorkspace {
   TLweSample tmp;
   TorusPolynomial testv, testv_rot;
   std::vector<int32_t> exponents;
+  LweSample extracted; ///< N-LWE scratch between sample extract and keyswitch
+  LweSample extracted2; ///< second N-LWE scratch (MUX's second branch)
 
   BootstrapWorkspace(const Engine& eng, const GadgetParams& g)
       : ep(eng, g),
@@ -73,17 +75,42 @@ void blind_rotate(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
   }
 }
 
-/// Bootstrap without the final key switch: returns an N-LWE sample under the
-/// extracted ring key whose phase is +-mu depending on sign(phase(x)).
+/// Bootstrap without the final key switch, in place: `out` receives an N-LWE
+/// sample under the extracted ring key whose phase is +-mu depending on
+/// sign(phase(x)). out may alias x. Allocation-free once out and the
+/// workspace are at capacity.
+template <class Engine>
+void bootstrap_wo_keyswitch_into(const Engine& eng,
+                                 const DeviceBootstrapKey<Engine>& key,
+                                 Torus32 mu, const LweSample& x,
+                                 BootstrapWorkspace<Engine>& ws, LweSample& out,
+                                 BlindRotateMode mode = BlindRotateMode::kBundle) {
+  for (auto& c : ws.testv.coeffs) c = mu;
+  blind_rotate(eng, key, x, ws.testv, ws, mode);
+  sample_extract_into(ws.acc, out);
+}
+
+/// By-value convenience wrapper around bootstrap_wo_keyswitch_into.
 template <class Engine>
 LweSample bootstrap_wo_keyswitch(const Engine& eng,
                                  const DeviceBootstrapKey<Engine>& key,
                                  Torus32 mu, const LweSample& x,
                                  BootstrapWorkspace<Engine>& ws,
                                  BlindRotateMode mode = BlindRotateMode::kBundle) {
-  for (auto& c : ws.testv.coeffs) c = mu;
-  blind_rotate(eng, key, x, ws.testv, ws, mode);
-  return sample_extract(ws.acc);
+  LweSample out;
+  bootstrap_wo_keyswitch_into(eng, key, mu, x, ws, out, mode);
+  return out;
+}
+
+/// Full gate bootstrap in place: blind rotate, extract (into the workspace
+/// scratch), key switch back to n-LWE in `out`. out may alias x.
+template <class Engine>
+void bootstrap_into(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+                    const KeySwitchKey& ks, Torus32 mu, const LweSample& x,
+                    BootstrapWorkspace<Engine>& ws, LweSample& out,
+                    BlindRotateMode mode = BlindRotateMode::kBundle) {
+  bootstrap_wo_keyswitch_into(eng, key, mu, x, ws, ws.extracted, mode);
+  key_switch_into(ks, ws.extracted, out);
 }
 
 /// Full gate bootstrap: blind rotate, extract, key switch back to n-LWE.
@@ -92,7 +119,9 @@ LweSample bootstrap(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
                     const KeySwitchKey& ks, Torus32 mu, const LweSample& x,
                     BootstrapWorkspace<Engine>& ws,
                     BlindRotateMode mode = BlindRotateMode::kBundle) {
-  return key_switch(ks, bootstrap_wo_keyswitch(eng, key, mu, x, ws, mode));
+  LweSample out;
+  bootstrap_into(eng, key, ks, mu, x, ws, out, mode);
+  return out;
 }
 
 } // namespace matcha

@@ -48,8 +48,34 @@ inline int decode_message(Torus32 phase, int slots) {
 /// result chainable).
 TorusPolynomial make_lut_testvector(int n_ring, std::span<const Torus32> values);
 
-/// Bootstrap x through the LUT: returns LWE(f(m)) with fresh noise, under
-/// the gate key (key switch included).
+/// Bootstrap x through the LUT, in place: `out` receives LWE(f(m)) with
+/// fresh noise, under the gate key (key switch included). out may alias x.
+template <class Engine>
+void functional_bootstrap_into(const Engine& eng,
+                               const DeviceBootstrapKey<Engine>& key,
+                               const KeySwitchKey& ks,
+                               const TorusPolynomial& testv, const LweSample& x,
+                               BootstrapWorkspace<Engine>& ws, LweSample& out,
+                               BlindRotateMode mode = BlindRotateMode::kBundle) {
+  blind_rotate(eng, key, x, testv, ws, mode);
+  sample_extract_into(ws.acc, ws.extracted);
+  key_switch_into(ks, ws.extracted, out);
+}
+
+/// Like functional_bootstrap_into but stopping before the key switch: `out`
+/// receives the N-LWE sample under the extracted ring key (the batch
+/// executor defers the key switch to a batched flush).
+template <class Engine>
+void functional_bootstrap_wo_keyswitch_into(
+    const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+    const TorusPolynomial& testv, const LweSample& x,
+    BootstrapWorkspace<Engine>& ws, LweSample& out,
+    BlindRotateMode mode = BlindRotateMode::kBundle) {
+  blind_rotate(eng, key, x, testv, ws, mode);
+  sample_extract_into(ws.acc, out);
+}
+
+/// By-value convenience wrapper around functional_bootstrap_into.
 template <class Engine>
 LweSample functional_bootstrap(const Engine& eng,
                                const DeviceBootstrapKey<Engine>& key,
@@ -58,8 +84,9 @@ LweSample functional_bootstrap(const Engine& eng,
                                const LweSample& x,
                                BootstrapWorkspace<Engine>& ws,
                                BlindRotateMode mode = BlindRotateMode::kBundle) {
-  blind_rotate(eng, key, x, testv, ws, mode);
-  return key_switch(ks, sample_extract(ws.acc));
+  LweSample out;
+  functional_bootstrap_into(eng, key, ks, testv, x, ws, out, mode);
+  return out;
 }
 
 /// Pre-bootstrap linear combination of a fused Boolean LUT cone

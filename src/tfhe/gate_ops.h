@@ -57,22 +57,49 @@ inline LweSample binary_gate_input(GateKind kind, const LweSample& a,
 /// MUX(sel, c1, c0) = sel ? c1 : c0 -- the TFHE library's construction:
 /// u1 = BS(AND(sel, c1)), u2 = BS(AND(NOT sel, c0)) without key switch, then
 /// MUX = KS(u1 + u2 + (0, mu)).
+///
+/// mux_pre_keyswitch_into computes the N-LWE sum u1 + u2 + (0, mu) into
+/// `out` (the batch executor defers the key switch to a batched flush);
+/// mux_gate_eval_into finishes the key switch in place. out must not alias
+/// the inputs (it holds u1 across the second bootstrap).
+template <class Engine>
+void mux_pre_keyswitch_into(const Engine& eng,
+                            const DeviceBootstrapKey<Engine>& bk, Torus32 mu,
+                            const LweSample& sel, const LweSample& c1,
+                            const LweSample& c0,
+                            BootstrapWorkspace<Engine>& ws, LweSample& out,
+                            BlindRotateMode mode) {
+  const LweSample neg = LweSample::trivial(bk.n_lwe, static_cast<Torus32>(-mu));
+  LweSample and1 = neg + sel + c1;
+  bootstrap_wo_keyswitch_into(eng, bk, mu, and1, ws, out, mode); // u1
+  LweSample nsel = sel;
+  nsel.negate();
+  LweSample and2 = neg + nsel + c0;
+  bootstrap_wo_keyswitch_into(eng, bk, mu, and2, ws, ws.extracted2, mode); // u2
+  out += ws.extracted2;
+  out.b += mu;
+}
+
+template <class Engine>
+void mux_gate_eval_into(const Engine& eng,
+                        const DeviceBootstrapKey<Engine>& bk,
+                        const KeySwitchKey& ks, Torus32 mu,
+                        const LweSample& sel, const LweSample& c1,
+                        const LweSample& c0, BootstrapWorkspace<Engine>& ws,
+                        LweSample& out, BlindRotateMode mode) {
+  mux_pre_keyswitch_into(eng, bk, mu, sel, c1, c0, ws, ws.extracted, mode);
+  key_switch_into(ks, ws.extracted, out);
+}
+
 template <class Engine>
 LweSample mux_gate_eval(const Engine& eng, const DeviceBootstrapKey<Engine>& bk,
                         const KeySwitchKey& ks, Torus32 mu,
                         const LweSample& sel, const LweSample& c1,
                         const LweSample& c0, BootstrapWorkspace<Engine>& ws,
                         BlindRotateMode mode) {
-  const LweSample neg = LweSample::trivial(bk.n_lwe, static_cast<Torus32>(-mu));
-  LweSample and1 = neg + sel + c1;
-  LweSample u1 = bootstrap_wo_keyswitch(eng, bk, mu, and1, ws, mode);
-  LweSample nsel = sel;
-  nsel.negate();
-  LweSample and2 = neg + nsel + c0;
-  LweSample u2 = bootstrap_wo_keyswitch(eng, bk, mu, and2, ws, mode);
-  u1 += u2;
-  u1.b += mu;
-  return key_switch(ks, u1);
+  LweSample out;
+  mux_gate_eval_into(eng, bk, ks, mu, sel, c1, c0, ws, out, mode);
+  return out;
 }
 
 } // namespace matcha

@@ -110,7 +110,7 @@ class GateEvaluator {
     const int64_t to0 = ctr.to_spectral_ns;
     const int64_t from0 = ctr.from_spectral_ns;
     const auto t0 = clock_now();
-    LweSample out = bootstrap(eng_, bk_, ks_, mu_, combo, ws_, mode_);
+    bootstrap_into(eng_, bk_, ks_, mu_, combo, ws_, combo, mode_);
     const int64_t boot = ns_since(t0);
     const int64_t ifft = ctr.to_spectral_ns - to0;
     const int64_t fft = ctr.from_spectral_ns - from0;
@@ -118,7 +118,7 @@ class GateEvaluator {
     bd.ifft_ns += ifft;
     bd.fft_ns += fft;
     bd.other_ns += boot - ifft - fft;
-    return out;
+    return combo;
   }
 
   const Engine& eng_;

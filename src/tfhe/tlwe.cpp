@@ -36,16 +36,21 @@ TorusPolynomial tlwe_phase(const TLweKey& key, const TLweSample& c) {
 }
 
 LweSample sample_extract(const TLweSample& c) {
+  LweSample out;
+  sample_extract_into(c, out);
+  return out;
+}
+
+void sample_extract_into(const TLweSample& c, LweSample& out) {
   // Coefficient 0 of the message: b_0 - sum_i s_i * a'_i with
   // a'_0 = a_0 and a'_i = -a_{N-i} for i > 0 (negacyclic transpose).
   const int n = c.n_ring();
-  LweSample out(n);
+  out.a.resize(static_cast<size_t>(n));
   out.a[0] = c.a.coeffs[0];
   for (int i = 1; i < n; ++i) {
-    out.a[i] = static_cast<Torus32>(-c.a.coeffs[n - i]);
+    out.a[static_cast<size_t>(i)] = static_cast<Torus32>(-c.a.coeffs[n - i]);
   }
   out.b = c.b.coeffs[0];
-  return out;
 }
 
 } // namespace matcha

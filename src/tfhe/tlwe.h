@@ -68,4 +68,7 @@ TorusPolynomial tlwe_phase(const TLweKey& key, const TLweSample& c);
 /// (paper Algorithm 1, line 8).
 LweSample sample_extract(const TLweSample& c);
 
+/// Allocation-free sample_extract: out is resized to N and overwritten.
+void sample_extract_into(const TLweSample& c, LweSample& out);
+
 } // namespace matcha

@@ -36,12 +36,13 @@ TorusPolynomial random_torus(Rng& rng, int n) {
   return p;
 }
 
-/// The levels this host can actually run: scalar always, plus the detected
-/// vector ISA when there is one.
+/// The levels this host can actually run: scalar always, plus every vector
+/// tier the CPU can execute (an AVX-512 host tests avx2 AND avx512).
 std::vector<SimdLevel> testable_levels() {
   std::vector<SimdLevel> levels{SimdLevel::kScalar};
-  if (detect_simd_level() != SimdLevel::kScalar) {
-    levels.push_back(detect_simd_level());
+  for (const SimdLevel lvl :
+       {SimdLevel::kAvx2, SimdLevel::kAvx512, SimdLevel::kNeon}) {
+    if (simd_level_available(lvl)) levels.push_back(lvl);
   }
   return levels;
 }
@@ -60,16 +61,36 @@ TEST(SimdDispatch, ResolveHonorsOverrides) {
   EXPECT_EQ(resolve_simd_level("neon", hw), SimdLevel::kScalar);
   EXPECT_EQ(resolve_simd_level("avx2", SimdLevel::kScalar), SimdLevel::kScalar);
   EXPECT_EQ(resolve_simd_level("bogus", hw), SimdLevel::kScalar);
+  // AVX-512 tier: honored on avx512 hardware, pinnable DOWN from it, and an
+  // avx512 request on a narrower x86 tier degrades to that tier (never up,
+  // never an illegal instruction).
+  EXPECT_EQ(resolve_simd_level(nullptr, SimdLevel::kAvx512),
+            SimdLevel::kAvx512);
+  EXPECT_EQ(resolve_simd_level("avx512", SimdLevel::kAvx512),
+            SimdLevel::kAvx512);
+  EXPECT_EQ(resolve_simd_level("avx2", SimdLevel::kAvx512), SimdLevel::kAvx2);
+  EXPECT_EQ(resolve_simd_level("off", SimdLevel::kAvx512), SimdLevel::kScalar);
+  EXPECT_EQ(resolve_simd_level("avx512", SimdLevel::kAvx2), SimdLevel::kAvx2);
+  EXPECT_EQ(resolve_simd_level("avx512", SimdLevel::kScalar),
+            SimdLevel::kScalar);
+  EXPECT_EQ(resolve_simd_level("avx512", SimdLevel::kNeon),
+            SimdLevel::kScalar);
 }
 
-TEST(SimdDispatch, RequestingUnavailableLevelFallsBackToScalar) {
-  // spectral_kernels() must return the scalar set for any level the binary
-  // cannot provide (e.g. NEON on x86), keeping every SimdLevel constructible.
+TEST(SimdDispatch, KernelTableMatchesAvailability) {
+  // spectral_kernels() must return the named vtable for every level the host
+  // can execute (lower x86 tiers stay runnable on wider hardware) and the
+  // scalar set for any level it cannot (e.g. NEON on x86), keeping every
+  // SimdLevel constructible.
   const SpectralKernels& scalar = spectral_kernels(SimdLevel::kScalar);
   EXPECT_STREQ(scalar.name, "scalar");
-  for (const SimdLevel lvl : {SimdLevel::kAvx2, SimdLevel::kNeon}) {
-    if (lvl == detect_simd_level()) continue;
-    EXPECT_STREQ(spectral_kernels(lvl).name, "scalar");
+  for (const SimdLevel lvl :
+       {SimdLevel::kAvx2, SimdLevel::kAvx512, SimdLevel::kNeon}) {
+    if (simd_level_available(lvl)) {
+      EXPECT_STREQ(spectral_kernels(lvl).name, simd_level_name(lvl));
+    } else {
+      EXPECT_STREQ(spectral_kernels(lvl).name, "scalar");
+    }
   }
 }
 
@@ -111,7 +132,7 @@ class SimdEngineSweep
 
 TEST_P(SimdEngineSweep, ProductMatchesSchoolbookExactly) {
   const auto [n, level] = GetParam();
-  if (level != SimdLevel::kScalar && level != detect_simd_level()) {
+  if (!simd_level_available(level)) {
     GTEST_SKIP() << "host cannot run " << simd_level_name(level);
   }
   Rng rng(3);
@@ -137,7 +158,7 @@ TEST_P(SimdEngineSweep, RoundTripIsIdentity) {
   // engine (its measured error floor is < -250 dB; anything past ~-192 dB
   // would already break this exact test at N = 1024).
   const auto [n, level] = GetParam();
-  if (level != SimdLevel::kScalar && level != detect_simd_level()) {
+  if (!simd_level_available(level)) {
     GTEST_SKIP() << "host cannot run " << simd_level_name(level);
   }
   Rng rng(4);
@@ -154,6 +175,7 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, SimdEngineSweep,
     ::testing::Combine(::testing::Values(8, 16, 64, 128, 256, 1024),
                        ::testing::Values(SimdLevel::kScalar, SimdLevel::kAvx2,
+                                         SimdLevel::kAvx512,
                                          SimdLevel::kNeon)),
     [](const auto& info) {
       return "n" + std::to_string(std::get<0>(info.param)) + "_" +
