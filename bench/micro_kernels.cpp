@@ -97,6 +97,55 @@ void kernel_rows(Engine& eng, const char* path, std::vector<Row>& out) {
                  }, 200)});
 }
 
+/// One whole bundle-mode blind-rotate group step at the paper parameters
+/// (N=1024, Bg=1024, l=3, m=2: three subset members, all active), fused
+/// rotate-MAC vs the materialized bundle it replaced. Steady-state
+/// (st.pristine = false) so neither row gets the first-group skips; the
+/// delta is purely eliding the 2l x 2 bundle materialization.
+void bundle_rows(SimdFftEngine& eng, const char* path, std::vector<Row>& out) {
+  const TfheParams params = TfheParams::security110();
+  SecretKeyset sk = [&] {
+    Rng krng(23);
+    return SecretKeyset::generate(params, krng);
+  }();
+  DoubleFftEngine enc_eng(kRingN);
+  SpectralD key_spec;
+  enc_eng.to_spectral_int(sk.tlwe.s, key_spec);
+  Rng erng(37);
+
+  DeviceBootstrapKey<SimdFftEngine> bk;
+  bk.unroll_m = 2;
+  bk.n_lwe = 2;
+  bk.n_ring = kRingN;
+  bk.gadget = params.gadget;
+  bk.groups.resize(1);
+  for (int i = 0; i < 3; ++i) { // the group's 2^m - 1 subset indicators
+    const TGswSample raw =
+        tgsw_encrypt(enc_eng, sk.tlwe, key_spec, params.gadget, i == 0 ? 1 : 0,
+                     params.ring.sigma, erng);
+    bk.groups[0].push_back(tgsw_to_spectral(eng, raw));
+  }
+  pack_bootstrap_key_soa(eng, bk); // hand-built key: fill the SoA arena
+
+  BootstrapWorkspace<SimdFftEngine> ws(eng, params.gadget);
+  const std::vector<int32_t> exponents{37, 911, 948}; // every subset active
+  TLweSample acc(kRingN);
+  for (auto& c : acc.a.coeffs) c = erng.uniform_torus();
+  for (auto& c : acc.b.coeffs) c = erng.uniform_torus();
+
+  out.push_back({"bundle_ep_materialized", path, time_ns_per_op([&] {
+                   (void)build_bundle(eng, bk, 0, exponents, ws.bundle);
+                   external_product(eng, bk.gadget, ws.bundle, acc, ws.ep);
+                 }, 200)});
+  BlindRotateState st;
+  st.pristine = false;
+  out.push_back({"bundle_ep_fused", path, time_ns_per_op([&] {
+                   st.pristine = false;
+                   bundle_rotate_step(eng, bk, 0, exponents, acc, ws.bundle,
+                                      ws.ep, st, nullptr);
+                 }, 200)});
+}
+
 // ---- keyswitch rows --------------------------------------------------------
 
 /// The pre-SoA keyswitch, reconstructed as the bandwidth baseline: an
@@ -237,19 +286,21 @@ int main() {
   {
     SimdFftEngine scalar_eng(kRingN, SimdLevel::kScalar);
     kernel_rows(scalar_eng, "scalar", rows);
+    bundle_rows(scalar_eng, "scalar", rows);
   }
   if (std::string(active_name) != "scalar") {
     SimdFftEngine simd_eng(kRingN, active);
     kernel_rows(simd_eng, simd_eng.level_name(), rows);
+    bundle_rows(simd_eng, simd_eng.level_name(), rows);
   }
   {
     DoubleFftEngine ref_eng(kRingN);
     kernel_rows(ref_eng, "reference_double", rows);
   }
 
-  std::printf("%-18s%-18s%14s\n", "kernel", "path", "ns/op");
+  std::printf("%-24s%-18s%14s\n", "kernel", "path", "ns/op");
   for (const Row& r : rows) {
-    std::printf("%-18s%-18s%14.0f\n", r.kernel.c_str(), r.path.c_str(), r.ns_op);
+    std::printf("%-24s%-18s%14.0f\n", r.kernel.c_str(), r.path.c_str(), r.ns_op);
   }
 
   Rng krng(20240601);

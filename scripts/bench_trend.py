@@ -73,6 +73,21 @@ def compare_batch_throughput(prev, cur, failures):
         check(f"sim_batch[m={key[0]},batch={key[1]}].makespan_ms",
               p[key]["makespan_ms"], c[key]["makespan_ms"], failures)
 
+    # Batched blind rotation: per-sample bootstrap latency of every
+    # (path, mode) row, same runner-noise band as the keyswitch gate. Only
+    # compared when both runs used the same SIMD kernel set.
+    if prev.get("simd_kernels") == cur.get("simd_kernels"):
+        p = by_key(prev.get("blind_rotate", []), "path", "mode")
+        c = by_key(cur.get("blind_rotate", []), "path", "mode")
+        for key in sorted(p.keys() & c.keys()):
+            check(f"blind_rotate[{key[0]},{key[1]}].us_per_sample",
+                  p[key]["us_per_sample"], c[key]["us_per_sample"], failures,
+                  tolerance=SW_LATENCY_TOLERANCE)
+    else:
+        print(f"  blind_rotate: simd_kernels changed "
+              f"({prev.get('simd_kernels')} -> {cur.get('simd_kernels')}); "
+              f"latency comparison skipped")
+
     # Multi-chip sharding: per-chip-count makespans and the cut size.
     p = by_key(prev.get("multichip", []), "circuit", "unroll_m", "chips")
     c = by_key(cur.get("multichip", []), "circuit", "unroll_m", "chips")

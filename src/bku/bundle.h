@@ -16,9 +16,49 @@
 #include <vector>
 
 #include "bku/unrolled_key.h"
+#include "common/aligned.h"
+#include "fft/simd_fft.h"
 #include "math/decompose.h"
 
 namespace matcha {
+
+/// Per-sample blind-rotation progress, shared by the sequential and batched
+/// drivers (tfhe/bootstrap.h). `pristine` stays true until the first
+/// external product actually executes, i.e. while ACC is still exactly the
+/// trivial (0, testv * X^{-barb}); that is what licenses the first-group
+/// fast paths (zero a-digit spectra, cached test-vector spectra).
+struct BlindRotateState {
+  int32_t barb = 0;     ///< ModSwitch_{2N}(x.b) for this sample
+  bool pristine = true; ///< no external product has touched ACC yet
+};
+
+/// Spectral cache of the constant gate test vector (the ROADMAP residual
+/// "spectral-domain caching of the rotated test vector"). For the gate
+/// bootstrap, testv is the all-mu polynomial, so the rotated accumulator
+/// b-part testv * X^{-barb} has coefficients +-mu and its gadget digit j
+/// takes one of two values per coefficient: d+ = digit_j(mu) where the sign
+/// survived, d- = digit_j(-mu) where the negacyclic wrap flipped it. With
+/// alpha_j = d+ and beta_j = (d+ - d-)/2 (exact half-integers in double),
+///     DigitPoly_j = d+ * ones + beta_j * ((X^{-barb} - 1) * ones),
+/// so every b-digit spectrum synthesizes pointwise from ONE cached forward
+/// transform F(ones) plus one rot_scale_add per sample -- no per-group digit
+/// FFTs on the pristine step. Only the fused SIMD bundle path consumes this
+/// (the integer lift engine's exactness contract does not admit the
+/// half-integer beta); generic engines still get the zero-a skip.
+struct GateTestvSpectra {
+  bool mu_valid = false; ///< dplus/beta below match `mu`
+  Torus32 mu = 0;
+  std::vector<double> dplus, beta; ///< per digit j in [0, l)
+
+  bool ones_valid = false;    ///< `ones` holds F(all-ones) for this plan
+  AlignedVector<double> ones; ///< re[m] then im[m] of F(ones)
+  AlignedVector<double> rot;  ///< scratch: (X^{-barb} - 1) (*) F(ones)
+};
+
+/// Fill the per-digit constants of `tc` for gate amplitude `mu` (engine
+/// independent; the spectral planes are populated lazily by the fused path).
+void set_gate_testv_digits(GateTestvSpectra& tc, Torus32 mu,
+                           const GadgetParams& g);
 
 /// Subset exponents for one group: out[mask-1] = ModSwitch_{2N}(sum_{i in
 /// mask} a_i), mask in [1, 2^mg). Single rounding per subset.
@@ -61,6 +101,44 @@ bool build_bundle(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
   }
   return true;
 }
+
+/// One bundle-mode blind-rotation group step: ACC <- BKB_g (x) ACC, skipping
+/// the step entirely when every subset exponent is zero (BKB would be the
+/// identity H). This is THE per-sample step -- the sequential and batched
+/// blind rotations both call it, which is what makes them bit-identical at
+/// any batch size and interleaving. Generic engines materialize the bundle
+/// (build_bundle + external_product, with the pristine zero-a skip); the
+/// SimdFftEngine overload below fuses the subset rotations into the
+/// external-product MAC and never materializes the bundle. `tc` may be null;
+/// when set it must describe ACC's initial constant test vector.
+template <class Engine>
+void bundle_rotate_step(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+                        int g, const std::vector<int32_t>& exponents,
+                        TLweSample& acc, TGswSpectral<Engine>& bundle,
+                        ExternalProductWorkspace<Engine>& ws,
+                        BlindRotateState& st, GateTestvSpectra* tc) {
+  (void)tc; // spectral test-vector reuse is a fused-path (SIMD) optimization
+  if (!build_bundle(eng, key, g, exponents, bundle)) return;
+  external_product(eng, key.gadget, bundle, acc, ws, /*a_is_zero=*/st.pristine);
+  st.pristine = false;
+}
+
+/// Fused bundle-MAC group step for the SIMD engine (bku/bundle.cpp): digit
+/// spectra of ACC once, then per active subset the 2l rows run gather-free
+/// dual-column MACs (mac2) into per-subset sub-accumulators and the
+/// rotation factor (X^{-c} - 1), materialized once by rot_factor, rotates
+/// the subset-sum into the accumulator with one further mac2; the gadget
+/// identity H folds into real scale_adds of the digit spectra.
+/// On the pristine step the a-half vanishes (zero_fft_skips) and, when `tc`
+/// carries the constant gate test vector, the b-digit spectra synthesize
+/// from the cached F(ones) instead of running forward FFTs
+/// (testv_fft_reuses).
+void bundle_rotate_step(const SimdFftEngine& eng,
+                        const DeviceBootstrapKey<SimdFftEngine>& key, int g,
+                        const std::vector<int32_t>& exponents, TLweSample& acc,
+                        TGswSpectral<SimdFftEngine>& bundle,
+                        ExternalProductWorkspace<SimdFftEngine>& ws,
+                        BlindRotateState& st, GateTestvSpectra* tc);
 
 /// Allocate a bundle with the right shape for `key` under `eng`.
 template <class Engine>

@@ -269,8 +269,15 @@ class BatchExecutor {
     std::unique_ptr<Engine> engine;
     BootstrapWorkspace<Engine> ws;
     int64_t busy_ns = 0; ///< time inside gate kernels during the last run
-    // Keyswitch-batching scratch: the group's pre-keyswitch N-LWE samples
-    // and the digit workspace the batched flush reuses across tasks.
+    // Bootstrap-batching scratch: the group's linear-combination inputs and
+    // the pointer tables one group-major blind-rotation flush consumes
+    // (combo/mux2 sized 2x for MUX's two branch bootstraps), plus the
+    // pre-keyswitch N-LWE staging and the digit workspace of the batched
+    // keyswitch flush. All grow-only, reused across tasks.
+    std::vector<LweSample> combo;
+    std::vector<LweSample> mux2;
+    std::vector<const LweSample*> bs_in;
+    std::vector<LweSample*> bs_out;
     std::vector<LweSample> stage;
     std::vector<const LweSample*> ks_in;
     std::vector<LweSample*> ks_out;
@@ -289,9 +296,13 @@ class BatchExecutor {
     return std::max(1, std::min(kKsGroupTarget, items / pool_.num_threads()));
   }
 
-  /// Evaluate gate `id` for batch items [b0, b1): per-item bootstraps
-  /// without the key switch into the worker's staging buffers, then one
-  /// batched keyswitch flush into the items' result slots.
+  /// Evaluate gate `id` for batch items [b0, b1): stage every item's
+  /// pre-bootstrap linear combination, run ONE group-major blind-rotation
+  /// flush for the whole group (the spectral bootstrapping key streams from
+  /// DRAM once per group of items instead of once per item; MUX flushes its
+  /// 2x branch bootstraps in the same pass), then one batched keyswitch
+  /// flush into the items' result slots. Per-item math is unchanged, so the
+  /// result is bit-identical to the sequential lowering.
   void eval_gate_group(Worker& w, const GateGraph& g, int id, int b0, int b1,
                        std::vector<BatchResult>& results) {
     const GateNode& n = g.nodes()[static_cast<size_t>(id)];
@@ -306,39 +317,79 @@ class BatchExecutor {
       return;
     }
     const int count = b1 - b0;
-    if (static_cast<int>(w.stage.size()) < count) {
+    const size_t nflush = static_cast<size_t>(
+        n.kind == GateKind::kMux ? 2 * count : count);
+    if (w.stage.size() < static_cast<size_t>(count)) {
       w.stage.resize(static_cast<size_t>(count));
     }
-    for (int b = b0; b < b1; ++b) {
-      const auto& v = results[static_cast<size_t>(b)].values;
-      LweSample& pre = w.stage[static_cast<size_t>(b - b0)];
-      switch (n.kind) {
-        case GateKind::kMux:
-          mux_pre_keyswitch_into(eng, bk_, mu_, v[n.in[0]], v[n.in[1]],
-                                 v[n.in[2]], w.ws, pre, mode_);
-          break;
-        case GateKind::kLut: {
-          // One weighted linear combination + one functional bootstrap,
-          // however many Boolean gates the cone replaced (tfhe/lut.h).
+    if (w.combo.size() < nflush) w.combo.resize(nflush);
+    w.bs_in.resize(nflush);
+    w.bs_out.resize(nflush);
+    switch (n.kind) {
+      case GateKind::kMux: {
+        // Both branch bootstraps of every item ride one flush: slots
+        // [0, count) hold u1 = BS(-mu + sel + c1) into stage, slots
+        // [count, 2*count) hold u2 = BS(-mu - sel + c0) into mux2; the
+        // bootstrap-free combine stage[k] + mux2[k] + (0, mu) follows.
+        if (w.mux2.size() < static_cast<size_t>(count)) {
+          w.mux2.resize(static_cast<size_t>(count));
+        }
+        const LweSample neg =
+            LweSample::trivial(bk_.n_lwe, static_cast<Torus32>(-mu_));
+        for (int k = 0; k < count; ++k) {
+          const auto& v = results[static_cast<size_t>(b0 + k)].values;
+          const LweSample& sel = v[n.in[0]];
+          w.combo[static_cast<size_t>(k)] = neg + sel + v[n.in[1]];
+          LweSample nsel = sel;
+          nsel.negate();
+          w.combo[static_cast<size_t>(count + k)] = neg + nsel + v[n.in[2]];
+          w.bs_out[static_cast<size_t>(k)] = &w.stage[static_cast<size_t>(k)];
+          w.bs_out[static_cast<size_t>(count + k)] =
+              &w.mux2[static_cast<size_t>(k)];
+        }
+        for (size_t k = 0; k < nflush; ++k) w.bs_in[k] = &w.combo[k];
+        bootstrap_wo_keyswitch_batch(eng, bk_, mu_, w.bs_in.data(),
+                                     w.bs_out.data(), static_cast<int>(nflush),
+                                     w.ws, mode_);
+        for (int k = 0; k < count; ++k) {
+          w.stage[static_cast<size_t>(k)] += w.mux2[static_cast<size_t>(k)];
+          w.stage[static_cast<size_t>(k)].b += mu_;
+        }
+        break;
+      }
+      case GateKind::kLut: {
+        // One weighted linear combination + one functional bootstrap per
+        // item, however many Boolean gates the cone replaced (tfhe/lut.h).
+        for (int k = 0; k < count; ++k) {
+          const auto& v = results[static_cast<size_t>(b0 + k)].values;
           std::array<const LweSample*, 4> ins{};
           for (int j = 0; j < n.fan_in(); ++j) {
             ins[static_cast<size_t>(j)] = &v[n.in[j]];
           }
-          const LweSample combo = lut_cone_input(
+          w.combo[static_cast<size_t>(k)] = lut_cone_input(
               n.lut,
               std::span<const LweSample* const>(
                   ins.data(), static_cast<size_t>(n.fan_in())),
               bk_.n_lwe);
-          const TorusPolynomial& tv = *node_testv_[static_cast<size_t>(id)];
-          functional_bootstrap_wo_keyswitch_into(eng, bk_, tv, combo, w.ws,
-                                                 pre, mode_);
-          break;
+          w.bs_in[static_cast<size_t>(k)] = &w.combo[static_cast<size_t>(k)];
+          w.bs_out[static_cast<size_t>(k)] = &w.stage[static_cast<size_t>(k)];
         }
-        default: {
-          LweSample combo =
-              binary_gate_input(n.kind, v[n.in[0]], v[n.in[1]], mu_, bk_.n_lwe);
-          bootstrap_wo_keyswitch_into(eng, bk_, mu_, combo, w.ws, pre, mode_);
+        const TorusPolynomial& tv = *node_testv_[static_cast<size_t>(id)];
+        functional_bootstrap_wo_keyswitch_batch(eng, bk_, tv, w.bs_in.data(),
+                                                w.bs_out.data(), count, w.ws,
+                                                mode_);
+        break;
+      }
+      default: {
+        for (int k = 0; k < count; ++k) {
+          const auto& v = results[static_cast<size_t>(b0 + k)].values;
+          w.combo[static_cast<size_t>(k)] = binary_gate_input(
+              n.kind, v[n.in[0]], v[n.in[1]], mu_, bk_.n_lwe);
+          w.bs_in[static_cast<size_t>(k)] = &w.combo[static_cast<size_t>(k)];
+          w.bs_out[static_cast<size_t>(k)] = &w.stage[static_cast<size_t>(k)];
         }
+        bootstrap_wo_keyswitch_batch(eng, bk_, mu_, w.bs_in.data(),
+                                     w.bs_out.data(), count, w.ws, mode_);
       }
     }
     // Deferred flush: one streaming pass over the keyswitch key serves the

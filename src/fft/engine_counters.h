@@ -27,6 +27,12 @@ struct EngineCounters {
   int64_t bitrev_swaps = 0; ///< breadth-first flow only
   int64_t lift_steps = 0;   ///< integer engine: executed lifting steps
   int64_t adds = 0;         ///< integer engine: butterfly additions
+  // Blind-rotation fast paths (counts only, no timers -- the skipped work
+  // never ran, so it must not perturb the "other = wall - ifft - fft"
+  // breakdown contract above).
+  int64_t zero_fft_skips = 0;   ///< forward FFTs elided: acc.a was exactly 0
+  int64_t testv_fft_reuses = 0; ///< forward FFTs replaced by cached-spectrum
+                                ///< synthesis of the constant test vector
 
   void reset() { *this = {}; }
 
@@ -41,6 +47,8 @@ struct EngineCounters {
     bitrev_swaps += o.bitrev_swaps;
     lift_steps += o.lift_steps;
     adds += o.adds;
+    zero_fft_skips += o.zero_fft_skips;
+    testv_fft_reuses += o.testv_fft_reuses;
     return *this;
   }
 
@@ -50,7 +58,8 @@ struct EngineCounters {
     return to_spectral_calls == o.to_spectral_calls &&
            from_spectral_calls == o.from_spectral_calls &&
            bitrev_swaps == o.bitrev_swaps && lift_steps == o.lift_steps &&
-           adds == o.adds;
+           adds == o.adds && zero_fft_skips == o.zero_fft_skips &&
+           testv_fft_reuses == o.testv_fft_reuses;
   }
 };
 

@@ -55,7 +55,12 @@ struct Scalar {
   static vd fmadd(vd a, vd b, vd c) { return a * b + c; }
   static vd fmsub(vd a, vd b, vd c) { return a * b - c; }
   static vd load_i32(const int32_t* p) { return static_cast<double>(*p); }
-  static vd round_away(vd x) { return std::trunc(x + std::copysign(0.5, x)); }
+  static vd round_away(vd x) {
+    // trunc via the toward-zero int64 conversion (one cvttsd2si): identical
+    // to std::trunc for the contract's |x| < 2^52, without the libm call
+    // that otherwise dominates the inverse transform's fused last stage.
+    return static_cast<double>(static_cast<int64_t>(x + std::copysign(0.5, x)));
+  }
   static void store_torus(uint32_t* p, vd x) {
     // int64 -> uint32 narrows mod 2^32, realizing the torus wrap. |x| stays
     // below 2^52 (DESIGN.md scaling bound) so the conversion is exact.

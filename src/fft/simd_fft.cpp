@@ -95,34 +95,47 @@ void SimdFftEngine::inverse_raw(const double* re, const double* im,
 
 void external_product(const SimdFftEngine& eng, const GadgetParams& g,
                       const TGswSpectral<SimdFftEngine>& tgsw, TLweSample& acc,
-                      ExternalProductWorkspace<SimdFftEngine>& ws) {
+                      ExternalProductWorkspace<SimdFftEngine>& ws,
+                      bool a_is_zero) {
   const int l = g.l;
   const int rows = 2 * l;
   const int m = eng.spectral_size();
   assert(ws.l == l && ws.n == eng.ring_n() && ws.m == m);
   assert(tgsw.rows_count() == rows);
   assert(acc.a.size() == eng.ring_n() && acc.b.size() == eng.ring_n());
+#ifndef NDEBUG
+  if (a_is_zero) {
+    for (const Torus32 cc : acc.a.coeffs) assert(cc == 0);
+  }
+#endif
+  const int r0 = a_is_zero ? l : 0;
 
   // Vectorized gadget decomposition straight into the contiguous digit
-  // arena: a's digits occupy planes [0, l), b's planes [l, 2l).
+  // arena: a's digits occupy planes [0, l), b's planes [l, 2l). A zero
+  // acc.a decomposes to all-zero digits, so its planes, transforms, and
+  // MACs are skipped outright (EngineCounters::zero_fft_skips).
   int32_t* planes[64]; // l * bg_bits <= 32 bounds l (and 2l) well below this
   assert(rows <= 64);
   for (int r = 0; r < rows; ++r) planes[r] = ws.digit_plane(r);
   const SpectralKernels& k = eng.kernels();
-  k.decompose(l, g.bg_bits, g.rounding_offset(), eng.ring_n(),
-              acc.a.coeffs.data(), planes);
+  if (!a_is_zero) {
+    k.decompose(l, g.bg_bits, g.rounding_offset(), eng.ring_n(),
+                acc.a.coeffs.data(), planes);
+  } else {
+    eng.counters().zero_fft_skips += l;
+  }
   k.decompose(l, g.bg_bits, g.rounding_offset(), eng.ring_n(),
               acc.b.coeffs.data(), planes + l);
 
-  // All 2l digit forward FFTs back-to-back through the one workspace.
-  for (int r = 0; r < rows; ++r) {
+  // The live digit forward FFTs back-to-back through the one workspace.
+  for (int r = r0; r < rows; ++r) {
     eng.forward_raw(ws.digit_plane(r), ws.spec_re(r), ws.spec_im(r));
   }
 
   // Spectral-form accumulation across rows.
   ws.acc_a.clear();
   ws.acc_b.clear();
-  for (int r = 0; r < rows; ++r) {
+  for (int r = r0; r < rows; ++r) {
     k.mac(m, ws.spec_re(r), ws.spec_im(r), tgsw.rows[r][0].re.data(),
           tgsw.rows[r][0].im.data(), ws.acc_a.re.data(), ws.acc_a.im.data());
     k.mac(m, ws.spec_re(r), ws.spec_im(r), tgsw.rows[r][1].re.data(),

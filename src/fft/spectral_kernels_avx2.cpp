@@ -56,6 +56,36 @@ void rot_scale_add_avx2(const NegacyclicPlan& plan, double* dr, double* di,
   }
 }
 
+/// Rotation-factor materialization for the fused bundle path: the gathers of
+/// rot_scale_add, run once per active key subset; the mac2 hot loop then
+/// touches only contiguous streams.
+void rot_factor_avx2(const NegacyclicPlan& plan, double* fr, double* fi,
+                     int64_t c) {
+  const int64_t two_n = 2 * static_cast<int64_t>(plan.n);
+  const uint32_t mask = static_cast<uint32_t>(two_n - 1);
+  const uint32_t cm = static_cast<uint32_t>((c % two_n) + two_n) & mask;
+  const __m128i vcm = _mm_set1_epi32(static_cast<int32_t>(cm));
+  const __m128i vmask = _mm_set1_epi32(static_cast<int32_t>(mask));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d gsrc = _mm256_setzero_pd();
+  const __m256d gall = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  int k = 0;
+  for (; k + 4 <= plan.m; k += 4) {
+    const __m128i ft = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(plan.ft1.data() + k));
+    const __m128i idx = _mm_and_si128(_mm_mullo_epi32(ft, vcm), vmask);
+    _mm256_storeu_pd(fr + k, _mm256_sub_pd(
+        _mm256_mask_i32gather_pd(gsrc, plan.rot_re.data(), idx, gall, 8), one));
+    _mm256_storeu_pd(fi + k,
+        _mm256_mask_i32gather_pd(gsrc, plan.rot_im.data(), idx, gall, 8));
+  }
+  for (; k < plan.m; ++k) {
+    const uint32_t idx = (static_cast<uint32_t>(plan.ft1[k]) * cm) & mask;
+    fr[k] = plan.rot_re[idx] - 1.0;
+    fi[k] = plan.rot_im[idx];
+  }
+}
+
 /// 8-lane gadget decomposition: add offset, shift, mask, recenter.
 void decompose_avx2(int l, int bg_bits, uint32_t offset, int n,
                     const uint32_t* p, int32_t* const* digits) {
@@ -127,6 +157,10 @@ const SpectralKernels kAvx2Kernels = {
     &detail::PlanarKernels<simd::Avx2>::mac,
     &rot_scale_add_avx2,
     &detail::PlanarKernels<simd::Avx2>::add_assign,
+    &detail::PlanarKernels<simd::Avx2>::scale_add,
+    &rot_factor_avx2,
+    &detail::PlanarKernels<simd::Avx2>::mac2,
+    &detail::PlanarKernels<simd::Avx2>::mac2_rows,
     &decompose_avx2,
     &detail::u32_sub<simd::Avx2>,
     &detail::ks_digits<simd::Avx2>,

@@ -54,6 +54,33 @@ void rot_scale_add_avx512(const NegacyclicPlan& plan, double* dr, double* di,
   }
 }
 
+/// Rotation-factor materialization for the fused bundle path, 8 slots per
+/// iteration: run once per active key subset, so the vgatherdpd table loads
+/// never appear in the mac2 hot loop.
+void rot_factor_avx512(const NegacyclicPlan& plan, double* fr, double* fi,
+                       int64_t c) {
+  const int64_t two_n = 2 * static_cast<int64_t>(plan.n);
+  const uint32_t mask = static_cast<uint32_t>(two_n - 1);
+  const uint32_t cm = static_cast<uint32_t>((c % two_n) + two_n) & mask;
+  const __m256i vcm = _mm256_set1_epi32(static_cast<int32_t>(cm));
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int32_t>(mask));
+  const __m512d one = _mm512_set1_pd(1.0);
+  int k = 0;
+  for (; k + 8 <= plan.m; k += 8) {
+    const __m256i ft = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(plan.ft1.data() + k));
+    const __m256i idx = _mm256_and_si256(_mm256_mullo_epi32(ft, vcm), vmask);
+    _mm512_storeu_pd(fr + k, _mm512_sub_pd(
+        _mm512_i32gather_pd(idx, plan.rot_re.data(), 8), one));
+    _mm512_storeu_pd(fi + k, _mm512_i32gather_pd(idx, plan.rot_im.data(), 8));
+  }
+  for (; k < plan.m; ++k) {
+    const uint32_t idx = (static_cast<uint32_t>(plan.ft1[k]) * cm) & mask;
+    fr[k] = plan.rot_re[idx] - 1.0;
+    fi[k] = plan.rot_im[idx];
+  }
+}
+
 /// 16-lane gadget decomposition: add offset, shift, mask, recenter.
 void decompose_avx512(int l, int bg_bits, uint32_t offset, int n,
                       const uint32_t* p, int32_t* const* digits) {
@@ -129,6 +156,10 @@ const SpectralKernels kAvx512Kernels = {
     &detail::PlanarKernels<simd::Avx512>::mac,
     &rot_scale_add_avx512,
     &detail::PlanarKernels<simd::Avx512>::add_assign,
+    &detail::PlanarKernels<simd::Avx512>::scale_add,
+    &rot_factor_avx512,
+    &detail::PlanarKernels<simd::Avx512>::mac2,
+    &detail::PlanarKernels<simd::Avx512>::mac2_rows,
     &decompose_avx512,
     &detail::u32_sub<simd::Avx512>,
     &detail::ks_digits<simd::Avx512>,

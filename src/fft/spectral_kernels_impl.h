@@ -22,8 +22,8 @@ namespace matcha::detail {
 /// Radix-4 DIF butterfly (forward, sign +1) at slot `base + j`, twiddles
 /// from `st`. In-place on re/im.
 template <class P>
-inline void dif_butterfly(const PlanStage& st, double* re, double* im,
-                          int base, int j) {
+inline void dif_butterfly(const PlanStage& st, double* __restrict re,
+                          double* __restrict im, int base, int j) {
   using v = typename P::vd;
   const int q = st.q;
   double* r0 = re + base + j;
@@ -60,8 +60,10 @@ inline void dif_butterfly(const PlanStage& st, double* re, double* im,
 /// input loads, z[t] = (in[t] + i*in[t+m]) * twist[t].
 template <class P>
 inline void dif_butterfly_twist(const NegacyclicPlan& plan,
-                                const PlanStage& st, const int32_t* in,
-                                double* re, double* im, int j) {
+                                const PlanStage& st,
+                                const int32_t* __restrict in,
+                                double* __restrict re, double* __restrict im,
+                                int j) {
   using v = typename P::vd;
   const int q = st.q;
   const int m = plan.m;
@@ -146,8 +148,10 @@ inline void dit_butterfly(const PlanStage& st, const double* inr,
 /// wrapped Torus32 coefficients out[t] (real) / out[t+m] (imag).
 template <class P>
 inline void dit_last_butterfly(const NegacyclicPlan& plan,
-                               const PlanStage& st, const double* inr,
-                               const double* ini, uint32_t* out, int j) {
+                               const PlanStage& st,
+                               const double* __restrict inr,
+                               const double* __restrict ini,
+                               uint32_t* __restrict out, int j) {
   using v = typename P::vd;
   const int q = st.q;
   const int m = plan.m;
@@ -188,11 +192,18 @@ inline void dit_last_butterfly(const NegacyclicPlan& plan,
 
 template <class V>
 struct PlanarKernels {
-  static void forward(const NegacyclicPlan& plan, const int32_t* in,
-                      double* re, double* im) {
+  // The #pragma GCC ivdep below assert what the butterfly index algebra
+  // guarantees: iterations j != j' (both < q) touch disjoint slots of every
+  // stream, so the loops carry no dependence. With them (plus the
+  // __restrict butterfly parameters) the simd::Scalar instantiation
+  // auto-vectorizes to the baseline ISA; without them the alias-versioning
+  // budget overflows and the scalar tier stays serial.
+  static void forward(const NegacyclicPlan& plan, const int32_t* __restrict in,
+                      double* __restrict re, double* __restrict im) {
     const int m = plan.m;
     const PlanStage& st0 = plan.fwd.front();
     int j = 0;
+#pragma GCC ivdep
     for (; j + V::W <= st0.q; j += V::W) {
       dif_butterfly_twist<V>(plan, st0, in, re, im, j);
     }
@@ -203,6 +214,7 @@ struct PlanarKernels {
       const PlanStage& st = plan.fwd[s];
       for (int base = 0; base < m; base += st.size) {
         int k = 0;
+#pragma GCC ivdep
         for (; k + V::W <= st.q; k += V::W) dif_butterfly<V>(st, re, im, base, k);
         for (; k < st.q; ++k) dif_butterfly<simd::Scalar>(st, re, im, base, k);
       }
@@ -229,6 +241,9 @@ struct PlanarKernels {
       const PlanStage& st = plan.inv[s];
       for (int base = 0; base < m; base += st.size) {
         int k = 0;
+        // Same disjoint-slot argument as forward (dit_butterfly keeps plain
+        // pointers because the middle stages run it in-place, cr == wre).
+#pragma GCC ivdep
         for (; k + V::W <= st.q; k += V::W) {
           dit_butterfly<V>(st, cr, ci, wre, wim, base, k);
         }
@@ -241,6 +256,7 @@ struct PlanarKernels {
     }
     const PlanStage& last = plan.inv.back();
     int j = 0;
+#pragma GCC ivdep
     for (; j + V::W <= last.q; j += V::W) {
       dit_last_butterfly<V>(plan, last, cr, ci, out, j);
     }
@@ -279,6 +295,184 @@ struct PlanarKernels {
       di[k] += si[k];
     }
   }
+
+  static void scale_add(int m, double* dr, double* di, const double* sr,
+                        const double* si, double c) {
+    using v = typename V::vd;
+    const v vc = V::set1(c);
+    int k = 0;
+    for (; k + V::W <= m; k += V::W) {
+      V::store(dr + k, V::fmadd(vc, V::load(sr + k), V::load(dr + k)));
+      V::store(di + k, V::fmadd(vc, V::load(si + k), V::load(di + k)));
+    }
+    for (; k < m; ++k) {
+      dr[k] += c * sr[k];
+      di[k] += c * si[k];
+    }
+  }
+
+  /// Fused bundle-MAC hot loop: the shared left operand s is loaded once per
+  /// slot and multiply-accumulated against both column streams. Ten
+  /// contiguous streams, zero gathers. The streams are distinct
+  /// workspace/key planes by contract; __restrict states that, because with
+  /// ten pointers the compiler's runtime alias-versioning budget overflows
+  /// and the scalar instantiation would otherwise never auto-vectorize.
+  static void mac2(int m, const double* __restrict sr,
+                   const double* __restrict si, const double* __restrict b0r,
+                   const double* __restrict b0i, const double* __restrict b1r,
+                   const double* __restrict b1i, double* __restrict a0r,
+                   double* __restrict a0i, double* __restrict a1r,
+                   double* __restrict a1i) {
+    using v = typename V::vd;
+    int k = 0;
+    for (; k + V::W <= m; k += V::W) {
+      const v xr = V::load(sr + k), xi = V::load(si + k);
+      const v c0r = V::load(b0r + k), c0i = V::load(b0i + k);
+      const v r0 = V::fmsub(xr, c0r, V::mul(xi, c0i));
+      const v i0 = V::fmadd(xr, c0i, V::mul(xi, c0r));
+      V::store(a0r + k, V::add(V::load(a0r + k), r0));
+      V::store(a0i + k, V::add(V::load(a0i + k), i0));
+      const v c1r = V::load(b1r + k), c1i = V::load(b1i + k);
+      const v r1 = V::fmsub(xr, c1r, V::mul(xi, c1i));
+      const v i1 = V::fmadd(xr, c1i, V::mul(xi, c1r));
+      V::store(a1r + k, V::add(V::load(a1r + k), r1));
+      V::store(a1i + k, V::add(V::load(a1i + k), i1));
+    }
+    for (; k < m; ++k) {
+      a0r[k] += sr[k] * b0r[k] - si[k] * b0i[k];
+      a0i[k] += sr[k] * b0i[k] + si[k] * b0r[k];
+      a1r[k] += sr[k] * b1r[k] - si[k] * b1i[k];
+      a1i[k] += sr[k] * b1i[k] + si[k] * b1r[k];
+    }
+  }
+
+  /// mac2_rows body for a compile-time chunk of RC <= 3 rows: the row loop
+  /// fully unrolls, so the k-loop body is straight-line -- the scalar policy
+  /// then auto-vectorizes it like any other planar kernel, and the wide
+  /// policies get a branch-free schedule the out-of-order core overlaps
+  /// across k iterations (a runtime-trip inner row loop defeats both). RC is
+  /// capped at 3 because each row pins two base pointers (spec row + key
+  /// row); with the four output pointers, larger chunks exceed the x86-64
+  /// GP register file and the compiler reloads every address from the stack
+  /// inside the hot loop. ACC selects set (first chunk) vs accumulate
+  /// (subsequent chunks) semantics; the accumulate form loads the prior sum
+  /// first, so the per-slot addition order across chunks matches one long
+  /// row chain exactly.
+  template <int M, int RC, bool ACC>
+  static void mac2_rows_block(int m_rt, const double* __restrict spec,
+                              const double* __restrict key,
+                              double* __restrict a0r, double* __restrict a0i,
+                              double* __restrict a1r, double* __restrict a1i) {
+    static_assert(RC >= 1 && RC <= 3, "chunk size bounded by GP registers");
+    // M > 0 pins the spectral size at compile time (the dispatcher covers
+    // the common ring sizes): every intra-row plane offset then becomes a
+    // constant displacement off the row's ONE base register instead of a
+    // separately-materialized pointer per plane -- 18 live pointers drop to
+    // 10 and the compiler stops reloading addresses from the stack in the
+    // hot loop. M == 0 is the any-size fallback with runtime offsets.
+    const int m = M > 0 ? M : m_rt;
+    using v = typename V::vd;
+    const size_t ss = 2 * static_cast<size_t>(m); // spec row stride
+    const size_t ks = 4 * static_cast<size_t>(m); // key row stride
+    int k = 0;
+    for (; k + V::W <= m; k += V::W) {
+      v A0r, A0i, A1r, A1i;
+      if (ACC) {
+        A0r = V::load(a0r + k);
+        A0i = V::load(a0i + k);
+        A1r = V::load(a1r + k);
+        A1i = V::load(a1i + k);
+      }
+#pragma GCC unroll 3
+      for (int r = 0; r < RC; ++r) {
+        const double* s = spec + static_cast<size_t>(r) * ss + k;
+        const double* kb = key + static_cast<size_t>(r) * ks + k;
+        const v xr = V::load(s), xi = V::load(s + m);
+        const v c0r = V::load(kb), c0i = V::load(kb + m);
+        const v c1r = V::load(kb + 2 * m), c1i = V::load(kb + 3 * m);
+        const v r0v = V::fmsub(xr, c0r, V::mul(xi, c0i));
+        const v i0v = V::fmadd(xr, c0i, V::mul(xi, c0r));
+        const v r1v = V::fmsub(xr, c1r, V::mul(xi, c1i));
+        const v i1v = V::fmadd(xr, c1i, V::mul(xi, c1r));
+        A0r = (!ACC && r == 0) ? r0v : V::add(A0r, r0v);
+        A0i = (!ACC && r == 0) ? i0v : V::add(A0i, i0v);
+        A1r = (!ACC && r == 0) ? r1v : V::add(A1r, r1v);
+        A1i = (!ACC && r == 0) ? i1v : V::add(A1i, i1v);
+      }
+      V::store(a0r + k, A0r);
+      V::store(a0i + k, A0i);
+      V::store(a1r + k, A1r);
+      V::store(a1i + k, A1i);
+    }
+    for (; k < m; ++k) {
+      double x0r = ACC ? a0r[k] : 0.0, x0i = ACC ? a0i[k] : 0.0;
+      double x1r = ACC ? a1r[k] : 0.0, x1i = ACC ? a1i[k] : 0.0;
+      for (int r = 0; r < RC; ++r) {
+        const double* s = spec + static_cast<size_t>(r) * ss + k;
+        const double* kb = key + static_cast<size_t>(r) * ks + k;
+        x0r += s[0] * kb[0] - s[m] * kb[m];
+        x0i += s[0] * kb[m] + s[m] * kb[0];
+        x1r += s[0] * kb[2 * m] - s[m] * kb[3 * m];
+        x1i += s[0] * kb[3 * m] + s[m] * kb[2 * m];
+      }
+      a0r[k] = x0r;
+      a0i[k] = x0i;
+      a1r[k] = x1r;
+      a1i[k] = x1i;
+    }
+  }
+
+  template <int M, bool ACC>
+  static void mac2_rows_chunk(int m, int rc, const double* spec,
+                              const double* key, double* a0r, double* a0i,
+                              double* a1r, double* a1i) {
+    switch (rc) {
+      case 3:
+        return mac2_rows_block<M, 3, ACC>(m, spec, key, a0r, a0i, a1r, a1i);
+      case 2:
+        return mac2_rows_block<M, 2, ACC>(m, spec, key, a0r, a0i, a1r, a1i);
+      default:
+        return mac2_rows_block<M, 1, ACC>(m, spec, key, a0r, a0i, a1r, a1i);
+    }
+  }
+
+  template <int M>
+  static void mac2_rows_m(int m, int r0, int rows, const double* spec,
+                          const double* key, double* a0r, double* a0i,
+                          double* a1r, double* a1i) {
+    const double* s = spec + static_cast<size_t>(r0) * 2 * m;
+    const double* kb = key + static_cast<size_t>(r0) * 4 * m;
+    int left = rows - r0;
+    int prev = left > 3 ? 3 : left;
+    mac2_rows_chunk<M, false>(m, prev, s, kb, a0r, a0i, a1r, a1i);
+    left -= prev;
+    while (left > 0) {
+      s += static_cast<size_t>(prev) * 2 * m; // advance past the prior chunk
+      kb += static_cast<size_t>(prev) * 4 * m;
+      const int rc = left > 3 ? 3 : left;
+      mac2_rows_chunk<M, true>(m, rc, s, kb, a0r, a0i, a1r, a1i);
+      left -= rc;
+      prev = rc;
+    }
+  }
+
+  static void mac2_rows(int m, int r0, int rows, const double* spec,
+                        const double* key, double* a0r, double* a0i,
+                        double* a1r, double* a1i) {
+    // Specialize the common spectral sizes (N = 256/1024/2048 rings) so the
+    // block bodies see a compile-time m; anything else takes the generic
+    // runtime-m path.
+    switch (m) {
+      case 128:
+        return mac2_rows_m<128>(m, r0, rows, spec, key, a0r, a0i, a1r, a1i);
+      case 512:
+        return mac2_rows_m<512>(m, r0, rows, spec, key, a0r, a0i, a1r, a1i);
+      case 1024:
+        return mac2_rows_m<1024>(m, r0, rows, spec, key, a0r, a0i, a1r, a1i);
+      default:
+        return mac2_rows_m<0>(m, r0, rows, spec, key, a0r, a0i, a1r, a1i);
+    }
+  }
 };
 
 /// Portable rot_scale_add: per slot, two table lookups replace the serial
@@ -296,6 +490,25 @@ inline void generic_rot_scale_add(const NegacyclicPlan& plan, double* dr,
     const double fi = plan.rot_im[idx];
     dr[k] += fr * sr[k] - fi * si[k];
     di[k] += fr * si[k] + fi * sr[k];
+  }
+}
+
+/// Portable rotation-factor materialization: fr/fi receive the pointwise
+/// X^{-c} - 1 factor in storage order (same ft1 gathers as rot_scale_add).
+/// The fused bundle path calls this once per active key subset, hoisting
+/// the table gathers out of the mac2 hot loop -- the factor is
+/// identical for all 2l decomposition rows of a subset.
+inline void generic_rot_factor(const NegacyclicPlan& plan,
+                               double* __restrict fr, double* __restrict fi,
+                               int64_t c) {
+  const int64_t two_n = 2 * static_cast<int64_t>(plan.n);
+  const uint32_t mask = static_cast<uint32_t>(two_n - 1);
+  const uint32_t cm = static_cast<uint32_t>((c % two_n) + two_n) & mask;
+  for (int k = 0; k < plan.m; ++k) {
+    const uint32_t idx =
+        (static_cast<uint32_t>(plan.ft1[k]) * cm) & mask;
+    fr[k] = plan.rot_re[idx] - 1.0;
+    fi[k] = plan.rot_im[idx];
   }
 }
 

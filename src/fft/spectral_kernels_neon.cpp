@@ -46,6 +46,12 @@ const SpectralKernels kNeonKernels = {
     &detail::PlanarKernels<simd::Neon>::mac,
     &detail::generic_rot_scale_add,
     &detail::PlanarKernels<simd::Neon>::add_assign,
+    &detail::PlanarKernels<simd::Neon>::scale_add,
+    // No FP gather on aarch64; the portable rotation-factor loop runs once
+    // per subset and the gather-free mac2 hot loop vectorizes fine.
+    &detail::generic_rot_factor,
+    &detail::PlanarKernels<simd::Neon>::mac2,
+    &detail::PlanarKernels<simd::Neon>::mac2_rows,
     &decompose_neon,
     &detail::u32_sub<simd::Neon>,
     &detail::ks_digits<simd::Neon>,

@@ -46,6 +46,48 @@ template void blind_rotate<SimdFftEngine>(const SimdFftEngine&,
                                           const LweSample&, const TorusPolynomial&,
                                           BootstrapWorkspace<SimdFftEngine>&,
                                           BlindRotateMode);
+
+template void blind_rotate_batch<DoubleFftEngine>(
+    const DoubleFftEngine&, const DeviceBootstrapKey<DoubleFftEngine>&,
+    const LweSample* const*, int, const TorusPolynomial&,
+    BootstrapWorkspace<DoubleFftEngine>&, BlindRotateMode);
+template void blind_rotate_batch<LiftFftEngine>(
+    const LiftFftEngine&, const DeviceBootstrapKey<LiftFftEngine>&,
+    const LweSample* const*, int, const TorusPolynomial&,
+    BootstrapWorkspace<LiftFftEngine>&, BlindRotateMode);
+template void blind_rotate_batch<SimdFftEngine>(
+    const SimdFftEngine&, const DeviceBootstrapKey<SimdFftEngine>&,
+    const LweSample* const*, int, const TorusPolynomial&,
+    BootstrapWorkspace<SimdFftEngine>&, BlindRotateMode);
+
+template void bootstrap_wo_keyswitch_batch<DoubleFftEngine>(
+    const DoubleFftEngine&, const DeviceBootstrapKey<DoubleFftEngine>&,
+    Torus32, const LweSample* const*, LweSample* const*, int,
+    BootstrapWorkspace<DoubleFftEngine>&, BlindRotateMode);
+template void bootstrap_wo_keyswitch_batch<LiftFftEngine>(
+    const LiftFftEngine&, const DeviceBootstrapKey<LiftFftEngine>&, Torus32,
+    const LweSample* const*, LweSample* const*, int,
+    BootstrapWorkspace<LiftFftEngine>&, BlindRotateMode);
+template void bootstrap_wo_keyswitch_batch<SimdFftEngine>(
+    const SimdFftEngine&, const DeviceBootstrapKey<SimdFftEngine>&, Torus32,
+    const LweSample* const*, LweSample* const*, int,
+    BootstrapWorkspace<SimdFftEngine>&, BlindRotateMode);
+
+template void bootstrap_batch<DoubleFftEngine>(
+    const DoubleFftEngine&, const DeviceBootstrapKey<DoubleFftEngine>&,
+    const KeySwitchKey&, Torus32, const LweSample* const*, LweSample* const*,
+    int, BootstrapWorkspace<DoubleFftEngine>&, KeySwitchWorkspace&,
+    BlindRotateMode);
+template void bootstrap_batch<LiftFftEngine>(
+    const LiftFftEngine&, const DeviceBootstrapKey<LiftFftEngine>&,
+    const KeySwitchKey&, Torus32, const LweSample* const*, LweSample* const*,
+    int, BootstrapWorkspace<LiftFftEngine>&, KeySwitchWorkspace&,
+    BlindRotateMode);
+template void bootstrap_batch<SimdFftEngine>(
+    const SimdFftEngine&, const DeviceBootstrapKey<SimdFftEngine>&,
+    const KeySwitchKey&, Torus32, const LweSample* const*, LweSample* const*,
+    int, BootstrapWorkspace<SimdFftEngine>&, KeySwitchWorkspace&,
+    BlindRotateMode);
 template LweSample bootstrap_wo_keyswitch<SimdFftEngine>(
     const SimdFftEngine&, const DeviceBootstrapKey<SimdFftEngine>&, Torus32,
     const LweSample&, BootstrapWorkspace<SimdFftEngine>&, BlindRotateMode);

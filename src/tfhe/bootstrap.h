@@ -29,6 +29,26 @@ struct BootstrapWorkspace {
   LweSample extracted; ///< N-LWE scratch between sample extract and keyswitch
   LweSample extracted2; ///< second N-LWE scratch (MUX's second branch)
 
+  // Gate test-vector caching. `testv` is workspace-owned: the gate bootstrap
+  // fills it with the amplitude mu only when mu changed since the last fill
+  // (testv_mu keys the fill), and testv_spec carries the matching
+  // spectral-synthesis constants for the fused bundle path. Callers must not
+  // scribble on ws.testv directly -- pass their own polynomial (the
+  // functional-bootstrap path) instead.
+  bool testv_mu_valid = false;
+  Torus32 testv_mu = 0;
+  GateTestvSpectra testv_spec;
+
+  // Batched-blind-rotation arena (grow-only, so steady-state batches are
+  // allocation-free): per-sample accumulators and rotation states, plus the
+  // extract staging and keyswitch pointer tables bootstrap_batch flushes
+  // through.
+  std::vector<TLweSample> batch_acc;
+  std::vector<BlindRotateState> batch_st;
+  std::vector<LweSample> batch_u;
+  std::vector<const LweSample*> batch_ks_in;
+  std::vector<LweSample*> batch_ks_out;
+
   BootstrapWorkspace(const Engine& eng, const GadgetParams& g)
       : ep(eng, g),
         bundle(make_bundle_storage(eng, g)),
@@ -36,7 +56,71 @@ struct BootstrapWorkspace {
         tmp(eng.ring_n()),
         testv(eng.ring_n()),
         testv_rot(eng.ring_n()) {}
+
+  void ensure_batch(int n_ring, int batch) {
+    if (static_cast<int>(batch_acc.size()) < batch) {
+      batch_acc.resize(static_cast<size_t>(batch), TLweSample(n_ring));
+    }
+    if (static_cast<int>(batch_st.size()) < batch) {
+      batch_st.resize(static_cast<size_t>(batch));
+    }
+  }
 };
+
+/// Refill ws.testv with the constant gate test vector only when `mu` changed
+/// since the last fill, and keep the fused path's spectral constants in sync.
+template <class Engine>
+void set_gate_testv(BootstrapWorkspace<Engine>& ws, Torus32 mu,
+                    const GadgetParams& gadget) {
+  if (ws.testv_mu_valid && ws.testv_mu == mu) return;
+  for (auto& c : ws.testv.coeffs) c = mu;
+  ws.testv_mu = mu;
+  ws.testv_mu_valid = true;
+  set_gate_testv_digits(ws.testv_spec, mu, gadget);
+}
+
+/// ACC = (0, testv * X^{-barb}); resets the per-sample rotation state.
+template <class Engine>
+void blind_rotate_init(const Engine& eng, const LweSample& x,
+                       const TorusPolynomial& testv,
+                       TorusPolynomial& testv_rot, TLweSample& acc,
+                       BlindRotateState& st) {
+  const int n_ring = eng.ring_n();
+  st.barb = mod_switch_to_2n(x.b, n_ring);
+  st.pristine = true;
+  multiply_by_xpower(testv_rot, testv, 2 * n_ring - st.barb);
+  acc.a.clear();
+  acc.b = testv_rot;
+}
+
+/// One classic-CMux step: tmp = (X^{barai} - 1) * ACC; ACC += BK_i (x) tmp.
+/// Shared by the sequential and batched drivers (callers skip barai == 0).
+template <class Engine>
+void classic_rotate_step(const Engine& eng,
+                         const DeviceBootstrapKey<Engine>& key, int i,
+                         int barai, TLweSample& acc,
+                         BootstrapWorkspace<Engine>& ws, BlindRotateState& st) {
+  multiply_by_xpower_minus_one(ws.tmp.a, acc.a, barai);
+  multiply_by_xpower_minus_one(ws.tmp.b, acc.b, barai);
+  // On the first active step acc.a == 0, so tmp.a = (X^c - 1) * 0 == 0 and
+  // the external product's a-half is skipped.
+  external_product(eng, key.gadget, key.groups[i][0], ws.tmp, ws.ep,
+                   /*a_is_zero=*/st.pristine);
+  acc += ws.tmp;
+  st.pristine = false;
+}
+
+/// The fused-path test-vector cache, iff the rotation starts from the
+/// workspace's own constant gate test vector (and the cached constants
+/// agree with its last fill).
+template <class Engine>
+GateTestvSpectra* gate_testv_cache(BootstrapWorkspace<Engine>& ws,
+                                   const TorusPolynomial& testv) {
+  const bool usable = &testv == &ws.testv && ws.testv_mu_valid &&
+                      ws.testv_spec.mu_valid &&
+                      ws.testv_spec.mu == ws.testv_mu;
+  return usable ? &ws.testv_spec : nullptr;
+}
 
 /// ACC <- X^{-b + sum a_i s_i} * (0, testv), evaluated homomorphically.
 template <class Engine>
@@ -45,11 +129,8 @@ void blind_rotate(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
                   BootstrapWorkspace<Engine>& ws,
                   BlindRotateMode mode = BlindRotateMode::kBundle) {
   const int n_ring = eng.ring_n();
-  const int barb = mod_switch_to_2n(x.b, n_ring);
-  // ACC = (0, testv * X^{-barb}).
-  multiply_by_xpower(ws.testv_rot, testv, 2 * n_ring - barb);
-  ws.acc.a.clear();
-  ws.acc.b = ws.testv_rot;
+  BlindRotateState st;
+  blind_rotate_init(eng, x, testv, ws.testv_rot, ws.acc, st);
 
   if (mode == BlindRotateMode::kClassicCMux) {
     // The TFHE library's loop; identical math to a 1-wide bundle but keeps
@@ -57,21 +138,69 @@ void blind_rotate(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
     for (int i = 0; i < key.n_lwe; ++i) {
       const int barai = mod_switch_to_2n(x.a[i], n_ring);
       if (barai == 0) continue;
-      // tmp = (X^{barai} - 1) * ACC; ACC += BK_i (x) tmp.
-      multiply_by_xpower_minus_one(ws.tmp.a, ws.acc.a, barai);
-      multiply_by_xpower_minus_one(ws.tmp.b, ws.acc.b, barai);
-      external_product(eng, key.gadget, key.groups[i][0], ws.tmp, ws.ep);
-      ws.acc += ws.tmp;
+      classic_rotate_step(eng, key, i, barai, ws.acc, ws, st);
     }
     return;
   }
 
+  GateTestvSpectra* tc = gate_testv_cache(ws, testv);
   for (int g = 0; g < key.num_groups(); ++g) {
     const int mg = key.members(g);
     group_subset_exponents(x.a.data() + g * key.unroll_m, mg, n_ring,
                            ws.exponents);
-    if (!build_bundle(eng, key, g, ws.exponents, ws.bundle)) continue;
-    external_product(eng, key.gadget, ws.bundle, ws.acc, ws.ep);
+    bundle_rotate_step(eng, key, g, ws.exponents, ws.acc, ws.bundle, ws.ep,
+                       st, tc);
+  }
+}
+
+/// Batched blind rotation, group-major: the outer loop walks the n/m key
+/// groups, the inner loop walks samples, so each group's spectral TGSW
+/// members stream from DRAM once per batch and stay cache-hot for all B
+/// bundle steps -- the key_switch_batch amortization applied to the
+/// bootstrapping key. Per-sample accumulators land in ws.batch_acc[0..B).
+/// Bit-identity contract: sample b runs exactly the same step sequence
+/// (blind_rotate_init + per-group/per-index steps on the same workspace
+/// scratch, which every step fully overwrites) as the sequential
+/// blind_rotate, so results are bit-identical at every batch size.
+template <class Engine>
+void blind_rotate_batch(const Engine& eng,
+                        const DeviceBootstrapKey<Engine>& key,
+                        const LweSample* const* xs, int batch,
+                        const TorusPolynomial& testv,
+                        BootstrapWorkspace<Engine>& ws,
+                        BlindRotateMode mode = BlindRotateMode::kBundle) {
+  const int n_ring = eng.ring_n();
+  ws.ensure_batch(n_ring, batch);
+  for (int b = 0; b < batch; ++b) {
+    blind_rotate_init(eng, *xs[b], testv, ws.testv_rot,
+                      ws.batch_acc[static_cast<size_t>(b)],
+                      ws.batch_st[static_cast<size_t>(b)]);
+  }
+
+  if (mode == BlindRotateMode::kClassicCMux) {
+    // Group-major over the n_lwe single-bit "groups" of the classic chain.
+    for (int i = 0; i < key.n_lwe; ++i) {
+      for (int b = 0; b < batch; ++b) {
+        const int barai = mod_switch_to_2n(xs[b]->a[i], n_ring);
+        if (barai == 0) continue;
+        classic_rotate_step(eng, key, i, barai,
+                            ws.batch_acc[static_cast<size_t>(b)], ws,
+                            ws.batch_st[static_cast<size_t>(b)]);
+      }
+    }
+    return;
+  }
+
+  GateTestvSpectra* tc = gate_testv_cache(ws, testv);
+  for (int g = 0; g < key.num_groups(); ++g) {
+    const int mg = key.members(g);
+    for (int b = 0; b < batch; ++b) {
+      group_subset_exponents(xs[b]->a.data() + g * key.unroll_m, mg, n_ring,
+                             ws.exponents);
+      bundle_rotate_step(eng, key, g, ws.exponents,
+                         ws.batch_acc[static_cast<size_t>(b)], ws.bundle,
+                         ws.ep, ws.batch_st[static_cast<size_t>(b)], tc);
+    }
   }
 }
 
@@ -85,9 +214,26 @@ void bootstrap_wo_keyswitch_into(const Engine& eng,
                                  Torus32 mu, const LweSample& x,
                                  BootstrapWorkspace<Engine>& ws, LweSample& out,
                                  BlindRotateMode mode = BlindRotateMode::kBundle) {
-  for (auto& c : ws.testv.coeffs) c = mu;
+  set_gate_testv(ws, mu, key.gadget);
   blind_rotate(eng, key, x, ws.testv, ws, mode);
   sample_extract_into(ws.acc, out);
+}
+
+/// Batched gate bootstrap without the key switch: group-major blind rotation
+/// of all B samples, then B sample extractions. outs[b] may alias xs[b]
+/// (extraction happens after every rotation has consumed its input).
+template <class Engine>
+void bootstrap_wo_keyswitch_batch(const Engine& eng,
+                                  const DeviceBootstrapKey<Engine>& key,
+                                  Torus32 mu, const LweSample* const* xs,
+                                  LweSample* const* outs, int batch,
+                                  BootstrapWorkspace<Engine>& ws,
+                                  BlindRotateMode mode = BlindRotateMode::kBundle) {
+  set_gate_testv(ws, mu, key.gadget);
+  blind_rotate_batch(eng, key, xs, batch, ws.testv, ws, mode);
+  for (int b = 0; b < batch; ++b) {
+    sample_extract_into(ws.batch_acc[static_cast<size_t>(b)], *outs[b]);
+  }
 }
 
 /// By-value convenience wrapper around bootstrap_wo_keyswitch_into.
@@ -122,6 +268,33 @@ LweSample bootstrap(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
   LweSample out;
   bootstrap_into(eng, key, ks, mu, x, ws, out, mode);
   return out;
+}
+
+/// Batched full gate bootstrap: group-major blind rotation of all B samples,
+/// B sample extractions into the workspace arena, then ONE batched key
+/// switch (the keyswitch key streams once for the whole batch). outs[b] may
+/// alias xs[b]. Bit-identical to B sequential bootstrap_into calls.
+template <class Engine>
+void bootstrap_batch(const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+                     const KeySwitchKey& ks, Torus32 mu,
+                     const LweSample* const* xs, LweSample* const* outs,
+                     int batch, BootstrapWorkspace<Engine>& ws,
+                     KeySwitchWorkspace& ks_ws,
+                     BlindRotateMode mode = BlindRotateMode::kBundle) {
+  set_gate_testv(ws, mu, key.gadget);
+  blind_rotate_batch(eng, key, xs, batch, ws.testv, ws, mode);
+  const size_t nb = static_cast<size_t>(batch);
+  if (ws.batch_u.size() < nb) ws.batch_u.resize(nb);
+  ws.batch_ks_in.resize(nb);
+  ws.batch_ks_out.resize(nb);
+  for (int b = 0; b < batch; ++b) {
+    const size_t i = static_cast<size_t>(b);
+    sample_extract_into(ws.batch_acc[i], ws.batch_u[i]);
+    ws.batch_ks_in[i] = &ws.batch_u[i];
+    ws.batch_ks_out[i] = outs[b];
+  }
+  key_switch_batch(ks, ws.batch_ks_in.data(), ws.batch_ks_out.data(), batch,
+                   ks_ws);
 }
 
 } // namespace matcha

@@ -75,6 +75,22 @@ void functional_bootstrap_wo_keyswitch_into(
   sample_extract_into(ws.acc, out);
 }
 
+/// Batched functional bootstrap without the key switch: one group-major
+/// blind rotation over all B samples against a shared test vector, then B
+/// sample extractions. Bit-identical to B sequential
+/// functional_bootstrap_wo_keyswitch_into calls; outs[b] may alias xs[b].
+template <class Engine>
+void functional_bootstrap_wo_keyswitch_batch(
+    const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+    const TorusPolynomial& testv, const LweSample* const* xs,
+    LweSample* const* outs, int batch, BootstrapWorkspace<Engine>& ws,
+    BlindRotateMode mode = BlindRotateMode::kBundle) {
+  blind_rotate_batch(eng, key, xs, batch, testv, ws, mode);
+  for (int b = 0; b < batch; ++b) {
+    sample_extract_into(ws.batch_acc[static_cast<size_t>(b)], *outs[b]);
+  }
+}
+
 /// By-value convenience wrapper around functional_bootstrap_into.
 template <class Engine>
 LweSample functional_bootstrap(const Engine& eng,

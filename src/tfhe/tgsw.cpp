@@ -18,7 +18,7 @@ template TGswSpectral<DoubleFftEngine> tgsw_to_spectral<DoubleFftEngine>(
 template void external_product<DoubleFftEngine>(
     const DoubleFftEngine&, const GadgetParams&,
     const TGswSpectral<DoubleFftEngine>&, TLweSample&,
-    ExternalProductWorkspace<DoubleFftEngine>&);
+    ExternalProductWorkspace<DoubleFftEngine>&, bool);
 
 template TGswSample tgsw_encrypt<LiftFftEngine>(const LiftFftEngine&,
                                                 const TLweKey&,
@@ -30,7 +30,7 @@ template TGswSpectral<LiftFftEngine> tgsw_to_spectral<LiftFftEngine>(
 template void external_product<LiftFftEngine>(
     const LiftFftEngine&, const GadgetParams&,
     const TGswSpectral<LiftFftEngine>&, TLweSample&,
-    ExternalProductWorkspace<LiftFftEngine>&);
+    ExternalProductWorkspace<LiftFftEngine>&, bool);
 
 // The SIMD engine shares the generic encrypt/load paths; its external
 // product is the fused non-template overload in fft/simd_fft.cpp (the

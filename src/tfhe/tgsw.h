@@ -94,19 +94,34 @@ struct ExternalProductWorkspace {
 
 /// acc <- tgsw (x) acc  (the paper's EP operation; Algorithm 1 line 7 inner
 /// step). Performs 2l to-spectral ("IFFT") and 2 from-spectral ("FFT") calls.
+///
+/// `a_is_zero` asserts that acc.a is identically zero (true for the first
+/// active step of every blind rotation, where ACC is still the trivial
+/// (0, testv * X^{-barb})): the decomposition of 0 is all-zero digits (each
+/// digit of the rounding offset is exactly Bg/2, cancelling the recentering
+/// half), so the l a-digit transforms and their MACs contribute nothing and
+/// are skipped, counted in EngineCounters::zero_fft_skips.
 template <class Engine>
 void external_product(const Engine& eng, const GadgetParams& g,
                       const TGswSpectral<Engine>& tgsw, TLweSample& acc,
-                      ExternalProductWorkspace<Engine>& ws) {
+                      ExternalProductWorkspace<Engine>& ws,
+                      bool a_is_zero = false) {
+#ifndef NDEBUG
+  if (a_is_zero) {
+    for (const Torus32 cc : acc.a.coeffs) assert(cc == 0);
+  }
+#endif
+  const int r0 = a_is_zero ? g.l : 0;
   // Decompose a into digits [0,l) and b into digits [l,2l).
-  decompose_polynomial(g, acc.a, ws.digits.data());
+  if (!a_is_zero) decompose_polynomial(g, acc.a, ws.digits.data());
   decompose_polynomial(g, acc.b, ws.digits.data() + g.l);
-  for (int r = 0; r < 2 * g.l; ++r) {
+  for (int r = r0; r < 2 * g.l; ++r) {
     eng.to_spectral_int(ws.digits[r], ws.digit_spec[r]);
   }
+  if (a_is_zero) eng.counters().zero_fft_skips += g.l;
   eng.acc_init(ws.acc_a);
   eng.acc_init(ws.acc_b);
-  for (int r = 0; r < 2 * g.l; ++r) {
+  for (int r = r0; r < 2 * g.l; ++r) {
     eng.mac(ws.acc_a, ws.digit_spec[r], tgsw.rows[r][0]);
     eng.mac(ws.acc_b, ws.digit_spec[r], tgsw.rows[r][1]);
   }
