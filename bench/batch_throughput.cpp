@@ -95,11 +95,63 @@ struct Bundle {
   }
 };
 
-/// Pre-fusion vs post-fusion optimizer counts for one recorded circuit, to
-/// console + JSON -- the machine-readable record of the bootstrap-count win.
+/// 16-to-1 word multiplexer over 4-bit data: 4 select bits, each output bit
+/// a balanced tree of 15 MUX nodes (30 bootstraps, depth 4). The four roots
+/// share one select tree, which is what MUX-tree flattening amortizes its
+/// minterm LUTs across.
+struct MuxTree16 {
+  CircuitBuilder builder;
+
+  MuxTree16() {
+    constexpr int kDataW = 4;
+    std::vector<Wire> sel;
+    for (int i = 0; i < 4; ++i) sel.push_back(builder.input());
+    std::vector<std::vector<Wire>> leaves(16);
+    for (auto& leaf : leaves) {
+      for (int b = 0; b < kDataW; ++b) leaf.push_back(builder.input());
+    }
+    for (int b = 0; b < kDataW; ++b) {
+      std::vector<Wire> layer;
+      for (const auto& leaf : leaves) layer.push_back(leaf[static_cast<size_t>(b)]);
+      for (int level = 0; level < 4; ++level) {
+        std::vector<Wire> next;
+        for (size_t i = 0; i < layer.size(); i += 2) {
+          next.push_back(builder.gate_mux(sel[static_cast<size_t>(level)],
+                                          layer[i + 1], layer[i]));
+        }
+        layer = std::move(next);
+      }
+      builder.mark_output(layer.front());
+    }
+  }
+};
+
+/// Parity reduction of 16 bits recorded as a LEFT-DEEP chain: 15 XOR gates,
+/// dependence depth 15. Chain rebalancing turns it into a log-depth tree
+/// whose 2-3 leaf clusters cone fusion then packs into XOR3 LUTs.
+struct XorChain16 {
+  CircuitBuilder builder;
+
+  XorChain16() {
+    Wire acc = builder.input();
+    for (int i = 1; i < 16; ++i) {
+      acc = builder.gate_xor(acc, builder.input());
+    }
+    builder.mark_output(acc);
+  }
+};
+
+/// Pre-rewrite vs post-rewrite optimizer counts for one recorded circuit, to
+/// console + JSON -- the machine-readable record of the bootstrap-count AND
+/// critical-path-depth wins. The baseline disables every structural rewrite
+/// (fusion, chain rebalancing, MUX flattening, multi-output packing) but
+/// keeps fold/CSE/DCE, so it matches the pre-compiler-round-2 pipeline.
 void report_fusion(JsonWriter& j, const char* name, CircuitBuilder& builder) {
   exec::OptimizeOptions no_fuse;
   no_fuse.fuse_lut_cones = false;
+  no_fuse.rebalance_chains = false;
+  no_fuse.flatten_mux_trees = false;
+  no_fuse.pack_multi_output = false;
   const CompiledGraph pre = builder.compile(no_fuse);
   const CompiledGraph post = builder.compile();
   int luts = 0;
@@ -109,21 +161,31 @@ void report_fusion(JsonWriter& j, const char* name, CircuitBuilder& builder) {
   const double reduction =
       100.0 * (1.0 - static_cast<double>(post.stats.bootstraps_after) /
                          static_cast<double>(pre.stats.bootstraps_after));
-  std::printf("%-16s gates %4d -> %4d, bootstraps %4lld -> %4lld "
-              "(%d cones, %d absorbed, %d LUTs)  -%.1f%%\n",
+  std::printf("%-16s gates %4d -> %4d, bootstraps %4lld -> %4lld, depth "
+              "%2d -> %2d (%d cones, %d absorbed, %d LUTs, %d packed)  "
+              "-%.1f%%\n",
               name, pre.stats.gates_after, post.stats.gates_after,
               static_cast<long long>(pre.stats.bootstraps_after),
               static_cast<long long>(post.stats.bootstraps_after),
-              post.stats.cones_fused, post.stats.fused_away, luts, reduction);
+              pre.stats.depth_after, post.stats.depth_after,
+              post.stats.cones_fused, post.stats.fused_away, luts,
+              post.stats.luts_packed, reduction);
   j.begin_object();
   j.field("circuit", name);
   j.field("gates_unfused", pre.stats.gates_after);
   j.field("gates_fused", post.stats.gates_after);
   j.field("bootstraps_unfused", pre.stats.bootstraps_after);
   j.field("bootstraps_fused", post.stats.bootstraps_after);
+  j.field("depth_unfused", pre.stats.depth_after);
+  j.field("depth_fused", post.stats.depth_after);
   j.field("cones_fused", post.stats.cones_fused);
   j.field("gates_absorbed", post.stats.fused_away);
   j.field("lut_nodes", luts);
+  j.field("chains_rebalanced", post.stats.chains_rebalanced);
+  j.field("mux_trees_flattened", post.stats.mux_trees_flattened);
+  j.field("luts_packed", post.stats.luts_packed);
+  j.field("extra_outputs", post.stats.extra_outputs);
+  j.field("extractions_fused", post.graph.extraction_count());
   j.field("reduction_pct", reduction);
   j.end_object();
 }
@@ -400,6 +462,10 @@ int main() {
   report_fusion(j, "mul8+cmp", big.builder);
   Bundle bundle;
   report_fusion(j, "add8+cmp8+mul8", bundle.builder);
+  MuxTree16 muxtree;
+  report_fusion(j, "muxtree16x4", muxtree.builder);
+  XorChain16 xorchain;
+  report_fusion(j, "xorchain16", xorchain.builder);
   j.end_array();
 
   // A single optimized circuit across the thread sweep: wavefront slicing

@@ -52,12 +52,17 @@ def by_key(rows, *keys):
 
 
 def compare_batch_throughput(prev, cur, failures):
-    # Optimizer output: post-fusion bootstrap counts must never creep up.
+    # Optimizer output: post-rewrite bootstrap counts AND critical-path
+    # depths must never creep up, for every circuit in the sweep (mul8+cmp,
+    # the bundle, the MUX-tree and XOR-chain reduction circuits). depth_fused
+    # is absent from pre-round-2 baselines; check() skips the None.
     p = by_key(prev.get("fusion", []), "circuit")
     c = by_key(cur.get("fusion", []), "circuit")
     for key in sorted(p.keys() & c.keys()):
         check(f"fusion[{key[0]}].bootstraps_fused",
               p[key]["bootstraps_fused"], c[key]["bootstraps_fused"], failures)
+        check(f"fusion[{key[0]}].depth_fused",
+              p[key].get("depth_fused"), c[key].get("depth_fused"), failures)
 
     # Simulated chip: circuit makespans (dependency-aware scheduler).
     p = by_key(prev.get("sim_circuit", []), "circuit", "unroll_m")

@@ -80,6 +80,9 @@ struct BatchStats {
   int items = 0;          ///< batch items executed in the last run
   int64_t gates = 0;      ///< gate evaluations performed (inputs excluded)
   int64_t bootstraps = 0; ///< gate bootstrappings performed
+  int64_t sample_extracts = 0; ///< accumulator readouts (>= bootstraps when
+                               ///< multi-output LUTs share rotations)
+  int max_extraction_fanout = 0; ///< most outputs any one rotation feeds
   int levels = 0;         ///< dependence depth of the graph (wavefront count)
   double wall_ms = 0;     ///< wall clock of the last run
   // Dataflow scheduler health. The barrier-free contract is pool_dispatches
@@ -244,6 +247,20 @@ class BatchExecutor {
     stats_.items = items;
     stats_.gates = static_cast<int64_t>(g.num_gates()) * items;
     stats_.bootstraps = g.bootstrap_count() * items;
+    stats_.sample_extracts = g.extraction_count() * items;
+    stats_.max_extraction_fanout = 0;
+    for (size_t i = 0; i < g.nodes().size(); ++i) {
+      const GateNode& n = g.nodes()[i];
+      if (!n.is_gate()) continue;
+      if (n.kind == GateKind::kLut) {
+        int fanout = 0;
+        for (const int ow : lut_out_wires_[i]) fanout += ow >= 0 ? 1 : 0;
+        stats_.max_extraction_fanout =
+            std::max(stats_.max_extraction_fanout, fanout);
+      } else if (bootstrap_cost(n.kind) > 0) {
+        stats_.max_extraction_fanout = std::max(stats_.max_extraction_fanout, 1);
+      }
+    }
     stats_.levels = static_cast<int>(g.wavefronts().size());
     stats_.pool_dispatches = total_tasks > 0 ? 1 : 0;
     stats_.workers = run_stats.workers;
@@ -316,6 +333,25 @@ class BatchExecutor {
       }
       return;
     }
+    if (n.kind == GateKind::kFreeOr) {
+      // Disjoint OR of two ciphertexts: a plain addition plus the trivial
+      // +mu offset (both-false sums to -mu, exactly-one-true to +mu; the
+      // compiler guarantees both-true is unreachable). No bootstrap.
+      for (int b = b0; b < b1; ++b) {
+        auto& v = results[static_cast<size_t>(b)].values;
+        LweSample r = v[n.in[0]];
+        r += v[n.in[1]];
+        r.b += mu_;
+        v[static_cast<size_t>(id)] = std::move(r);
+      }
+      return;
+    }
+    if (n.kind == GateKind::kLutOut) {
+      // The parent kLut task already extracted and key-switched this output
+      // into our result slot (it runs first: this node's readiness refcount
+      // counts the parent as an operand). Nothing to compute.
+      return;
+    }
     const int count = b1 - b0;
     const size_t nflush = static_cast<size_t>(
         n.kind == GateKind::kMux ? 2 * count : count);
@@ -360,6 +396,9 @@ class BatchExecutor {
       case GateKind::kLut: {
         // One weighted linear combination + one functional bootstrap per
         // item, however many Boolean gates the cone replaced (tfhe/lut.h).
+        // A multi-output spec extracts the same rotated accumulator at each
+        // live output's ring coefficient; the dead outputs (their kLutOut
+        // node was eliminated) cost nothing.
         for (int k = 0; k < count; ++k) {
           const auto& v = results[static_cast<size_t>(b0 + k)].values;
           std::array<const LweSample*, 4> ins{};
@@ -372,13 +411,64 @@ class BatchExecutor {
                   ins.data(), static_cast<size_t>(n.fan_in())),
               bk_.n_lwe);
           w.bs_in[static_cast<size_t>(k)] = &w.combo[static_cast<size_t>(k)];
-          w.bs_out[static_cast<size_t>(k)] = &w.stage[static_cast<size_t>(k)];
         }
         const TorusPolynomial& tv = *node_testv_[static_cast<size_t>(id)];
-        functional_bootstrap_wo_keyswitch_batch(eng, bk_, tv, w.bs_in.data(),
-                                                w.bs_out.data(), count, w.ws,
-                                                mode_);
-        break;
+        if (n.lut.n_out == 1) {
+          for (int k = 0; k < count; ++k) {
+            w.bs_out[static_cast<size_t>(k)] =
+                &w.stage[static_cast<size_t>(k)];
+          }
+          functional_bootstrap_wo_keyswitch_batch(eng, bk_, tv, w.bs_in.data(),
+                                                  w.bs_out.data(), count, w.ws,
+                                                  mode_);
+          break;
+        }
+        // Live outputs: the primary (this wire) plus every kLutOut child the
+        // compiled graph kept. The extraction offset of output j is
+        // slot_shift * (ring N / slots): one test-vector band per slot.
+        const auto& out_wires = lut_out_wires_[static_cast<size_t>(id)];
+        const int band = w.engine->ring_n() / n.lut.slots();
+        std::array<int, kLutMaxOutputs> offsets{};
+        std::array<int, kLutMaxOutputs> wires{};
+        int n_live = 0;
+        for (int j = 0; j < n.lut.n_out; ++j) {
+          if (out_wires[static_cast<size_t>(j)] < 0) continue;
+          offsets[static_cast<size_t>(n_live)] =
+              n.lut.output(j).slot_shift * band;
+          wires[static_cast<size_t>(n_live)] =
+              out_wires[static_cast<size_t>(j)];
+          ++n_live;
+        }
+        const size_t nstage =
+            static_cast<size_t>(count) * static_cast<size_t>(n_live);
+        if (w.stage.size() < nstage) w.stage.resize(nstage);
+        w.bs_out.resize(nstage);
+        for (int j = 0; j < n_live; ++j) {
+          for (int k = 0; k < count; ++k) {
+            w.bs_out[static_cast<size_t>(j * count + k)] =
+                &w.stage[static_cast<size_t>(j * count + k)];
+          }
+        }
+        functional_bootstrap_multi_wo_keyswitch_batch(
+            eng, bk_, tv, w.bs_in.data(), w.bs_out.data(), offsets.data(),
+            n_live, count, w.ws, mode_);
+        w.engine->counters().sample_extracts +=
+            static_cast<int64_t>(count) * n_live;
+        // One batched keyswitch flush covers every (item, output) pair.
+        w.ks_in.resize(nstage);
+        w.ks_out.resize(nstage);
+        for (int j = 0; j < n_live; ++j) {
+          for (int k = 0; k < count; ++k) {
+            const size_t s = static_cast<size_t>(j * count + k);
+            w.ks_in[s] = &w.stage[s];
+            w.ks_out[s] = &results[static_cast<size_t>(b0 + k)]
+                               .values[static_cast<size_t>(
+                                   wires[static_cast<size_t>(j)])];
+          }
+        }
+        key_switch_batch(ks_, w.ks_in.data(), w.ks_out.data(),
+                         static_cast<int>(nstage), w.ks_ws);
+        return;
       }
       default: {
         for (int k = 0; k < count; ++k) {
@@ -392,6 +482,7 @@ class BatchExecutor {
                                      w.bs_out.data(), count, w.ws, mode_);
       }
     }
+    w.engine->counters().sample_extracts += static_cast<int64_t>(nflush);
     // Deferred flush: one streaming pass over the keyswitch key serves the
     // whole group (bit-identical to per-item key_switch -- exact mod-2^32).
     w.ks_in.resize(static_cast<size_t>(count));
@@ -418,21 +509,37 @@ class BatchExecutor {
       lut_testv_ring_n_ = ring_n;
     }
     node_testv_.assign(g.nodes().size(), nullptr);
+    lut_out_wires_.assign(g.nodes().size(),
+                          std::array<int, kLutMaxOutputs>{-1, -1, -1, -1});
     for (size_t i = 0; i < g.nodes().size(); ++i) {
       const GateNode& n = g.nodes()[i];
-      if (!n.is_gate() || n.kind != GateKind::kLut) continue;
-      // The LUT phase grid is derived from the standard gate amplitude; a
-      // nonstandard mu would silently misalign every slot.
+      if (!n.is_gate()) continue;
+      if (n.kind == GateKind::kLutOut) {
+        // Index this extraction on its parent so the parent's single task
+        // can key-switch every live output in one flush.
+        lut_out_wires_[static_cast<size_t>(n.in[0])][static_cast<size_t>(
+            n.aux)] = static_cast<int>(i);
+        continue;
+      }
+      if (n.kind != GateKind::kLut) continue;
+      lut_out_wires_[i][0] = static_cast<int>(i); // primary always live
+      // The LUT slot encodings are anchored on the standard gate amplitude
+      // (in_amp_log = 3 means mu); a nonstandard mu would silently misalign
+      // every slot.
       if (mu_ != torus_fraction(1, 8)) {
         throw std::invalid_argument(
             "BatchExecutor: LUT nodes require the standard gate amplitude "
             "mu = 1/8");
       }
-      const std::array<Torus32, 4> slots = lut_slot_values(n.lut, mu_);
+      // The slot-value vector is the rotation's full encoding -- grid,
+      // tables, shifts, and per-output amplitudes all round-trip through it
+      // -- so it is the complete cache key (two specs with equal slot values
+      // rotate identically).
+      std::vector<Torus32> slots = lut_slot_values(n.lut);
       auto it = lut_testv_.find(slots);
       if (it == lut_testv_.end()) {
-        it = lut_testv_.emplace(slots, make_lut_testvector(ring_n, slots))
-                 .first;
+        TorusPolynomial tv = make_lut_testvector(ring_n, slots);
+        it = lut_testv_.emplace(std::move(slots), std::move(tv)).first;
       }
       node_testv_[i] = &it->second;
     }
@@ -450,9 +557,12 @@ class BatchExecutor {
   /// per-run node-id -> test-vector pointer index for the worker hot loop
   /// (both read-only while workers are in flight; std::map nodes are stable,
   /// so cached pointers survive later insertions).
-  std::map<std::array<Torus32, 4>, TorusPolynomial> lut_testv_;
+  std::map<std::vector<Torus32>, TorusPolynomial> lut_testv_;
   int lut_testv_ring_n_ = -1;
   std::vector<const TorusPolynomial*> node_testv_;
+  /// Per kLut node: the executed graph's wire carrying each output index
+  /// (-1 when that extraction was dead-eliminated). Rebuilt per run.
+  std::vector<std::array<int, kLutMaxOutputs>> lut_out_wires_;
 };
 
 } // namespace matcha::exec

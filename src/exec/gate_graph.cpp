@@ -29,6 +29,8 @@ Wire GateGraph::add_const(bool value) {
 
 Wire GateGraph::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
   assert(kind != GateKind::kLut && "LUT nodes carry a payload; use add_lut");
+  assert(kind != GateKind::kLutOut &&
+         "secondary LUT outputs carry an index; use add_lut_output");
   GateNode n;
   n.kind = kind;
   n.in = {a.id, b.id, c.id, -1};
@@ -59,11 +61,31 @@ Wire GateGraph::add_lut(std::span<const Wire> ins, const LutSpec& spec) {
   return Wire{id};
 }
 
+Wire GateGraph::add_lut_output(Wire parent, int out_index) {
+  assert(parent.valid() && parent.id < num_nodes() &&
+         "LUT output of an unknown wire");
+  const GateNode& p = nodes_[static_cast<size_t>(parent.id)];
+  assert(p.kind == GateKind::kLut && p.is_gate() &&
+         "add_lut_output wants a kLut parent");
+  assert(out_index >= 1 && out_index < p.lut.n_out &&
+         "LUT output index out of the spec's range");
+  (void)p;
+  GateNode n;
+  n.kind = GateKind::kLutOut;
+  n.in[0] = parent.id;
+  n.aux = static_cast<int8_t>(out_index);
+  const int id = num_nodes();
+  nodes_.push_back(n);
+  ++num_gates_;
+  return Wire{id};
+}
+
 Wire GateGraph::clone_gate(const GateNode& proto, std::span<const int> ins) {
   assert(proto.is_gate() && "clone_gate copies gate nodes only");
   GateNode n;
   n.kind = proto.kind;
   n.lut = proto.lut;
+  n.aux = proto.aux;
   const int id = num_nodes();
   assert(static_cast<size_t>(n.fan_in()) <= ins.size());
   for (int i = 0; i < n.fan_in(); ++i) {
@@ -87,6 +109,33 @@ int64_t GateGraph::bootstrap_count() const {
     if (n.is_gate()) total += bootstrap_cost(n.kind);
   }
   return total;
+}
+
+int64_t GateGraph::extraction_count() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) {
+    if (!n.is_gate()) continue;
+    total += bootstrap_cost(n.kind); // one extraction per rotation
+    if (n.kind == GateKind::kLutOut) ++total;
+  }
+  return total;
+}
+
+int GateGraph::bootstrap_depth() const {
+  std::vector<int> depth(nodes_.size(), 0);
+  int longest = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const GateNode& n = nodes_[i];
+    if (!n.is_gate()) continue;
+    int deepest = 0;
+    for (int j = 0; j < n.fan_in(); ++j) {
+      const int d = depth[static_cast<size_t>(n.in[static_cast<size_t>(j)])];
+      if (d > deepest) deepest = d;
+    }
+    depth[i] = deepest + depth_cost(n.kind);
+    if (depth[i] > longest) longest = depth[i];
+  }
+  return longest;
 }
 
 std::vector<std::vector<int>> GateGraph::levelize() const {

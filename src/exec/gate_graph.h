@@ -27,6 +27,10 @@
 #include "tfhe/gate_kind.h"
 #include "tfhe/lut.h"
 
+namespace matcha {
+struct TfheParams; // tfhe/params.h; optional noise-budget source for compile
+} // namespace matcha
+
 namespace matcha::exec {
 
 /// Handle to one ciphertext value in a GateGraph (the node that produces it).
@@ -43,16 +47,20 @@ struct GateNode {
   bool is_const = false;
   bool const_value = false; ///< plaintext bit when is_const
   /// Fan-in wires: binary gates use in[0], in[1]; NOT uses in[0]; MUX uses
-  /// {sel, c1, c0}; LUT uses in[0..lut.k).
+  /// {sel, c1, c0}; LUT uses in[0..lut.k); LUTOUT uses in[0] (its parent
+  /// LUT's wire); FREEOR uses in[0], in[1].
   std::array<int, 4> in{-1, -1, -1, -1};
-  /// kLut payload: truth table + combo weights (tfhe/lut.h). The i-th LUT
+  /// kLut payload: truth table(s) + combo weights (tfhe/lut.h). The i-th LUT
   /// input bit is the wire in[i].
   LutSpec lut{};
+  /// kLutOut payload: which output of the parent LUT this wire carries
+  /// (1..parent.lut.n_out - 1; output 0 is the parent's own wire).
+  int8_t aux = 0;
 
   bool is_gate() const { return !is_input && !is_const; }
   int fan_in() const {
     if (!is_gate()) return 0;
-    if (kind == GateKind::kNot) return 1;
+    if (kind == GateKind::kNot || kind == GateKind::kLutOut) return 1;
     if (kind == GateKind::kMux) return 3;
     if (kind == GateKind::kLut) return lut.k;
     return 2;
@@ -69,15 +77,43 @@ struct OptimizeOptions {
   bool fold_constants = true;
   bool common_subexpression = true;
   bool dead_gate_elimination = true;
-  /// Collapse single-output gate cones (fan-in <= kLutMaxFanIn, realizable
-  /// truth table -- see tfhe/lut.h) into one-bootstrap LUT nodes. Runs after
-  /// fold/CSE (folding exposes larger cones) and before DCE (fusion strands
-  /// absorbed gates for DCE to reap).
+  /// Collapse gate cones (fan-in <= kLutMaxFanIn, realizable truth table --
+  /// see tfhe/lut.h) into one-bootstrap LUT nodes, choosing per-edge
+  /// encodings (a producer may emit amplitude 1/16 when that makes its
+  /// consumer cone solvable). Runs after fold/CSE (folding exposes larger
+  /// cones) and before DCE (fusion strands absorbed gates for DCE to reap).
   bool fuse_lut_cones = true;
+  /// Rebalance single-consumer associative chains (XOR/AND/OR) into balanced
+  /// trees before fusion -- shrinks dependence depth and exposes 3-ary cones.
+  bool rebalance_chains = true;
+  /// Flatten MUX trees sharing a select vector into minterm LUT sums
+  /// combined by bootstrap-free disjoint ORs (kFreeOr).
+  bool flatten_mux_trees = true;
+  /// Merge sibling LUTs over the same input set into one multi-output LUT:
+  /// one blind rotation, several sample extractions (e.g. a full adder's
+  /// sum + carry become a single bootstrap).
+  bool pack_multi_output = true;
+  /// When set, LUT noise budgets come from noise::lut_weight_budget over
+  /// these parameters instead of the built-in defaults (which match both
+  /// shipped parameter sets), and solved cones are asserted against the
+  /// decode-margin failure bound.
+  const TfheParams* noise_params = nullptr;
+  int unroll_m = 2; ///< bootstrap unroll factor assumed by the noise budget
 
-  static OptimizeOptions none() { return {false, false, false, false}; }
+  static OptimizeOptions none() {
+    OptimizeOptions o;
+    o.fold_constants = o.common_subexpression = o.dead_gate_elimination =
+        o.fuse_lut_cones = o.rebalance_chains = o.flatten_mux_trees =
+            o.pack_multi_output = false;
+    return o;
+  }
   /// The bit-preserving subset: results identical to the unoptimized graph.
-  static OptimizeOptions bit_preserving() { return {false, true, true, false}; }
+  static OptimizeOptions bit_preserving() {
+    OptimizeOptions o = none();
+    o.common_subexpression = true;
+    o.dead_gate_elimination = true;
+    return o;
+  }
 };
 
 /// Dataflow adjacency of a graph: for every node, the gate nodes consuming
@@ -101,8 +137,16 @@ struct OptimizeStats {
   int dead_removed = 0; ///< gates unreachable from any marked output
   int cones_fused = 0;  ///< LUT nodes emitted by cone fusion
   int fused_away = 0;   ///< gates absorbed into LUT cones and eliminated
+  int chains_rebalanced = 0;   ///< associative chains rebuilt as trees
+  int mux_trees_flattened = 0; ///< MUX roots lowered to minterm free-OR form
+  int luts_packed = 0;         ///< LUT nodes merged into multi-output LUTs
+  int extra_outputs = 0;       ///< secondary extractions added by packing
   int64_t bootstraps_before = 0;
   int64_t bootstraps_after = 0;
+  /// Critical-path depth in blind-rotation latencies (depth_cost), before
+  /// any rewriting and after the full pipeline.
+  int depth_before = 0;
+  int depth_after = 0;
 };
 
 class GateGraph {
@@ -117,7 +161,13 @@ class GateGraph {
   Wire add_gate(GateKind kind, Wire a, Wire b = {}, Wire c = {});
   /// Append a fused LUT node: one functional bootstrap over ins.size() ==
   /// spec.k input wires (see tfhe/lut.h for the spec's legality contract).
+  /// A multi-output spec's primary output is this wire; secondary outputs
+  /// must be materialized with add_lut_output.
   Wire add_lut(std::span<const Wire> ins, const LutSpec& spec);
+  /// Append the `out_index`-th output (1..n_out-1) of a multi-output LUT:
+  /// a zero-cost node whose value is the parent's rotation extracted at the
+  /// output's slot shift.
+  Wire add_lut_output(Wire parent, int out_index);
   /// Append a structural copy of `proto` (kind + LUT payload) over new
   /// fan-in wires -- the optimizer's rebuild primitive.
   Wire clone_gate(const GateNode& proto, std::span<const int> ins);
@@ -132,8 +182,16 @@ class GateGraph {
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
   int num_gates() const { return num_gates_; }
-  /// Total gate bootstrappings one execution performs (2 per MUX, 0 per NOT).
+  /// Total gate bootstrappings one execution performs (2 per MUX, 0 per NOT,
+  /// 1 per LUT no matter how many outputs it extracts).
   int64_t bootstrap_count() const;
+  /// Total sample extractions (1 per bootstrap-bearing node, plus one per
+  /// secondary LUT output).
+  int64_t extraction_count() const;
+  /// Critical-path depth in blind-rotation latencies: the longest
+  /// dependence path weighted by depth_cost (MUX's two rotations run in
+  /// parallel, so it counts 1; NOT/LUTOUT/FREEOR count 0).
+  int bootstrap_depth() const;
 
   /// Partition nodes into dependence levels: level 0 holds inputs and
   /// constants, and every gate sits one past its deepest operand.

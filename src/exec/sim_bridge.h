@@ -20,7 +20,12 @@ namespace matcha::exec {
 /// sim::simulate_circuit. A fused LUT node costs bootstrap_cost(kLut) == 1
 /// blind rotation on the chip, exactly like a plain binary gate -- the chip
 /// datapath runs the same per-bootstrap DFG whether the test vector encodes
-/// a sign or a 4-slot LUT, which is why cone fusion is a pure win there too.
+/// a sign or a multi-slot LUT, which is why cone fusion is a pure win there
+/// too. A multi-output LUT's secondary extractions (kLutOut) merge INTO the
+/// parent rotation's node: still one rotation, with `extractions`
+/// accumulator readouts; consumers of any output depend on the parent.
+/// kFreeOr and kNot project as zero-bootstrap wire nodes, so the chip's
+/// dependence structure sees through them at no latency.
 inline sim::GateDag to_gate_dag(const GateGraph& g) {
   sim::GateDag dag;
   dag.gates.reserve(static_cast<size_t>(g.num_gates()));
@@ -28,8 +33,16 @@ inline sim::GateDag to_gate_dag(const GateGraph& g) {
   for (size_t i = 0; i < g.nodes().size(); ++i) {
     const GateNode& n = g.nodes()[i];
     if (!n.is_gate()) continue;
+    if (n.kind == GateKind::kLutOut) {
+      // This wire IS the parent rotation, read at another coefficient.
+      const int parent = gate_index[n.in[0]];
+      gate_index[i] = parent;
+      if (parent >= 0) ++dag.gates[static_cast<size_t>(parent)].extractions;
+      continue;
+    }
     sim::GateDagNode d;
     d.bootstraps = bootstrap_cost(n.kind);
+    d.extractions = d.bootstraps; // one readout per rotation (0 for NOT/FREEOR)
     for (int j = 0; j < n.fan_in(); ++j) {
       const int dep = gate_index[n.in[j]];
       if (dep >= 0 &&

@@ -33,6 +33,9 @@ struct EngineCounters {
   int64_t zero_fft_skips = 0;   ///< forward FFTs elided: acc.a was exactly 0
   int64_t testv_fft_reuses = 0; ///< forward FFTs replaced by cached-spectrum
                                 ///< synthesis of the constant test vector
+  // Post-rotation accounting (counted by the executor at its extract call
+  // sites -- extraction itself runs outside the engine kernels).
+  int64_t sample_extracts = 0; ///< LWE samples read out of rotated accumulators
 
   void reset() { *this = {}; }
 
@@ -49,6 +52,7 @@ struct EngineCounters {
     adds += o.adds;
     zero_fft_skips += o.zero_fft_skips;
     testv_fft_reuses += o.testv_fft_reuses;
+    sample_extracts += o.sample_extracts;
     return *this;
   }
 
@@ -59,7 +63,8 @@ struct EngineCounters {
            from_spectral_calls == o.from_spectral_calls &&
            bitrev_swaps == o.bitrev_swaps && lift_steps == o.lift_steps &&
            adds == o.adds && zero_fft_skips == o.zero_fft_skips &&
-           testv_fft_reuses == o.testv_fft_reuses;
+           testv_fft_reuses == o.testv_fft_reuses &&
+           sample_extracts == o.sample_extracts;
   }
 };
 

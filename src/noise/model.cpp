@@ -47,12 +47,32 @@ BootstrapNoise predict(const TfheParams& p, int unroll_m) {
   return out;
 }
 
+double failure_probability(double phase_std, double margin) {
+  if (phase_std <= 0) return 0.0;
+  return std::erfc(margin / (phase_std * std::sqrt(2.0)));
+}
+
 double failure_probability(double phase_std) {
   // Margin: the bootstrap decision flips when |noise| > 1/16 (the distance
   // from +-1/8 +- combo noise to the quadrant boundary used by gates).
-  const double margin = 1.0 / 16.0;
-  if (phase_std <= 0) return 0.0;
-  return std::erfc(margin / (phase_std * std::sqrt(2.0)));
+  return failure_probability(phase_std, 1.0 / 16.0);
+}
+
+int lut_weight_budget(const TfheParams& p, int unroll_m, int grid_log) {
+  const double sigma = predict(p, unroll_m).total_std;
+  // Reference failure rate: the worst combo the classic grid-3 solver could
+  // emit (Sigma w^2 = 12) read against the gate margin 1/16 -- floored so
+  // ultra-clean parameter sets don't demand the impossible of finer grids.
+  const double fail_ref = std::max(
+      failure_probability(std::sqrt(12.0) * sigma, 1.0 / 16.0),
+      std::pow(2.0, -20.0));
+  const double margin = 1.0 / static_cast<double>(1 << (grid_log + 1));
+  int budget = 0;
+  while (budget < 64 &&
+         failure_probability(std::sqrt(budget + 1.0) * sigma, margin) <=
+             fail_ref)
+    ++budget;
+  return budget;
 }
 
 double fft_error_db(int twiddle_bits) {

@@ -32,6 +32,19 @@ BootstrapNoise predict(const TfheParams& p, int unroll_m);
 /// the margin to the decision boundary is 1/16 on each side of +-1/8.
 double failure_probability(double phase_std);
 
+/// Same, for an explicit decode margin: a LUT on grid g (cells of width
+/// 1/2^(g+1), tfhe/lut.h) reads slot centers 1/2^(g+1) away from the nearest
+/// decision boundary instead of the gate path's fixed 1/16.
+double failure_probability(double phase_std, double margin);
+
+/// Largest sum of weighted input variances (sum of w_i^2 * var_i over a LUT
+/// combo, in units of one bootstrap's output variance) whose failure
+/// probability on grid `grid_log` does not exceed the classic gate bound
+/// (sqrt(12) combo noise read against the 1/16 margin, floored at 2^-20).
+/// Yields exactly 12 at grid_log=3 (the historical hardcoded cap) and 3 at
+/// grid_log=4 for both shipped parameter sets; 0 means the grid is unusable.
+int lut_weight_budget(const TfheParams& p, int unroll_m, int grid_log);
+
 /// Approximate-FFT noise in dB for a given DVQTF bit width -- an analytic fit
 /// of the measured Fig. 8 curve (quantization-limited region + round-off
 /// floor). bench/fig8_fft_error measures the real curve.

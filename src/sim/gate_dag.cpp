@@ -18,6 +18,12 @@ int64_t GateDag::total_bootstraps() const {
   return total;
 }
 
+int64_t GateDag::total_extractions() const {
+  int64_t total = 0;
+  for (const auto& g : gates) total += g.extractions;
+  return total;
+}
+
 int64_t GateDag::critical_path_bootstraps() const {
   std::vector<int64_t> depth(gates.size(), 0);
   int64_t longest = 0;

@@ -30,6 +30,12 @@ namespace matcha::sim {
 /// consumes.
 struct GateDagNode {
   int bootstraps = 1;
+  /// Accumulator readouts this node performs: 1 per rotation, plus one per
+  /// extra output of a multi-output LUT (exec/sim_bridge.h merges the
+  /// extraction nodes into their parent rotation). Extraction is a wire-read
+  /// on the chip, so it never adds schedule latency -- it is surfaced for
+  /// activity accounting only.
+  int extractions = 1;
   std::vector<int> deps;
 };
 
@@ -37,6 +43,7 @@ struct GateDag {
   std::vector<GateDagNode> gates;
 
   int64_t total_bootstraps() const;
+  int64_t total_extractions() const;
   /// Longest dependency chain, weighted in bootstraps -- the depth bound no
   /// amount of pipelines can beat.
   int64_t critical_path_bootstraps() const;

@@ -91,6 +91,29 @@ void functional_bootstrap_wo_keyswitch_batch(
   }
 }
 
+/// Multi-output batched functional bootstrap: one blind rotation per sample,
+/// n_out sample extractions each. Output j of sample b lands in
+/// outs[j * batch + b]; coeff_offsets[j] is the ring coefficient to extract
+/// (slot_shift * N / slots, see tfhe/lut.h -- offset 0 is the primary
+/// output, identical to the single-output path). Extractions may not alias
+/// xs (the accumulator is read n_out times).
+template <class Engine>
+void functional_bootstrap_multi_wo_keyswitch_batch(
+    const Engine& eng, const DeviceBootstrapKey<Engine>& key,
+    const TorusPolynomial& testv, const LweSample* const* xs,
+    LweSample* const* outs, const int* coeff_offsets, int n_out, int batch,
+    BootstrapWorkspace<Engine>& ws,
+    BlindRotateMode mode = BlindRotateMode::kBundle) {
+  blind_rotate_batch(eng, key, xs, batch, testv, ws, mode);
+  for (int b = 0; b < batch; ++b) {
+    const TLweSample& acc = ws.batch_acc[static_cast<size_t>(b)];
+    for (int j = 0; j < n_out; ++j) {
+      sample_extract_at(acc, coeff_offsets[j],
+                        *outs[j * batch + b]);
+    }
+  }
+}
+
 /// By-value convenience wrapper around functional_bootstrap_into.
 template <class Engine>
 LweSample functional_bootstrap(const Engine& eng,
@@ -106,14 +129,17 @@ LweSample functional_bootstrap(const Engine& eng,
 }
 
 /// Pre-bootstrap linear combination of a fused Boolean LUT cone
-/// (tfhe/lut.h): sum_i w_i * x_i + (0, 1/16) places each input combination's
-/// phase at the center of its slots = 4 half-torus cell, ready for one
+/// (tfhe/lut.h): sum_i w_i * x_i + (0, 1/2^(grid+1)) places each input
+/// combination's phase at the center of its grid cell, ready for one
 /// functional_bootstrap through make_lut_testvector(lut_slot_values(...)).
-/// Inputs must be gate ciphertexts at the standard +-1/8 amplitude.
+/// Each input must carry the amplitude spec.in_amp_log[i] promises (the
+/// encoding-aware optimizer guarantees it); the grid-3 all-1/8 case is the
+/// classic combo sum_i w_i * x_i + (0, 1/16).
 inline LweSample lut_cone_input(const LutSpec& spec,
                                 std::span<const LweSample* const> ins,
                                 int n_lwe) {
-  LweSample combo = LweSample::trivial(n_lwe, torus_fraction(1, 16));
+  LweSample combo = LweSample::trivial(
+      n_lwe, torus_fraction(1, int64_t{1} << (spec.grid_log + 1)));
   for (int i = 0; i < spec.k; ++i) {
     LweSample t = *ins[static_cast<size_t>(i)];
     if (spec.w[static_cast<size_t>(i)] != 1) t.scale(spec.w[static_cast<size_t>(i)]);

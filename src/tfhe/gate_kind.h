@@ -7,23 +7,50 @@ namespace matcha {
 
 /// kLut is a fused k-input (k <= 4) Boolean lookup table evaluated as one
 /// programmable bootstrap (tfhe/lut.h); the others are the TFHE gate set.
-enum class GateKind { kNand, kAnd, kOr, kNor, kXor, kXnor, kNot, kMux, kLut };
+///
+/// kLutOut is a secondary output of a multi-output kLut: the same blind
+/// rotation read at a different sample-extraction offset. in[0] is the parent
+/// kLut wire, aux selects which extra output. Costs nothing -- the parent's
+/// rotation already produced the accumulator.
+///
+/// kFreeOr is a bootstrap-free disjoint OR: out = a + b + trivial(mu), valid
+/// only when the compiler proves a and b are never simultaneously 1 (minterm
+/// sums from MUX-tree flattening). Noise variances add, which the cone
+/// solver's budget accounting tracks per wire.
+enum class GateKind {
+  kNand, kAnd, kOr, kNor, kXor, kXnor, kNot, kMux, kLut, kLutOut, kFreeOr
+};
 
 const char* gate_name(GateKind kind);
 
 /// Two-input gates evaluated as one linear combination + one bootstrapping.
 /// (NOT is a ciphertext negation; MUX is two bootstraps + a key switch; LUT
-/// is a weighted combination + one functional bootstrap.)
+/// is a weighted combination + one functional bootstrap; LutOut and FreeOr
+/// are linear-only.)
 inline bool is_binary_gate(GateKind kind) {
   return kind != GateKind::kNot && kind != GateKind::kMux &&
-         kind != GateKind::kLut;
+         kind != GateKind::kLut && kind != GateKind::kLutOut &&
+         kind != GateKind::kFreeOr;
 }
 
 /// Gate bootstrappings consumed by one evaluation of `kind`. A LUT costs a
-/// single bootstrap regardless of fan-in -- the whole point of cone fusion.
+/// single bootstrap regardless of fan-in -- the whole point of cone fusion --
+/// and its secondary outputs cost none at all.
 inline int bootstrap_cost(GateKind kind) {
-  if (kind == GateKind::kNot) return 0;
+  if (kind == GateKind::kNot || kind == GateKind::kLutOut ||
+      kind == GateKind::kFreeOr)
+    return 0;
   if (kind == GateKind::kMux) return 2;
+  return 1;
+}
+
+/// Blind rotations on the critical path contributed by one node: the latency
+/// analogue of bootstrap_cost. A MUX's two bootstraps run in parallel, so it
+/// adds one level of rotation latency, not two.
+inline int depth_cost(GateKind kind) {
+  if (kind == GateKind::kNot || kind == GateKind::kLutOut ||
+      kind == GateKind::kFreeOr)
+    return 0;
   return 1;
 }
 

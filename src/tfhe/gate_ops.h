@@ -48,7 +48,9 @@ inline LweSample binary_gate_input(GateKind kind, const LweSample& a,
     }
     case GateKind::kNot:
     case GateKind::kMux:
-    case GateKind::kLut: // LUT combos carry weights; see tfhe/functional.h
+    case GateKind::kLut:    // LUT combos carry weights; see tfhe/functional.h
+    case GateKind::kLutOut: // extracted from the parent LUT's rotation
+    case GateKind::kFreeOr: // linear-only disjoint OR; see batch_executor.h
       break;
   }
   return trivial(0); // unreachable for binary kinds

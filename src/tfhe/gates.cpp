@@ -17,6 +17,8 @@ const char* gate_name(GateKind kind) {
     case GateKind::kNot: return "NOT";
     case GateKind::kMux: return "MUX";
     case GateKind::kLut: return "LUT";
+    case GateKind::kLutOut: return "LUTOUT";
+    case GateKind::kFreeOr: return "FREEOR";
   }
   return "?";
 }

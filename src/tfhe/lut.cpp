@@ -9,9 +9,10 @@ namespace {
 
 /// All candidate weight vectors for fan-in k, minimum sum w_i^2 first (ties
 /// in generation order, so results are deterministic). Entries come from
-/// {1, -1, 2, -2, 3, -3}; vectors above kLutMaxWeightNorm are dropped.
-/// Built once for every k inside one magic-static initialization, so
-/// concurrent compiles may share it.
+/// {1, -1, 2, -2, 3, -3}; vectors above kLutMaxWeightNorm are dropped --
+/// per-problem budgets (which weigh in input variances) filter further at
+/// solve time. Built once for every k inside one magic-static
+/// initialization, so concurrent compiles may share it.
 const std::vector<std::array<int8_t, 4>>& weight_candidates(int k) {
   using List = std::vector<std::array<int8_t, 4>>;
   static const std::array<List, kLutMaxFanIn + 1> cache = [] {
@@ -46,25 +47,49 @@ const std::vector<std::array<int8_t, 4>>& weight_candidates(int k) {
   return cache[static_cast<size_t>(k)];
 }
 
-/// Try one weight vector: map every input combination onto its cell and
-/// check the equal-cell / antipodal-cell consistency rules. On success,
-/// `slots` holds the constrained slot signs (+1 true, -1 false, 0 free).
-bool consistent(int k, uint16_t table, const std::array<int8_t, 4>& w,
-                std::array<int, 4>& slots) {
-  slots = {0, 0, 0, 0};
+/// Per-slot constraint accumulated during a consistency check: the required
+/// sign (+1 true, -1 false, 0 free) and output amplitude of the slot value.
+struct SlotState {
+  int8_t sign = 0;
+  int8_t amp = 0;
+};
+
+/// Largest slot count of any grid in range (grid 4 has 8 free slots).
+constexpr int kMaxSlots = 1 << (kLutMaxGridLog - 1);
+
+/// Try one (grid, amps, weights, shifts) assignment: map every reachable
+/// input combination onto its cell for every output and check that no slot
+/// is asked for two different (sign, amplitude) values. On success `slots`
+/// holds the accumulated constraints.
+bool consistent_multi(int k, int n_out,
+                      const std::array<uint16_t, kLutMaxOutputs>& tables,
+                      uint32_t dc_mask,
+                      const std::array<int8_t, kLutMaxOutputs>& out_amp,
+                      int grid, const std::array<int8_t, 4>& amps,
+                      const std::array<int8_t, 4>& w,
+                      const std::array<int8_t, kLutMaxOutputs>& shifts,
+                      std::array<SlotState, kMaxSlots>& slots) {
+  slots.fill(SlotState{});
   for (unsigned b = 0; b < (1u << k); ++b) {
+    if ((dc_mask >> b) & 1u) continue;
     int s = 0;
     for (int i = 0; i < k; ++i) {
-      s += (b >> i) & 1u ? w[static_cast<size_t>(i)] : -w[static_cast<size_t>(i)];
+      const int step = static_cast<int>(w[static_cast<size_t>(i)])
+                       << (grid - amps[static_cast<size_t>(i)]);
+      s += (b >> i) & 1u ? step : -step;
     }
-    int slot = 0, sign = 0;
-    lut_cell(s, slot, sign);
-    // Required slot value so that sign * value == encoded output bit.
-    const int want = sign * (lut_eval(table, b) ? 1 : -1);
-    if (slots[static_cast<size_t>(slot)] == 0) {
-      slots[static_cast<size_t>(slot)] = want;
-    } else if (slots[static_cast<size_t>(slot)] != want) {
-      return false;
+    for (int j = 0; j < n_out; ++j) {
+      int slot = 0, sign = 0;
+      lut_cell_on_grid(s + shifts[static_cast<size_t>(j)], grid, slot, sign);
+      const int8_t want = static_cast<int8_t>(
+          sign * (lut_eval(tables[static_cast<size_t>(j)], b) ? 1 : -1));
+      SlotState& st = slots[static_cast<size_t>(slot)];
+      if (st.sign == 0) {
+        st.sign = want;
+        st.amp = out_amp[static_cast<size_t>(j)];
+      } else if (st.sign != want || st.amp != out_amp[static_cast<size_t>(j)]) {
+        return false;
+      }
     }
   }
   return true;
@@ -72,30 +97,130 @@ bool consistent(int k, uint16_t table, const std::array<int8_t, 4>& w,
 
 } // namespace
 
-std::optional<LutSpec> solve_lut_cone(int k, uint16_t table) {
-  if (k < 1 || k > kLutMaxFanIn) return std::nullopt;
-  std::array<int, 4> slots{};
-  for (const auto& w : weight_candidates(k)) {
-    if (consistent(k, table, w, slots)) {
-      LutSpec spec;
-      spec.k = static_cast<int8_t>(k);
-      spec.table = table;
-      spec.w = w;
-      return spec;
+std::optional<LutSpec> solve_lut_cone(const LutConeProblem& prob) {
+  if (prob.k < 1 || prob.k > kLutMaxFanIn) return std::nullopt;
+  if (prob.n_out < 1 || prob.n_out > kLutMaxOutputs) return std::nullopt;
+  std::array<SlotState, kMaxSlots> slots;
+  for (int grid = kLutMinGridLog; grid <= kLutMaxGridLog; ++grid) {
+    const int budget = prob.budget(grid);
+    if (budget <= 0) continue;
+    // Legal amplitude choices per input on this grid. Pinned amps finer than
+    // the grid rule the grid out entirely (steps would be fractional).
+    std::array<std::vector<int8_t>, 4> amp_opts;
+    bool grid_ok = true;
+    for (int i = 0; i < prob.k; ++i) {
+      auto& opts = amp_opts[static_cast<size_t>(i)];
+      const int pinned = prob.in_amp_log[static_cast<size_t>(i)];
+      if (pinned != 0) {
+        if (pinned > grid) {
+          grid_ok = false;
+          break;
+        }
+        opts.push_back(static_cast<int8_t>(pinned));
+      } else {
+        opts.push_back(3); // the stock encoding, legal on every grid
+        if (prob.in_reencodable[static_cast<size_t>(i)] && grid >= 4)
+          opts.push_back(4);
+      }
+    }
+    if (!grid_ok) continue;
+    // Whole-slot shifts within the free half-torus: extraction reads ring
+    // coefficient shift * (N / slots), which must stay below N (a shift into
+    // the mirror half would need a negated extraction).
+    const int shift_period = 1 << (grid - 1);
+    std::array<int, 4> amp_pick{};
+    for (;;) { // odometer over amplitude assignments, all-3 first
+      std::array<int8_t, 4> amps{3, 3, 3, 3};
+      for (int i = 0; i < prob.k; ++i)
+        amps[static_cast<size_t>(i)] =
+            amp_opts[static_cast<size_t>(i)][static_cast<size_t>(
+                amp_pick[static_cast<size_t>(i)])];
+      for (const auto& w : weight_candidates(prob.k)) {
+        int var = 0;
+        for (int i = 0; i < prob.k; ++i)
+          var += static_cast<int>(w[static_cast<size_t>(i)]) *
+                 w[static_cast<size_t>(i)] *
+                 prob.in_var[static_cast<size_t>(i)];
+        if (var > budget) continue;
+        // Odometer over the extra outputs' slot shifts (output 0 reads at
+        // shift 0). Coincident shifts of distinct tables die in the
+        // consistency check, so no distinctness filter is needed.
+        std::array<int8_t, kLutMaxOutputs> shifts{};
+        for (int j = 1; j < prob.n_out; ++j)
+          shifts[static_cast<size_t>(j)] = 1;
+        for (;;) {
+          if (consistent_multi(prob.k, prob.n_out, prob.tables, prob.dc_mask,
+                               prob.out_amp_log, grid, amps, w, shifts,
+                               slots)) {
+            LutSpec spec;
+            spec.k = static_cast<int8_t>(prob.k);
+            spec.table = prob.tables[0];
+            spec.w = w;
+            spec.grid_log = static_cast<int8_t>(grid);
+            spec.in_amp_log = amps;
+            spec.out_amp_log = prob.out_amp_log[0];
+            spec.n_out = static_cast<int8_t>(prob.n_out);
+            spec.dc_mask = static_cast<uint16_t>(prob.dc_mask);
+            for (int j = 1; j < prob.n_out; ++j)
+              spec.extra[static_cast<size_t>(j - 1)] =
+                  LutOutput{prob.tables[static_cast<size_t>(j)],
+                            shifts[static_cast<size_t>(j)],
+                            prob.out_amp_log[static_cast<size_t>(j)]};
+            return spec;
+          }
+          if (prob.n_out == 1) break;
+          int j = prob.n_out - 1;
+          while (j >= 1 &&
+                 ++shifts[static_cast<size_t>(j)] == shift_period) {
+            shifts[static_cast<size_t>(j)] = 1;
+            --j;
+          }
+          if (j < 1) break;
+        }
+      }
+      int i = prob.k - 1;
+      while (i >= 0 &&
+             static_cast<size_t>(++amp_pick[static_cast<size_t>(i)]) ==
+                 amp_opts[static_cast<size_t>(i)].size()) {
+        amp_pick[static_cast<size_t>(i)] = 0;
+        --i;
+      }
+      if (i < 0) break;
     }
   }
   return std::nullopt;
 }
 
-std::array<Torus32, 4> lut_slot_values(const LutSpec& spec, Torus32 mu) {
-  std::array<int, 4> slots{};
-  [[maybe_unused]] const bool ok =
-      consistent(spec.k, spec.table, spec.w, slots);
-  assert(ok && "LutSpec weights inconsistent with its truth table");
-  std::array<Torus32, 4> values{};
+std::optional<LutSpec> solve_lut_cone(int k, uint16_t table) {
+  LutConeProblem prob;
+  prob.k = k;
+  prob.tables[0] = table;
+  for (int i = 0; i < 4; ++i) prob.in_amp_log[static_cast<size_t>(i)] = 3;
+  return solve_lut_cone(prob);
+}
+
+std::vector<Torus32> lut_slot_values(const LutSpec& spec) {
+  std::array<uint16_t, kLutMaxOutputs> tables{};
+  std::array<int8_t, kLutMaxOutputs> out_amp{};
+  std::array<int8_t, kLutMaxOutputs> shifts{};
+  for (int j = 0; j < spec.n_out; ++j) {
+    const LutOutput out = spec.output(j);
+    tables[static_cast<size_t>(j)] = out.table;
+    out_amp[static_cast<size_t>(j)] = out.amp_log;
+    shifts[static_cast<size_t>(j)] = out.slot_shift;
+  }
+  std::array<SlotState, kMaxSlots> slots;
+  [[maybe_unused]] const bool ok = consistent_multi(
+      spec.k, spec.n_out, tables, spec.dc_mask, out_amp, spec.grid_log,
+      spec.in_amp_log, spec.w, shifts, slots);
+  assert(ok && "LutSpec inconsistent with its truth tables");
+  std::vector<Torus32> values(static_cast<size_t>(spec.slots()));
   for (size_t j = 0; j < values.size(); ++j) {
-    // Free slots are never hit by a noiseless combo; pin them to "false".
-    values[j] = slots[j] > 0 ? mu : static_cast<Torus32>(-mu);
+    // Free slots are never hit by a noiseless combo; pin them to "false" at
+    // the primary amplitude.
+    const int amp_log = slots[j].sign == 0 ? spec.out_amp_log : slots[j].amp;
+    const Torus32 amp = torus_fraction(1, int64_t{1} << amp_log);
+    values[j] = slots[j].sign > 0 ? amp : static_cast<Torus32>(-amp);
   }
   return values;
 }

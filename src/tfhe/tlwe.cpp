@@ -53,4 +53,20 @@ void sample_extract_into(const TLweSample& c, LweSample& out) {
   out.b = c.b.coeffs[0];
 }
 
+void sample_extract_at(const TLweSample& c, int j, LweSample& out) {
+  // Coefficient j of the message: b_j - sum_i s_i * a'_i with
+  // a'_i = a_{j-i} for i <= j and a'_i = -a_{N+j-i} for i > j (the
+  // negacyclic transpose shifted to row j). j = 0 reduces to
+  // sample_extract_into.
+  const int n = c.n_ring();
+  out.a.resize(static_cast<size_t>(n));
+  for (int i = 0; i <= j; ++i) {
+    out.a[static_cast<size_t>(i)] = c.a.coeffs[j - i];
+  }
+  for (int i = j + 1; i < n; ++i) {
+    out.a[static_cast<size_t>(i)] = static_cast<Torus32>(-c.a.coeffs[n + j - i]);
+  }
+  out.b = c.b.coeffs[j];
+}
+
 } // namespace matcha

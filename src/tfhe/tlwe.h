@@ -71,4 +71,9 @@ LweSample sample_extract(const TLweSample& c);
 /// Allocation-free sample_extract: out is resized to N and overwritten.
 void sample_extract_into(const TLweSample& c, LweSample& out);
 
+/// Extract the LWE sample encrypting coefficient j of the message (the
+/// multi-output LUT path reads one rotated accumulator at several offsets).
+/// j = 0 matches sample_extract_into exactly.
+void sample_extract_at(const TLweSample& c, int j, LweSample& out);
+
 } // namespace matcha

@@ -165,7 +165,11 @@ struct RandomCircuit {
         case GateKind::kXnor: v[i] = a == c; break;
         case GateKind::kNot: v[i] = !a; break;
         case GateKind::kMux: v[i] = a ? c : d; break;
-        case GateKind::kLut: ADD_FAILURE() << "no LUTs recorded"; break;
+        case GateKind::kFreeOr: v[i] = a || c; break;
+        case GateKind::kLut:
+        case GateKind::kLutOut:
+          ADD_FAILURE() << "no LUTs recorded";
+          break;
       }
     }
     return v;

@@ -48,7 +48,10 @@ bool eval_plain(GateKind kind, bool a, bool b, bool c = false) {
     case GateKind::kXnor: return a == b;
     case GateKind::kNot: return !a;
     case GateKind::kMux: return a ? b : c;
-    case GateKind::kLut: break; // not constructed by these tests
+    case GateKind::kFreeOr: return a || b;
+    case GateKind::kLut:
+    case GateKind::kLutOut:
+      break; // not constructed by these tests
   }
   return false;
 }

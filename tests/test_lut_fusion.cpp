@@ -8,13 +8,17 @@
 //      Boolean-cone counterparts while spending strictly fewer bootstraps.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "circuits/word.h"
 #include "exec/batch_executor.h"
 #include "exec/circuit_builder.h"
 #include "exec/sim_bridge.h"
+#include "fft/simd_fft.h"
 #include "tfhe/functional.h"
 #include "tfhe/lut.h"
 #include "test_util.h"
@@ -38,24 +42,34 @@ std::unique_ptr<DoubleFftEngine> make_engine() {
   return std::make_unique<DoubleFftEngine>(shared_keys().params.ring.n_ring);
 }
 
-/// Independent re-check of the solver's contract: every input combination's
-/// cell must decode, through the spec's slot values, to the table's output.
+/// Independent re-check of the solver's contract: every reachable input
+/// combination's cell must decode, through the spec's slot values, to every
+/// output's table bit at that output's amplitude (generalized grid: steps
+/// scale by 2^(grid - amp), secondary outputs read `slot_shift` slots along).
 void expect_spec_consistent(const LutSpec& spec) {
-  const Torus32 mu = torus_fraction(1, 8);
-  const auto slots = lut_slot_values(spec, mu);
+  const auto slots = lut_slot_values(spec);
+  ASSERT_EQ(slots.size(), static_cast<size_t>(spec.slots()));
   for (unsigned b = 0; b < (1u << spec.k); ++b) {
+    if ((spec.dc_mask >> b) & 1u) continue;
     int s = 0;
     for (int i = 0; i < spec.k; ++i) {
-      s += (b >> i) & 1u ? spec.w[static_cast<size_t>(i)]
-                         : -spec.w[static_cast<size_t>(i)];
+      s += (b >> i) & 1u ? spec.step(i) : -spec.step(i);
     }
-    int slot = 0, sign = 0;
-    lut_cell(s, slot, sign);
-    const Torus32 out =
-        sign > 0 ? slots[static_cast<size_t>(slot)]
-                 : static_cast<Torus32>(-slots[static_cast<size_t>(slot)]);
-    const Torus32 want = lut_eval(spec.table, b) ? mu : static_cast<Torus32>(-mu);
-    EXPECT_EQ(out, want) << "table=0x" << std::hex << spec.table << " b=" << b;
+    for (int j = 0; j < spec.n_out; ++j) {
+      const LutOutput o = spec.output(j);
+      ASSERT_GE(o.slot_shift, 0);
+      ASSERT_LT(o.slot_shift, spec.slots()); // extraction stays below ring N
+      int slot = 0, sign = 0;
+      lut_cell_on_grid(s + o.slot_shift, spec.grid_log, slot, sign);
+      const Torus32 amp = torus_fraction(1, int64_t{1} << o.amp_log);
+      const Torus32 out =
+          sign > 0 ? slots[static_cast<size_t>(slot)]
+                   : static_cast<Torus32>(-slots[static_cast<size_t>(slot)]);
+      const Torus32 want =
+          lut_eval(o.table, b) ? amp : static_cast<Torus32>(-amp);
+      EXPECT_EQ(out, want) << "table=0x" << std::hex << o.table << std::dec
+                           << " out=" << j << " b=" << b;
+    }
   }
 }
 
@@ -120,6 +134,107 @@ TEST(LutSolver, EverySolvedTableIsConsistentExhaustively) {
   }
   // At least the symmetric workhorses must be in the accepted set.
   EXPECT_GT(solved, 16);
+}
+
+TEST(LutSolver, AmplitudeSearchUnlocksAnd3Class) {
+  // AND3-class tables (one minterm / one maxterm) have no grid-3 embedding
+  // at uniform mu = 1/8 -- the classic solver rightly rejects them. With
+  // re-encodable inputs the generalized search may move inputs to amplitude
+  // 1/16 on grid 4, where every one-minterm table embeds with unit weights.
+  for (unsigned c = 0; c < 8; ++c) {
+    const uint16_t one_hot = static_cast<uint16_t>(1u << c);
+    const uint16_t one_cold = static_cast<uint16_t>(0xFFu ^ one_hot);
+    for (const uint16_t t : {one_hot, one_cold}) {
+      EXPECT_FALSE(solve_lut_cone(3, t).has_value())
+          << "grid-3 embedding should not exist for 0x" << std::hex << t;
+      LutConeProblem prob;
+      prob.k = 3;
+      prob.tables[0] = t;
+      prob.in_reencodable = {true, true, true, true};
+      const auto spec = solve_lut_cone(prob);
+      ASSERT_TRUE(spec.has_value()) << "table 0x" << std::hex << t;
+      EXPECT_EQ(spec->grid_log, 4);
+      expect_spec_consistent(*spec);
+    }
+  }
+  // Pinning any one input to amplitude 3 (a raw circuit input, not
+  // re-encodable) must not break AND3 -- the mixed-amplitude search covers it.
+  LutConeProblem mixed;
+  mixed.k = 3;
+  mixed.tables[0] = 0x80; // AND3
+  mixed.in_amp_log = {3, 0, 0, 0};
+  mixed.in_reencodable = {false, true, true, true};
+  const auto spec = solve_lut_cone(mixed);
+  ASSERT_TRUE(spec.has_value());
+  expect_spec_consistent(*spec);
+}
+
+TEST(LutSolver, ExhaustiveK3AcrossAmplitudeSets) {
+  // Every three-input table, under both amplitude regimes: the pinned
+  // grid-3 problem (all inputs mu = 1/8) and the free search with
+  // re-encodable producers. Whatever solves must verify against the slot
+  // algebra; the free search must solve a strict superset.
+  int solved_pinned = 0, solved_free = 0;
+  for (unsigned table = 1; table < 255; ++table) { // constants never embed
+    const auto pinned = solve_lut_cone(3, static_cast<uint16_t>(table));
+    if (pinned) {
+      ++solved_pinned;
+      expect_spec_consistent(*pinned);
+    }
+    LutConeProblem prob;
+    prob.k = 3;
+    prob.tables[0] = static_cast<uint16_t>(table);
+    prob.in_reencodable = {true, true, true, true};
+    const auto free_spec = solve_lut_cone(prob);
+    if (free_spec) {
+      ++solved_free;
+      expect_spec_consistent(*free_spec);
+    }
+    // Coarsest-grid-first search: anything with a grid-3 embedding still
+    // solves when the amplitudes are freed.
+    if (pinned) {
+      EXPECT_TRUE(free_spec.has_value()) << "table " << table;
+    }
+  }
+  EXPECT_GT(solved_pinned, 16);
+  EXPECT_GT(solved_free, solved_pinned);
+}
+
+TEST(LutSolver, MultiOutputPacksSolveAndVerify) {
+  // The packing pass's bread and butter. (AND2, OR2) shares one rotation on
+  // the stock grid; (XOR3, MAJ3) -- a whole full adder -- packs once the
+  // inputs may be re-encoded.
+  {
+    LutConeProblem ha;
+    ha.k = 2;
+    ha.n_out = 2;
+    ha.tables[0] = 0x8; // AND2
+    ha.tables[1] = 0xE; // OR2
+    ha.in_amp_log = {3, 3, 0, 0};
+    const auto spec = solve_lut_cone(ha);
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->n_out, 2);
+    EXPECT_GT(spec->output(1).slot_shift, 0);
+    expect_spec_consistent(*spec);
+  }
+  {
+    const uint16_t xor3 = table_of(3, [](unsigned b) {
+      return (__builtin_popcount(b) & 1) != 0;
+    });
+    const uint16_t maj3 = table_of(3, [](unsigned b) {
+      return __builtin_popcount(b) >= 2;
+    });
+    LutConeProblem fa;
+    fa.k = 3;
+    fa.n_out = 2;
+    fa.tables[0] = xor3;
+    fa.tables[1] = maj3;
+    fa.in_reencodable = {true, true, true, true};
+    const auto spec = solve_lut_cone(fa);
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->n_out, 2);
+    expect_spec_consistent(*spec);
+  }
 }
 
 TEST(LutExec, RecordedLutMatchesTableUnderEncryption) {
@@ -290,6 +405,265 @@ TEST(Fusion, FusedBundleDecryptsIdenticallyToUnfused) {
     EXPECT_EQ(K.sk.decrypt_bit(ru.at(unfused.remap(gt))), vx > vy ? 1 : 0);
     EXPECT_EQ(K.sk.decrypt_bit(rf.at(fused.remap(eq))), vx == vy ? 1 : 0);
     EXPECT_EQ(K.sk.decrypt_bit(ru.at(unfused.remap(eq))), vx == vy ? 1 : 0);
+  }
+}
+
+TEST(Fusion, SiblingLutsPackIntoOneRotation) {
+  // Two LUT nodes over the same operand pair merge into a single rotation
+  // with two sample extractions -- and the multi-output executor path must
+  // decrypt exactly, at one thread and several.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+
+  CircuitBuilder b;
+  const Wire x = b.input(), y = b.input();
+  const Wire a = b.gate_lut({x, y}, 0x8); // AND2
+  const Wire o = b.gate_lut({x, y}, 0xE); // OR2
+  b.mark_output(a);
+  b.mark_output(o);
+  const CompiledGraph c = b.compile();
+
+  EXPECT_GE(c.stats.luts_packed, 2);
+  EXPECT_EQ(c.stats.extra_outputs, 1);
+  EXPECT_EQ(c.graph.bootstrap_count(), 1);
+  EXPECT_EQ(c.graph.extraction_count(), 2);
+  int multi = 0, louts = 0;
+  for (const auto& n : c.graph.nodes()) {
+    if (!n.is_gate()) continue;
+    if (n.kind == GateKind::kLut) {
+      EXPECT_EQ(n.lut.n_out, 2);
+      expect_spec_consistent(n.lut);
+      ++multi;
+    } else if (n.kind == GateKind::kLutOut) {
+      ++louts;
+    }
+  }
+  EXPECT_EQ(multi, 1);
+  EXPECT_EQ(louts, 1);
+
+  BatchExecutor<DoubleFftEngine> ex1(make_engine, dk.bk, *dk.ks, K.params.mu(), 1);
+  BatchExecutor<DoubleFftEngine> ex2(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+  Rng rng = test::test_rng(93);
+  for (unsigned bits = 0; bits < 4; ++bits) {
+    std::vector<LweSample> in;
+    for (int i = 0; i < 2; ++i) {
+      in.push_back(lwe_encrypt_bit(K.sk.lwe, (bits >> i) & 1, K.params.mu(),
+                                   K.params.lwe.sigma, rng));
+    }
+    for (auto* ex : {&ex1, &ex2}) {
+      const BatchResult r = ex->run(c.graph, in);
+      EXPECT_EQ(K.sk.decrypt_bit(r.at(c.remap(a))), (bits == 3) ? 1 : 0);
+      EXPECT_EQ(K.sk.decrypt_bit(r.at(c.remap(o))), (bits != 0) ? 1 : 0);
+    }
+  }
+  // One rotation, two extractions, per run -- straight off the counters.
+  EXPECT_EQ(ex1.last_stats().bootstraps, 1);
+  EXPECT_EQ(ex1.last_stats().sample_extracts, 2);
+  EXPECT_EQ(ex1.last_stats().max_extraction_fanout, 2);
+}
+
+TEST(Fusion, And3ConeFusesThroughReencoding) {
+  // (a^b) & (c^d) & (e^f): AND3 has no stock-grid embedding, so this only
+  // collapses because fusion re-encodes the XOR producers to amplitude 1/16.
+  // Regression for the encoding-aware legality rules: 5 gate bootstraps
+  // become 4 (three XORs + one grid-4 AND3 LUT) at depth 2.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+
+  CircuitBuilder b;
+  std::vector<Wire> in;
+  for (int i = 0; i < 6; ++i) in.push_back(b.input());
+  const Wire x1 = b.gate_xor(in[0], in[1]);
+  const Wire x2 = b.gate_xor(in[2], in[3]);
+  const Wire x3 = b.gate_xor(in[4], in[5]);
+  const Wire out = b.gate_and(b.gate_and(x1, x2), x3);
+  b.mark_output(out);
+  const CompiledGraph c = b.compile();
+
+  EXPECT_EQ(c.stats.bootstraps_after, 4);
+  EXPECT_EQ(c.stats.depth_after, 2);
+  bool found_and3 = false;
+  for (const auto& n : c.graph.nodes()) {
+    if (n.is_gate() && n.kind == GateKind::kLut && n.lut.k == 3) {
+      found_and3 = true;
+      EXPECT_EQ(n.lut.grid_log, 4);
+      expect_spec_consistent(n.lut);
+    }
+  }
+  EXPECT_TRUE(found_and3);
+
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+  Rng rng = test::test_rng(94);
+  for (int trial = 0; trial < 16; ++trial) {
+    const unsigned bits = static_cast<unsigned>(rng.uniform_below(64));
+    std::vector<LweSample> enc;
+    for (int i = 0; i < 6; ++i) {
+      enc.push_back(lwe_encrypt_bit(K.sk.lwe, (bits >> i) & 1, K.params.mu(),
+                                    K.params.lwe.sigma, rng));
+    }
+    const BatchResult r = ex.run(c.graph, std::move(enc));
+    const int b01 = ((bits >> 0) ^ (bits >> 1)) & 1;
+    const int b23 = ((bits >> 2) ^ (bits >> 3)) & 1;
+    const int b45 = ((bits >> 4) ^ (bits >> 5)) & 1;
+    EXPECT_EQ(K.sk.decrypt_bit(r.at(c.remap(out))), b01 & b23 & b45)
+        << "bits " << bits;
+  }
+}
+
+TEST(Fusion, MuxWordSelectorFlattens) {
+  // A 4-bit 4-to-1 word selector: four MUX trees over one shared select
+  // pair. Flattening lowers every tree to select-minterm LUTs (shared across
+  // the word) plus per-bit gated terms joined by bootstrap-free disjoint
+  // ORs; no kMux survives and both the bootstrap count and the critical
+  // path shrink.
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  constexpr int kW = 4;
+
+  CircuitBuilder b;
+  const Wire s0 = b.input(), s1 = b.input();
+  std::array<SymWord, 4> words;
+  for (auto& w : words) w = b.input_word(kW);
+  SymWord out;
+  for (int j = 0; j < kW; ++j) {
+    const Wire lo = b.gate_mux(s0, words[1].bits[j], words[0].bits[j]);
+    const Wire hi = b.gate_mux(s0, words[3].bits[j], words[2].bits[j]);
+    out.bits.push_back(b.gate_mux(s1, hi, lo));
+  }
+  b.mark_output(out);
+
+  OptimizeOptions no_flatten;
+  no_flatten.flatten_mux_trees = false;
+  no_flatten.fuse_lut_cones = false;
+  no_flatten.pack_multi_output = false;
+  const CompiledGraph muxed = b.compile(no_flatten);
+  const CompiledGraph flat = b.compile();
+
+  EXPECT_EQ(flat.stats.mux_trees_flattened, kW);
+  EXPECT_LT(flat.stats.bootstraps_after, muxed.stats.bootstraps_after);
+  EXPECT_LE(flat.stats.bootstraps_after, 20); // 4 minterms + 16 gated terms
+  // A 2-level select tree is already depth-optimal; flattening must not
+  // make it deeper (deep trees shrink -- see the muxtree16x4 bench).
+  EXPECT_LE(flat.stats.depth_after, muxed.stats.depth_after);
+  bool has_free_or = false;
+  for (const auto& n : flat.graph.nodes()) {
+    EXPECT_NE(n.kind, GateKind::kMux);
+    if (n.kind == GateKind::kFreeOr) has_free_or = true;
+  }
+  EXPECT_TRUE(has_free_or);
+
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+  Rng rng = test::test_rng(95);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int sel = static_cast<int>(rng.uniform_below(4));
+    std::array<uint64_t, 4> v{};
+    std::vector<LweSample> enc;
+    enc.push_back(lwe_encrypt_bit(K.sk.lwe, sel & 1, K.params.mu(),
+                                  K.params.lwe.sigma, rng));
+    enc.push_back(lwe_encrypt_bit(K.sk.lwe, (sel >> 1) & 1, K.params.mu(),
+                                  K.params.lwe.sigma, rng));
+    for (auto& w : v) {
+      w = rng.uniform_below(1u << kW);
+      const circuits::EncWord e = circuits::encrypt_word(K.sk, w, kW, rng);
+      enc.insert(enc.end(), e.bits.begin(), e.bits.end());
+    }
+    const BatchResult r = ex.run(flat.graph, std::move(enc));
+    circuits::EncWord got;
+    for (const Wire bit : out.bits) got.bits.push_back(r.at(flat.remap(bit)));
+    EXPECT_EQ(circuits::decrypt_word(K.sk, got), v[static_cast<size_t>(sel)])
+        << "sel " << sel;
+  }
+}
+
+TEST(Fusion, MultiOutputFusedMatchesUnfusedAcrossEnginesThreadsBatches) {
+  // The full round-2 pipeline (rebalance + flatten + fuse + pack) against
+  // the bit-preserving baseline: random inputs, both spectral engines,
+  // several thread counts, several batch sizes -- every output bit of every
+  // batch item must agree.
+  const auto& K = shared_keys();
+  // A 4-bit multiplier: its partial-product / carry cones are where the
+  // optimizer both fuses through re-encodings and packs sibling LUTs into
+  // shared rotations, so this circuit drives the multi-output path hard.
+  constexpr int kW = 4;
+
+  CircuitBuilder b;
+  const SymWord x = b.input_word(kW), y = b.input_word(kW);
+  SymWordCircuits wc(b);
+  const SymWord prod = wc.multiply(x, y);
+  const Wire gt = wc.greater_than(x, y);
+  b.mark_output(prod);
+  b.mark_output(gt);
+  const uint64_t prod_mask = (uint64_t{1} << prod.bits.size()) - 1;
+
+  const CompiledGraph base = b.compile(OptimizeOptions::bit_preserving());
+  const CompiledGraph fused = b.compile();
+  ASSERT_GT(fused.stats.cones_fused, 0);
+  // Packing must actually trigger, or this test is not exercising the
+  // multi-output execution path it exists for.
+  ASSERT_GT(fused.stats.extra_outputs, 0);
+  EXPECT_LT(fused.stats.bootstraps_after, base.stats.bootstraps_after);
+
+  Rng value_rng = test::test_rng(96);
+  const auto run_on = [&](auto& ex, const CompiledGraph& c, uint64_t vx,
+                          uint64_t vy, int batch, uint64_t seed) {
+    std::vector<std::vector<LweSample>> items;
+    for (int i = 0; i < batch; ++i) {
+      Rng rng = test::test_rng(seed + static_cast<uint64_t>(i));
+      std::vector<LweSample> in;
+      for (const uint64_t v : {vx, vy}) {
+        const circuits::EncWord e = circuits::encrypt_word(K.sk, v, kW, rng);
+        in.insert(in.end(), e.bits.begin(), e.bits.end());
+      }
+      items.push_back(std::move(in));
+    }
+    std::vector<BatchResult> rs = ex.run_batch(c.graph, std::move(items));
+    std::vector<std::pair<uint64_t, int>> decoded;
+    for (const BatchResult& r : rs) {
+      circuits::EncWord e;
+      for (const Wire bit : prod.bits) e.bits.push_back(r.at(c.remap(bit)));
+      decoded.emplace_back(circuits::decrypt_word(K.sk, e),
+                           K.sk.decrypt_bit(r.at(c.remap(gt))));
+    }
+    return decoded;
+  };
+
+  const auto check_engine = [&](auto make_eng, const auto& dk,
+                                const char* tag) {
+    using Engine = std::decay_t<decltype(*make_eng())>;
+    int round = 0;
+    for (const int threads : {1, 3}) {
+      for (const int batch : {1, 3}) {
+        BatchExecutor<Engine> ex(make_eng, dk.bk, *dk.ks, K.params.mu(),
+                                 threads);
+        const uint64_t vx = value_rng.uniform_below(1u << kW);
+        const uint64_t vy = value_rng.uniform_below(1u << kW);
+        const uint64_t seed = 9000 + static_cast<uint64_t>(round++) * 17;
+        const auto got_f = run_on(ex, fused, vx, vy, batch, seed);
+        const auto got_b = run_on(ex, base, vx, vy, batch, seed);
+        ASSERT_EQ(got_f.size(), static_cast<size_t>(batch));
+        for (int i = 0; i < batch; ++i) {
+          EXPECT_EQ(got_f[static_cast<size_t>(i)].first, (vx * vy) & prod_mask)
+              << tag << " threads=" << threads << " batch=" << batch;
+          EXPECT_EQ(got_f[static_cast<size_t>(i)],
+                    got_b[static_cast<size_t>(i)])
+              << tag << " threads=" << threads << " batch=" << batch
+              << " item=" << i;
+        }
+      }
+    }
+  };
+
+  {
+    const auto dk = load_device_keyset(K.deng, K.ck2);
+    check_engine(make_engine, dk, "double");
+  }
+  {
+    SimdFftEngine seng(K.params.ring.n_ring);
+    const auto dk = load_device_keyset(seng, K.ck2);
+    const auto make_simd = [&] {
+      return std::make_unique<SimdFftEngine>(K.params.ring.n_ring);
+    };
+    check_engine(make_simd, dk, "simd");
   }
 }
 
