@@ -252,6 +252,7 @@ int main() {
   j.begin_object();
   j.field("software_engine", "simd_fft");
   j.field("simd_kernels", eng.level_name());
+  bench::write_host_header(j);
 
   std::printf("\n-- software batch execution (exec/BatchExecutor) --\n");
   std::printf("%-8s%-8s%-8s%-8s%12s%12s%10s%8s\n", "blocks", "gates", "levels",
@@ -572,9 +573,9 @@ int main() {
   j.end_array();
 
   std::printf("\n-- multi-chip sharding (mul8+cmp bundle, partitioned) --\n");
-  std::printf("%-6s%-6s%12s%10s%8s%10s%14s%12s%12s\n", "m", "chips",
-              "makespan_ms", "speedup", "cut", "xfers", "xfer_busy_ms",
-              "link_util", "occupancy");
+  std::printf("%-6s%-6s%12s%12s%10s%10s%8s%10s%15s\n", "m", "chips",
+              "makespan_ms", "greedy_ms", "refine%", "speedup", "cut", "xfers",
+              "partition");
   j.name("multichip");
   j.begin_array();
   {
@@ -588,16 +589,19 @@ int main() {
         double mean_occ = 0;
         for (const double o : r.chip_occupancy) mean_occ += o;
         mean_occ /= r.chip_occupancy.empty() ? 1 : r.chip_occupancy.size();
-        std::printf("%-6d%-6d%12.3f%10.2f%8lld%10lld%14.4f%12.2f%12.2f\n", m,
-                    chips, r.time_ms, t_one / r.time_ms,
-                    static_cast<long long>(r.cut_wires),
-                    static_cast<long long>(r.transfers), r.transfer_busy_ms,
-                    r.link_utilization, mean_occ);
+        std::printf("%-6d%-6d%12.3f%12.3f%10.1f%10.2f%8lld%10lld%15s\n", m,
+                    chips, r.time_ms, r.time_greedy_ms, 100.0 * r.refine_gain,
+                    t_one / r.time_ms, static_cast<long long>(r.cut_wires),
+                    static_cast<long long>(r.transfers),
+                    r.partition_source.c_str());
         j.begin_object();
         j.field("circuit", "mul8+cmp");
         j.field("unroll_m", m);
         j.field("chips", chips);
         j.field("makespan_ms", r.time_ms);
+        j.field("makespan_greedy_ms", r.time_greedy_ms);
+        j.field("refine_gain", r.refine_gain);
+        j.field("partition_source", r.partition_source.c_str());
         j.field("speedup_vs_1chip", t_one / r.time_ms);
         j.field("cut_wires", r.cut_wires);
         j.field("transfers", r.transfers);
@@ -613,6 +617,59 @@ int main() {
         j.name("chip_bootstraps");
         j.begin_array();
         for (const int64_t b : r.chip_bootstraps) j.value(b);
+        j.end_array();
+        j.end_object();
+      }
+    }
+  }
+  j.end_array();
+
+  std::printf(
+      "\n-- replicate-vs-shard policy (mul8+cmp, batch x chips, m=3) --\n");
+  std::printf("%-8s%-8s%12s%8s%14s%12s%12s%10s\n", "batch", "chips", "policy",
+              "groups", "batch_ms", "circ/s", "thr_speedup", "xfers");
+  j.name("multichip_policy");
+  j.begin_array();
+  {
+    const sim::GateDag big_dag = exec::to_gate_dag(opt.graph);
+    constexpr int kPolicyM = 3;
+    for (const int chips : {2, 4}) {
+      for (const int batch : {1, 2, 4, 8}) {
+        const auto r = sim::simulate_batch_policy(paper, kPolicyM, big_dag,
+                                                  batch, chips);
+        const auto r1 =
+            sim::simulate_batch_policy(paper, kPolicyM, big_dag, batch, 1);
+        const double thr_speedup =
+            r.time_ms > 0 ? r1.time_ms / r.time_ms : 0.0;
+        std::printf("%-8d%-8d%12s%8d%14.3f%12.1f%12.2f%10lld\n", batch, chips,
+                    r.policy_label.c_str(), r.replica_groups, r.time_ms,
+                    r.circuits_per_s, thr_speedup,
+                    static_cast<long long>(r.transfers));
+        j.begin_object();
+        j.field("circuit", "mul8+cmp");
+        j.field("unroll_m", kPolicyM);
+        j.field("batch", batch);
+        j.field("chips", chips);
+        j.field("policy", r.policy_label.c_str());
+        j.field("replica_groups", r.replica_groups);
+        j.field("group_size", r.group_size);
+        j.field("makespan_ms", r.time_ms);
+        j.field("throughput_speedup_vs_1chip", thr_speedup);
+        j.field("circuits_per_s", r.circuits_per_s);
+        j.field("bootstraps_per_s", r.bootstraps_per_s);
+        j.field("total_bootstraps", r.total_bootstraps);
+        j.field("cut_wires", r.cut_wires);
+        j.field("transfers", r.transfers);
+        j.field("link_utilization", r.link_utilization);
+        j.name("considered");
+        j.begin_array();
+        for (const auto& v : r.considered) {
+          j.begin_object();
+          j.field("policy", v.policy_label.c_str());
+          j.field("replica_groups", v.replica_groups);
+          j.field("makespan_ms", v.time_ms);
+          j.end_object();
+        }
         j.end_array();
         j.end_object();
       }

@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "platform/platforms.h"
@@ -67,6 +69,17 @@ class JsonWriter {
   std::vector<int> count_;
   bool after_name_ = false;
 };
+
+/// Host-environment fields every BENCH_*.json header must carry: software
+/// thread sweeps on a 1-core CI runner are meaningless without the core
+/// count, and kernel latencies without the SIMD tier the build was forced
+/// to. Call right after begin_object() of the header.
+inline void write_host_header(JsonWriter& j) {
+  j.field("host_cores",
+          static_cast<int64_t>(std::thread::hardware_concurrency()));
+  const char* simd_env = std::getenv("MATCHA_SIMD");
+  j.field("matcha_simd_env", simd_env != nullptr ? simd_env : "");
+}
 
 inline void print_platform_sweep(
     const char* title, const char* unit,

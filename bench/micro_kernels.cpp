@@ -355,6 +355,7 @@ int main() {
   j.field("ring_n", kRingN);
   j.field("simd_hw", simd_level_name(hw));
   j.field("simd_active", active_name);
+  bench::write_host_header(j);
   j.name("kernels");
   j.begin_array();
   for (const Row& r : rows) {

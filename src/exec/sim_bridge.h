@@ -25,7 +25,11 @@ namespace matcha::exec {
 /// parent rotation's node: still one rotation, with `extractions`
 /// accumulator readouts; consumers of any output depend on the parent.
 /// kFreeOr and kNot project as zero-bootstrap wire nodes, so the chip's
-/// dependence structure sees through them at no latency.
+/// dependence structure sees through them at no latency; each is *pinned* to
+/// the rotation that feeds it (its first operand), so the round-2
+/// partitioner keeps these wires on their anchor's chip and never pays a
+/// transfer to move a free linear op somewhere else
+/// (sim::PartitionOptions::pin_wire_nodes).
 inline sim::GateDag to_gate_dag(const GateGraph& g) {
   sim::GateDag dag;
   dag.gates.reserve(static_cast<size_t>(g.num_gates()));
@@ -43,6 +47,9 @@ inline sim::GateDag to_gate_dag(const GateGraph& g) {
     sim::GateDagNode d;
     d.bootstraps = bootstrap_cost(n.kind);
     d.extractions = d.bootstraps; // one readout per rotation (0 for NOT/FREEOR)
+    if (d.bootstraps == 0 && n.fan_in() > 0) {
+      d.pin = gate_index[n.in[0]]; // anchor the free wire to its producer
+    }
     for (int j = 0; j < n.fan_in(); ++j) {
       const int dep = gate_index[n.in[j]];
       if (dep >= 0 &&

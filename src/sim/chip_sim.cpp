@@ -1,6 +1,10 @@
 #include "sim/chip_sim.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "sim/scheduler.h"
 
 namespace matcha::sim {
 
@@ -94,28 +98,26 @@ CircuitSimResult simulate_circuit(const TfheParams& tfhe, int unroll_m,
   return out;
 }
 
-MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
-                                              int unroll_m, const GateDag& dag,
-                                              int num_chips,
-                                              const hw::MatchaConfig& cfg) {
-  SimParams p;
-  p.hw = cfg;
-  p.tfhe = tfhe;
-  p.unroll_m = unroll_m;
+namespace {
 
-  // One LWE ciphertext crosses the link per transfer: (n+1) Torus32 words.
+/// Link cycles per cross-chip LWE ciphertext: (n+1) Torus32 words over the
+/// cfg.interchip_gbps link at the chip clock.
+int64_t lwe_transfer_cycles(const SimParams& p) {
   const int64_t lwe_bytes = static_cast<int64_t>(p.n_lwe() + 1) * 4;
   const double link_bytes_per_cycle =
-      cfg.interchip_gbps * 1e9 / p.cycles_per_second();
-  const int64_t transfer_cycles = static_cast<int64_t>(
+      p.hw.interchip_gbps * 1e9 / p.cycles_per_second();
+  return static_cast<int64_t>(
       (lwe_bytes + link_bytes_per_cycle - 1) / link_bytes_per_cycle);
+}
 
-  const Dfg dfg = build_bootstrap_dfg(p);
-  const ScheduleResult single = schedule(dfg);
-  const GateDagPartition part = partition_gate_dag(dag, num_chips);
-  const MultiChipScheduleResult s = schedule_gate_dag_multichip(
-      dfg, dag, part, cfg.pipelines, transfer_cycles);
-
+MultiChipSimResult fill_multichip_result(const SimParams& p, const GateDag& dag,
+                                         int num_chips,
+                                         int64_t transfer_cycles,
+                                         int64_t gate_latency_cycles,
+                                         const GateDagPartition& part,
+                                         const MultiChipScheduleResult& s,
+                                         int64_t greedy_makespan,
+                                         const char* source) {
   MultiChipSimResult out;
   out.num_chips = num_chips;
   out.gates = s.num_gates;
@@ -128,11 +130,163 @@ MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
   out.link_utilization = s.link_utilization;
   out.chip_occupancy = s.chip_occupancy;
   out.chip_bootstraps = part.chip_bootstraps;
+  out.time_greedy_ms = greedy_makespan / p.cycles_per_second() * 1e3;
+  out.refine_gain =
+      greedy_makespan > 0
+          ? 1.0 - static_cast<double>(s.makespan) / greedy_makespan
+          : 0.0;
+  out.partition_source = source;
   if (out.time_ms > 0) {
-    const double gate_latency_ms = single.makespan / p.cycles_per_second() * 1e3;
+    const double gate_latency_ms =
+        gate_latency_cycles / p.cycles_per_second() * 1e3;
     out.effective_parallelism =
         out.total_bootstraps * gate_latency_ms / out.time_ms;
     out.bootstraps_per_s = out.total_bootstraps / (out.time_ms * 1e-3);
+  }
+  return out;
+}
+
+} // namespace
+
+MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
+                                              int unroll_m, const GateDag& dag,
+                                              int num_chips,
+                                              const hw::MatchaConfig& cfg) {
+  SimParams p;
+  p.hw = cfg;
+  p.tfhe = tfhe;
+  p.unroll_m = unroll_m;
+
+  const int64_t transfer_cycles = lwe_transfer_cycles(p);
+  const Dfg dfg = build_bootstrap_dfg(p);
+  const BootstrapProfile profile = profile_bootstrap(dfg);
+
+  // A/B at the true schedule: the PR-4 greedy-KL min-cut baseline versus the
+  // round-2 latency-aware refinement. The faster schedule wins, so every
+  // reported makespan is monotone no-worse than the PR-4 number.
+  const GateDagPartition greedy = partition_gate_dag(dag, num_chips);
+  const MultiChipScheduleResult s_greedy = schedule_gate_dag_multichip(
+      dfg, dag, greedy, cfg.pipelines, transfer_cycles);
+
+  PartitionOptions opt;
+  opt.dfg = &dfg;
+  opt.pipelines = cfg.pipelines;
+  opt.transfer_cycles = transfer_cycles;
+  const GateDagPartition refined = partition_gate_dag(dag, num_chips, opt);
+  const MultiChipScheduleResult s_refined = schedule_gate_dag_multichip(
+      dfg, dag, refined, cfg.pipelines, transfer_cycles);
+
+  const bool use_refined = s_refined.makespan < s_greedy.makespan;
+  return fill_multichip_result(
+      p, dag, num_chips, transfer_cycles, profile.latency,
+      use_refined ? refined : greedy, use_refined ? s_refined : s_greedy,
+      s_greedy.makespan, use_refined ? "latency-aware" : "greedy-kl");
+}
+
+MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
+                                              const GateDag& dag,
+                                              const std::vector<ChipSpec>& chips,
+                                              const hw::MatchaConfig& cfg) {
+  if (chips.empty()) {
+    throw std::invalid_argument(
+        "simulate_circuit_multichip: at least one ChipSpec required");
+  }
+  const int num_chips = static_cast<int>(chips.size());
+
+  // Per-chip DFGs: each chip bakes its own unroll m into its blind-rotation
+  // datapath. The clock and link come from the shared cfg.
+  std::vector<Dfg> dfgs;
+  std::vector<ChipResources> resources;
+  std::vector<BootstrapProfile> profiles;
+  dfgs.reserve(chips.size());
+  profiles.reserve(chips.size());
+  SimParams p0;
+  p0.hw = cfg;
+  p0.tfhe = tfhe;
+  p0.unroll_m = chips.front().unroll_m;
+  for (const ChipSpec& spec : chips) {
+    SimParams p = p0;
+    p.unroll_m = spec.unroll_m;
+    dfgs.push_back(build_bootstrap_dfg(p));
+    profiles.push_back(profile_bootstrap(dfgs.back()));
+  }
+  resources.reserve(chips.size());
+  for (size_t c = 0; c < chips.size(); ++c) {
+    resources.push_back(ChipResources{chips[c].pipelines, &dfgs[c]});
+  }
+
+  const int64_t transfer_cycles = lwe_transfer_cycles(p0);
+
+  // Capacity shares proportional to measured bootstrap throughput (load
+  // caps scale with each chip's speed); the true per-chip cycle model drives
+  // the refinement.
+  PartitionOptions opt;
+  opt.chip_capacity.reserve(chips.size());
+  int64_t max_latency = 0;
+  for (size_t c = 0; c < chips.size(); ++c) {
+    const int64_t interval = profiles[c].steady_interval(chips[c].pipelines);
+    opt.chip_capacity.push_back(1.0 / interval);
+    max_latency = std::max(max_latency, profiles[c].latency);
+  }
+  opt.chips = resources;
+  opt.transfer_cycles = transfer_cycles;
+
+  const GateDagPartition greedy = partition_gate_dag(dag, num_chips);
+  const MultiChipScheduleResult s_greedy =
+      schedule_gate_dag_multichip(dag, greedy, resources, transfer_cycles);
+  const GateDagPartition refined = partition_gate_dag(dag, num_chips, opt);
+  const MultiChipScheduleResult s_refined =
+      schedule_gate_dag_multichip(dag, refined, resources, transfer_cycles);
+
+  const bool use_refined = s_refined.makespan < s_greedy.makespan;
+  return fill_multichip_result(
+      p0, dag, num_chips, transfer_cycles, max_latency,
+      use_refined ? refined : greedy, use_refined ? s_refined : s_greedy,
+      s_greedy.makespan, use_refined ? "latency-aware" : "greedy-kl");
+}
+
+BatchPolicySimResult simulate_batch_policy(const TfheParams& tfhe, int unroll_m,
+                                           const GateDag& circuit, int batch,
+                                           int num_chips,
+                                           const hw::MatchaConfig& cfg) {
+  SimParams p;
+  p.hw = cfg;
+  p.tfhe = tfhe;
+  p.unroll_m = unroll_m;
+
+  const Dfg dfg = build_bootstrap_dfg(p);
+  BatchPlanRequest req;
+  req.dfg = &dfg;
+  req.circuit = &circuit;
+  req.batch = batch;
+  req.num_chips = num_chips;
+  req.pipelines = cfg.pipelines;
+  req.transfer_cycles = lwe_transfer_cycles(p);
+  const BatchPlan plan = plan_batch_schedule(req);
+
+  BatchPolicySimResult out;
+  out.policy = plan.policy;
+  out.policy_label = policy_name(plan.policy);
+  out.replica_groups = plan.replica_groups;
+  out.group_size = plan.group_size;
+  out.batch = batch;
+  out.num_chips = num_chips;
+  out.total_bootstraps = plan.batch_dag.total_bootstraps();
+  out.cut_wires = plan.schedule.cut_wires;
+  out.transfers = plan.schedule.transfers;
+  out.time_ms = plan.schedule.makespan / p.cycles_per_second() * 1e3;
+  out.link_utilization = plan.schedule.link_utilization;
+  if (out.time_ms > 0) {
+    out.bootstraps_per_s = out.total_bootstraps / (out.time_ms * 1e-3);
+    out.circuits_per_s = batch / (out.time_ms * 1e-3);
+  }
+  out.considered.reserve(plan.considered.size());
+  for (const BatchPlanVariant& v : plan.considered) {
+    BatchPolicySimResult::Variant pv;
+    pv.policy_label = policy_name(v.policy);
+    pv.replica_groups = v.replica_groups;
+    pv.time_ms = v.makespan / p.cycles_per_second() * 1e3;
+    out.considered.push_back(std::move(pv));
   }
   return out;
 }

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/gate_dag.h"
 #include "sim/matcha_sim.h"
+#include "sim/multichip_policy.h"
 
 namespace matcha::sim {
 
@@ -72,6 +74,13 @@ struct MultiChipSimResult {
   double effective_parallelism = 0;
   std::vector<double> chip_occupancy;       ///< per-chip TGSW+EP busy fraction
   std::vector<int64_t> chip_bootstraps;     ///< per-chip load (partition)
+  /// Round-2 A/B: both the PR-4 greedy-KL min-cut partition and the
+  /// latency-aware refinement are scheduled, and the faster one is reported
+  /// above. time_greedy_ms is the baseline's makespan; refine_gain is
+  /// 1 - time_ms / time_greedy_ms (>= 0 by construction).
+  double time_greedy_ms = 0;
+  double refine_gain = 0;
+  std::string partition_source; ///< "greedy-kl" or "latency-aware"
 };
 
 /// Shard the circuit DAG across `num_chips` chips (partition_gate_dag) and
@@ -82,5 +91,52 @@ MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
                                               int unroll_m, const GateDag& dag,
                                               int num_chips,
                                               const hw::MatchaConfig& cfg = {});
+
+/// One chip of a heterogeneous fleet: its pipeline count and blind-rotation
+/// unroll factor (each chip runs its own per-bootstrap DFG).
+struct ChipSpec {
+  int pipelines = 1;
+  int unroll_m = 1;
+};
+
+/// Heterogeneous multi-chip simulation: the partitioner weights each chip's
+/// load cap by its measured bootstrap throughput (1 / steady interval), the
+/// surrogate climb uses per-chip intervals, and the scheduler replays each
+/// chip's own DFG. `cfg.pipelines` is ignored; chips[] rules.
+MultiChipSimResult simulate_circuit_multichip(const TfheParams& tfhe,
+                                              const GateDag& dag,
+                                              const std::vector<ChipSpec>& chips,
+                                              const hw::MatchaConfig& cfg = {});
+
+struct BatchPolicySimResult {
+  BatchPolicy policy = BatchPolicy::kReplicate;
+  std::string policy_label;  ///< "replicate" / "shard" / "hybrid"
+  int replica_groups = 1;    ///< G
+  int group_size = 1;        ///< chips per group
+  int batch = 1;
+  int num_chips = 1;
+  int64_t total_bootstraps = 0; ///< whole batch (identical across policies)
+  int64_t cut_wires = 0;
+  int64_t transfers = 0;
+  double time_ms = 0;           ///< whole-batch makespan
+  double bootstraps_per_s = 0;
+  double circuits_per_s = 0;    ///< batch / time
+  double link_utilization = 0;
+  /// Every variant priced: (policy label, replica groups, makespan ms).
+  struct Variant {
+    std::string policy_label;
+    int replica_groups = 1;
+    double time_ms = 0;
+  };
+  std::vector<Variant> considered;
+};
+
+/// Run the replicate-vs-shard policy (sim/multichip_policy.h) for a batch of
+/// `batch` identical circuits on `num_chips` chips and report the chosen
+/// variant's cycle-accurate schedule in physical time.
+BatchPolicySimResult simulate_batch_policy(const TfheParams& tfhe, int unroll_m,
+                                           const GateDag& circuit, int batch,
+                                           int num_chips,
+                                           const hw::MatchaConfig& cfg = {});
 
 } // namespace matcha::sim

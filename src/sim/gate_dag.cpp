@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <numeric>
 #include <queue>
 #include <stdexcept>
 #include <utility>
@@ -39,6 +40,25 @@ int64_t GateDag::critical_path_bootstraps() const {
   return longest;
 }
 
+GateDag replicate_gate_dag(const GateDag& circuit, int copies) {
+  if (copies < 0) {
+    throw std::invalid_argument("replicate_gate_dag: copies must be >= 0");
+  }
+  const int n = static_cast<int>(circuit.gates.size());
+  GateDag out;
+  out.gates.reserve(static_cast<size_t>(n) * copies);
+  for (int k = 0; k < copies; ++k) {
+    const int base = k * n;
+    for (const GateDagNode& g : circuit.gates) {
+      GateDagNode d = g;
+      for (int& dep : d.deps) dep += base;
+      if (d.pin >= 0) d.pin += base;
+      out.gates.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
 namespace {
 
 int64_t count_cut(const GateDag& dag, const std::vector<int>& chip_of) {
@@ -51,92 +71,483 @@ int64_t count_cut(const GateDag& dag, const std::vector<int>& chip_of) {
   return cut;
 }
 
+std::vector<std::vector<int>> user_lists(const GateDag& dag) {
+  std::vector<std::vector<int>> users(dag.gates.size());
+  for (size_t i = 0; i < dag.gates.size(); ++i) {
+    for (const int d : dag.gates[i].deps) {
+      users[static_cast<size_t>(d)].push_back(static_cast<int>(i));
+    }
+  }
+  return users;
+}
+
+/// Per-edge cut weight for the slack-aware refinement: an edge the critical
+/// path runs through costs 1 + kSlackWeight, an edge with full slack costs 1.
+/// Cutting a critical edge delays the whole circuit by a link transfer;
+/// cutting a slack edge costs nothing observable, which is exactly why the
+/// idle link lets the round-2 partitioner trade cut size for balance.
+constexpr double kSlackWeight = 3.0;
+
+std::vector<std::vector<double>> slack_edge_weights(const GateDag& dag) {
+  const size_t n = dag.gates.size();
+  // top[i]: longest bootstrap-weighted path ending at i (inclusive);
+  // bottom[i]: longest path starting at i (inclusive).
+  std::vector<int64_t> top(n, 0), bottom(n, 0);
+  int64_t cp = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t deepest = 0;
+    for (const int d : dag.gates[i].deps) {
+      deepest = std::max(deepest, top[static_cast<size_t>(d)]);
+    }
+    top[i] = deepest + dag.gates[i].bootstraps;
+    cp = std::max(cp, top[i]);
+  }
+  for (size_t i = 0; i < n; ++i) bottom[i] = dag.gates[i].bootstraps;
+  for (size_t ri = n; ri-- > 0;) {
+    // Consumers of ri have larger indices, so bottom[ri] is final here.
+    for (const int d : dag.gates[ri].deps) {
+      auto& bd = bottom[static_cast<size_t>(d)];
+      bd = std::max(bd,
+                    dag.gates[static_cast<size_t>(d)].bootstraps + bottom[ri]);
+    }
+  }
+  std::vector<std::vector<double>> w(n);
+  const double denom = cp > 0 ? static_cast<double>(cp) : 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    w[i].reserve(dag.gates[i].deps.size());
+    for (const int d : dag.gates[i].deps) {
+      const int64_t through = top[static_cast<size_t>(d)] + bottom[i];
+      const int64_t slack = std::max<int64_t>(0, cp - through);
+      const double crit = 1.0 - static_cast<double>(slack) / denom;
+      w[i].push_back(1.0 + kSlackWeight * crit);
+    }
+  }
+  return w;
+}
+
+/// Snap pinned wire nodes (NOT / kFreeOr) onto their anchor's chip when edge
+/// monotonicity allows: lo = max operand chip, hi = min consumer chip, and
+/// the pin target is clamped into [lo, hi]. Processed in topological order so
+/// follower-of-follower chains resolve consistently; every reassignment keeps
+/// all edges monotone (operands <= lo <= new chip <= hi <= consumers).
+void snap_pinned_nodes(const GateDag& dag,
+                       const std::vector<std::vector<int>>& users,
+                       int effective_chips, std::vector<int>& chip_of,
+                       std::vector<int64_t>& load) {
+  for (size_t i = 0; i < dag.gates.size(); ++i) {
+    const GateDagNode& g = dag.gates[i];
+    if (g.pin < 0) continue;
+    int lo = 0, hi = effective_chips - 1;
+    for (const int d : g.deps) lo = std::max(lo, chip_of[static_cast<size_t>(d)]);
+    for (const int u : users[i]) hi = std::min(hi, chip_of[static_cast<size_t>(u)]);
+    if (lo > hi) continue; // already-inconsistent input; leave untouched
+    const int target =
+        std::clamp(chip_of[static_cast<size_t>(g.pin)], lo, hi);
+    const int cur = chip_of[i];
+    if (target == cur) continue;
+    chip_of[i] = target;
+    load[static_cast<size_t>(cur)] -= g.bootstraps;
+    load[static_cast<size_t>(target)] += g.bootstraps;
+  }
+}
+
 } // namespace
 
-GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips) {
+int64_t estimate_partition_makespan(const GateDag& dag,
+                                    const std::vector<int>& chip_of,
+                                    int num_chips, int64_t latency,
+                                    const std::vector<int64_t>& chip_interval,
+                                    int64_t transfer_cycles) {
+  std::vector<int64_t> end(dag.gates.size(), 0);
+  std::vector<int64_t> chip_clock(static_cast<size_t>(num_chips), 0);
+  int64_t makespan = 0;
+  for (size_t i = 0; i < dag.gates.size(); ++i) {
+    const GateDagNode& g = dag.gates[i];
+    const int c = chip_of[i];
+    int64_t ready = 0;
+    for (const int d : g.deps) {
+      int64_t t = end[static_cast<size_t>(d)];
+      if (chip_of[static_cast<size_t>(d)] != c) t += transfer_cycles;
+      ready = std::max(ready, t);
+    }
+    if (g.bootstraps <= 0) {
+      end[i] = ready;
+    } else {
+      const int64_t interval = chip_interval.empty()
+                                   ? latency
+                                   : chip_interval[static_cast<size_t>(c)];
+      const int64_t start = std::max(ready, chip_clock[static_cast<size_t>(c)]);
+      end[i] = start + latency + (g.bootstraps - 1) * interval;
+      chip_clock[static_cast<size_t>(c)] = start + g.bootstraps * interval;
+    }
+    makespan = std::max(makespan, end[i]);
+  }
+  return makespan;
+}
+
+GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips,
+                                    const PartitionOptions& opt) {
   if (num_chips <= 0) {
     throw std::invalid_argument("partition_gate_dag: num_chips must be positive");
+  }
+  if (!opt.chip_capacity.empty() &&
+      static_cast<int>(opt.chip_capacity.size()) != num_chips) {
+    throw std::invalid_argument(
+        "partition_gate_dag: chip_capacity size must match num_chips");
   }
   const int n = static_cast<int>(dag.gates.size());
   GateDagPartition part;
   part.num_chips = num_chips;
   part.chip_of.assign(static_cast<size_t>(n), 0);
   part.chip_bootstraps.assign(static_cast<size_t>(num_chips), 0);
-  if (n == 0) return part;
+  part.chip_load_cap.assign(static_cast<size_t>(num_chips), 0);
+  if (n == 0) {
+    part.used_chips = 0;
+    return part;
+  }
 
   int64_t total_w = 0;
   int64_t max_w = 0;
+  int weighted_nodes = 0;
   for (const auto& g : dag.gates) {
     total_w += g.bootstraps;
     max_w = std::max<int64_t>(max_w, g.bootstraps);
+    weighted_nodes += g.bootstraps > 0;
   }
+  // Degenerate shapes: never spread fewer bootstrap-bearing gates than chips
+  // across all chips -- the surplus chips stay valid but empty, and every
+  // refinement below confines itself to the first `effective` chips.
+  const int effective =
+      std::min(num_chips, std::max(1, weighted_nodes));
 
-  // Seed: weight-balanced topological prefix blocks. Gates are topologically
-  // indexed (deps point backwards), so contiguous blocks make chip ids
-  // monotone nondecreasing along every edge.
-  if (num_chips > 1 && total_w > 0) {
-    int64_t prefix = 0;
-    for (int i = 0; i < n; ++i) {
-      part.chip_of[static_cast<size_t>(i)] = static_cast<int>(
-          std::min<int64_t>(num_chips - 1, prefix * num_chips / total_w));
-      prefix += dag.gates[static_cast<size_t>(i)].bootstraps;
+  // Per-chip capacity shares over the effective chips (homogeneous when the
+  // caller gave none). Load caps scale with the share: a chip with twice the
+  // pipelines absorbs twice the bootstraps before refinement stops filling it.
+  std::vector<double> share(static_cast<size_t>(effective),
+                            1.0 / effective);
+  if (!opt.chip_capacity.empty()) {
+    double sum = 0;
+    for (int c = 0; c < effective; ++c) {
+      if (opt.chip_capacity[static_cast<size_t>(c)] < 0) {
+        throw std::invalid_argument(
+            "partition_gate_dag: chip_capacity must be nonnegative");
+      }
+      sum += opt.chip_capacity[static_cast<size_t>(c)];
+    }
+    if (sum <= 0) {
+      throw std::invalid_argument(
+          "partition_gate_dag: chip_capacity must have positive total");
+    }
+    for (int c = 0; c < effective; ++c) {
+      share[static_cast<size_t>(c)] =
+          opt.chip_capacity[static_cast<size_t>(c)] / sum;
     }
   }
+  // True-cycle-model refinement available? Then the schedule itself is the
+  // objective and the guard against overloading a chip; homogeneous load
+  // caps would only forbid profitable imbalance (a chip finishing the tail
+  // alone while the rest sit idle is *faster* than forced balance). Explicit
+  // heterogeneous capacities stay binding either way.
+  const bool true_model =
+      opt.latency_aware &&
+      (!opt.chips.empty() || (opt.dfg != nullptr && opt.pipelines > 0));
+  const bool loose_caps = true_model && opt.chip_capacity.empty();
+  for (int c = 0; c < effective; ++c) {
+    part.chip_load_cap[static_cast<size_t>(c)] =
+        loose_caps
+            ? total_w
+            : static_cast<int64_t>(total_w * share[static_cast<size_t>(c)] +
+                                   0.5) +
+                  max_w;
+  }
+
+  const std::vector<std::vector<int>> users = user_lists(dag);
+
+  // Seed: capacity-weighted split along a chip-monotone key. The PR-4 seed
+  // orders gates by topological index (contiguous prefix blocks); the
+  // latency-aware seed orders by bootstrap-weighted critical depth, which
+  // bands the DAG by wavefront so every chip holds a slice of each stage's
+  // fan-out rather than one long pipeline stage. Both keys are monotone
+  // nondecreasing along dependence edges, so chip ids are too.
+  const auto seed_by_order = [&](const std::vector<int>& order) {
+    std::vector<int> chip(static_cast<size_t>(n), 0);
+    if (effective > 1 && total_w > 0) {
+      int64_t prefix = 0;
+      int c = 0;
+      int64_t threshold = static_cast<int64_t>(
+          total_w * share[0] + 0.5);
+      for (const int i : order) {
+        while (c < effective - 1 && prefix >= threshold) {
+          ++c;
+          threshold += static_cast<int64_t>(total_w * share[static_cast<size_t>(c)] + 0.5);
+        }
+        chip[static_cast<size_t>(i)] = c;
+        prefix += dag.gates[static_cast<size_t>(i)].bootstraps;
+      }
+    }
+    return chip;
+  };
+
+  std::vector<int> index_order(static_cast<size_t>(n));
+  std::iota(index_order.begin(), index_order.end(), 0);
+  std::vector<int> chip_of = seed_by_order(index_order);
+
+  if (opt.latency_aware && !true_model && effective > 1) {
+    // Depth-band seed: stable-sort by critical depth (ties keep index order,
+    // so equal-depth edges -- zero-weight wire nodes -- stay monotone).
+    std::vector<int64_t> depth(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      int64_t deepest = 0;
+      for (const int d : dag.gates[static_cast<size_t>(i)].deps) {
+        deepest = std::max(deepest, depth[static_cast<size_t>(d)]);
+      }
+      depth[static_cast<size_t>(i)] =
+          deepest + dag.gates[static_cast<size_t>(i)].bootstraps;
+    }
+    std::vector<int> depth_order = index_order;
+    std::stable_sort(depth_order.begin(), depth_order.end(),
+                     [&](int a, int b) {
+                       return depth[static_cast<size_t>(a)] <
+                              depth[static_cast<size_t>(b)];
+                     });
+    const std::vector<int> banded = seed_by_order(depth_order);
+    // Pick the seed the surrogate likes better (fall back to cut size when
+    // no cost model was provided).
+    if (opt.bootstrap_latency > 0) {
+      std::vector<int64_t> intervals = opt.chip_interval;
+      if (intervals.empty()) {
+        intervals.assign(static_cast<size_t>(num_chips),
+                         opt.bootstrap_interval > 0 ? opt.bootstrap_interval
+                                                    : opt.bootstrap_latency);
+      }
+      const int64_t a = estimate_partition_makespan(
+          dag, chip_of, num_chips, opt.bootstrap_latency, intervals,
+          opt.transfer_cycles);
+      const int64_t b = estimate_partition_makespan(
+          dag, banded, num_chips, opt.bootstrap_latency, intervals,
+          opt.transfer_cycles);
+      if (b < a) chip_of = banded;
+    } else if (count_cut(dag, banded) < count_cut(dag, chip_of)) {
+      chip_of = banded;
+    }
+  }
+
+  std::vector<int64_t> load(static_cast<size_t>(num_chips), 0);
   for (int i = 0; i < n; ++i) {
-    part.chip_bootstraps[static_cast<size_t>(part.chip_of[static_cast<size_t>(i)])] +=
+    load[static_cast<size_t>(chip_of[static_cast<size_t>(i)])] +=
         dag.gates[static_cast<size_t>(i)].bootstraps;
   }
 
-  // KL-style greedy refinement: move one gate at a time to an adjacent chip
-  // when that strictly reduces the cut, never violating edge monotonicity
-  // (the move stays within [max dep chip, min user chip]) nor the load cap.
-  // Moves are applied immediately; passes repeat until a fixed point.
-  if (num_chips > 1 && n > 1) {
-    std::vector<std::vector<int>> users(static_cast<size_t>(n));
+  // ---- True-cycle-model refinement (round 2, primary path) ----
+  // The analytic surrogate ranks partitions poorly (it serializes pipeline
+  // latencies the real chip overlaps), so when the caller hands us the
+  // actual per-bootstrap DFG we optimize the real objective: run the full
+  // multi-chip schedule per candidate. Two move sets, both monotone by
+  // construction: (a) coordinate descent on the topological prefix
+  // boundaries -- bulk re-splits that single-gate moves cannot reach across
+  // makespan plateaus -- then (b) a single-gate polish within each gate's
+  // [max dep chip, min user chip] window.
+  if (true_model && effective > 1 && n > 1) {
+    std::vector<ChipResources> chip_specs = opt.chips;
+    if (chip_specs.empty()) {
+      chip_specs.assign(static_cast<size_t>(num_chips),
+                        ChipResources{opt.pipelines, opt.dfg});
+    }
+    // Each candidate costs a full schedule (O(bootstraps * DFG nodes)), so
+    // the search budget shrinks with DAG size; small latency-critical
+    // circuits -- where refinement matters most -- get the full sweep.
+    const int kEvalBudget = std::clamp(150000 / std::max(1, n), 400, 2500);
+    int evals = 0;
+    GateDagPartition probe;
+    probe.num_chips = num_chips;
+    const auto true_makespan = [&](const std::vector<int>& candidate) {
+      ++evals;
+      probe.chip_of = candidate;
+      return schedule_gate_dag_multichip(dag, probe, chip_specs,
+                                         opt.transfer_cycles)
+          .makespan;
+    };
+
+    // Prefix-weight array: W[i] = total bootstraps of gates [0, i).
+    std::vector<int64_t> prefix_w(static_cast<size_t>(n) + 1, 0);
     for (int i = 0; i < n; ++i) {
-      for (const int d : dag.gates[static_cast<size_t>(i)].deps) {
-        users[static_cast<size_t>(d)].push_back(i);
+      prefix_w[static_cast<size_t>(i) + 1] =
+          prefix_w[static_cast<size_t>(i)] +
+          dag.gates[static_cast<size_t>(i)].bootstraps;
+    }
+    // Seed boundaries from the (capacity-weighted, contiguous) prefix seed:
+    // bounds[b] = first gate index assigned past chip b (the seed's chip_of
+    // is nondecreasing in the gate index).
+    std::vector<int> bounds(static_cast<size_t>(effective) - 1, n);
+    {
+      int b = 0;
+      for (int i = 0; i < n && b < effective - 1; ++i) {
+        while (b < effective - 1 && chip_of[static_cast<size_t>(i)] > b) {
+          bounds[static_cast<size_t>(b)] = i;
+          ++b;
+        }
       }
     }
-    const int64_t load_cap = (total_w + num_chips - 1) / num_chips + max_w;
+    const auto chips_from_bounds = [&](const std::vector<int>& b) {
+      std::vector<int> co(static_cast<size_t>(n), 0);
+      int c = 0;
+      for (int i = 0; i < n; ++i) {
+        while (c < effective - 1 && i >= b[static_cast<size_t>(c)]) ++c;
+        co[static_cast<size_t>(i)] = c;
+      }
+      return co;
+    };
+    const auto bounds_feasible = [&](const std::vector<int>& b) {
+      if (loose_caps) return true;
+      int prev = 0;
+      for (int c = 0; c < effective; ++c) {
+        const int end = c == effective - 1 ? n : b[static_cast<size_t>(c)];
+        if (end < prev) return false;
+        if (prefix_w[static_cast<size_t>(end)] -
+                prefix_w[static_cast<size_t>(prev)] >
+            part.chip_load_cap[static_cast<size_t>(c)])
+          return false;
+        prev = end;
+      }
+      return true;
+    };
+
+    int64_t best = true_makespan(chips_from_bounds(bounds));
+    // Coordinate descent: sweep every feasible position of one boundary at a
+    // time (strided first on large DAGs to stay inside the eval budget).
+    const int span = (n + 1) * (effective - 1);
+    const int stride = std::max(1, 2 * span / kEvalBudget);
+    bool moved = true;
+    while (moved && evals < kEvalBudget) {
+      moved = false;
+      for (int bi = 0; bi < effective - 1 && evals < kEvalBudget; ++bi) {
+        const int lo = bi == 0 ? 0 : bounds[static_cast<size_t>(bi) - 1];
+        const int hi = bi == effective - 2 ? n : bounds[static_cast<size_t>(bi) + 1];
+        int best_pos = bounds[static_cast<size_t>(bi)];
+        const auto try_pos = [&](int pos) {
+          if (pos == bounds[static_cast<size_t>(bi)]) return;
+          std::vector<int> b2 = bounds;
+          b2[static_cast<size_t>(bi)] = pos;
+          if (!bounds_feasible(b2)) return;
+          const int64_t t = true_makespan(chips_from_bounds(b2));
+          if (t < best) {
+            best = t;
+            best_pos = pos;
+            moved = true;
+          }
+        };
+        for (int pos = lo; pos <= hi && evals < kEvalBudget; pos += stride) {
+          try_pos(pos);
+        }
+        if (stride > 1) {
+          const int center = best_pos;
+          for (int pos = std::max(lo, center - stride + 1);
+               pos <= std::min(hi, center + stride - 1) && evals < kEvalBudget;
+               ++pos) {
+            try_pos(pos);
+          }
+        }
+        bounds[static_cast<size_t>(bi)] = best_pos;
+      }
+    }
+    chip_of = chips_from_bounds(bounds);
+    std::fill(load.begin(), load.end(), 0);
+    for (int i = 0; i < n; ++i) {
+      load[static_cast<size_t>(chip_of[static_cast<size_t>(i)])] +=
+          dag.gates[static_cast<size_t>(i)].bootstraps;
+    }
+
+    // Single-gate polish against the true schedule.
+    for (int pass = 0; pass < 3 && evals < kEvalBudget; ++pass) {
+      bool polished = false;
+      for (int v = 0; v < n && evals < kEvalBudget; ++v) {
+        const GateDagNode& g = dag.gates[static_cast<size_t>(v)];
+        if (g.pin >= 0 && g.bootstraps == 0) continue; // snapped below
+        int lo = 0, hi = effective - 1;
+        for (const int d : g.deps) lo = std::max(lo, chip_of[static_cast<size_t>(d)]);
+        for (const int u : users[static_cast<size_t>(v)]) {
+          hi = std::min(hi, chip_of[static_cast<size_t>(u)]);
+        }
+        for (int c2 = lo; c2 <= hi && evals < kEvalBudget; ++c2) {
+          if (c2 == chip_of[static_cast<size_t>(v)]) continue;
+          if (load[static_cast<size_t>(c2)] + g.bootstraps >
+              part.chip_load_cap[static_cast<size_t>(c2)])
+            continue;
+          const int keep = chip_of[static_cast<size_t>(v)];
+          chip_of[static_cast<size_t>(v)] = c2;
+          const int64_t t = true_makespan(chip_of);
+          if (t < best) {
+            best = t;
+            load[static_cast<size_t>(keep)] -= g.bootstraps;
+            load[static_cast<size_t>(c2)] += g.bootstraps;
+            polished = true;
+          } else {
+            chip_of[static_cast<size_t>(v)] = keep;
+          }
+        }
+      }
+      if (!polished) break;
+    }
+  }
+
+  // Phase 1 -- KL-style greedy refinement on the (optionally slack-weighted)
+  // cut: move one gate at a time to an adjacent chip when that strictly
+  // reduces the cut cost, never violating edge monotonicity (the move stays
+  // within [max dep chip, min user chip]) nor the per-chip load cap. Moves
+  // are applied immediately; passes repeat until a fixed point.
+  if (!true_model && effective > 1 && n > 1) {
+    std::vector<std::vector<double>> ew;
+    if (opt.latency_aware) ew = slack_edge_weights(dag);
+    const auto edge_w = [&](int consumer, size_t dep_idx) {
+      return ew.empty() ? 1.0
+                        : ew[static_cast<size_t>(consumer)][dep_idx];
+    };
     const auto cross = [&](int v, int chip) {
-      int64_t c = 0;
-      for (const int d : dag.gates[static_cast<size_t>(v)].deps) {
-        c += part.chip_of[static_cast<size_t>(d)] != chip;
+      double c = 0;
+      const auto& deps = dag.gates[static_cast<size_t>(v)].deps;
+      for (size_t k = 0; k < deps.size(); ++k) {
+        if (chip_of[static_cast<size_t>(deps[k])] != chip) c += edge_w(v, k);
       }
       for (const int u : users[static_cast<size_t>(v)]) {
-        c += part.chip_of[static_cast<size_t>(u)] != chip;
+        const auto& udeps = dag.gates[static_cast<size_t>(u)].deps;
+        for (size_t k = 0; k < udeps.size(); ++k) {
+          if (udeps[k] == v && chip_of[static_cast<size_t>(u)] != chip) {
+            c += edge_w(u, k);
+          }
+        }
       }
       return c;
     };
     for (int pass = 0; pass < 12; ++pass) {
       bool moved = false;
       for (int v = 0; v < n; ++v) {
-        const int c = part.chip_of[static_cast<size_t>(v)];
-        int lo = 0, hi = num_chips - 1;
+        const int c = chip_of[static_cast<size_t>(v)];
+        int lo = 0, hi = effective - 1;
         for (const int d : dag.gates[static_cast<size_t>(v)].deps) {
-          lo = std::max(lo, part.chip_of[static_cast<size_t>(d)]);
+          lo = std::max(lo, chip_of[static_cast<size_t>(d)]);
         }
         for (const int u : users[static_cast<size_t>(v)]) {
-          hi = std::min(hi, part.chip_of[static_cast<size_t>(u)]);
+          hi = std::min(hi, chip_of[static_cast<size_t>(u)]);
         }
         const int64_t w = dag.gates[static_cast<size_t>(v)].bootstraps;
-        const int64_t here = cross(v, c);
+        const double here = cross(v, c);
         int best_chip = c;
-        int64_t best_gain = 0;
+        double best_gain = 1e-9;
         for (const int c2 : {c - 1, c + 1}) {
           if (c2 < lo || c2 > hi) continue;
-          if (part.chip_bootstraps[static_cast<size_t>(c2)] + w > load_cap) continue;
-          const int64_t gain = here - cross(v, c2);
+          if (load[static_cast<size_t>(c2)] + w >
+              part.chip_load_cap[static_cast<size_t>(c2)])
+            continue;
+          const double gain = here - cross(v, c2);
           if (gain > best_gain) {
             best_gain = gain;
             best_chip = c2;
           }
         }
         if (best_chip != c) {
-          part.chip_of[static_cast<size_t>(v)] = best_chip;
-          part.chip_bootstraps[static_cast<size_t>(c)] -= w;
-          part.chip_bootstraps[static_cast<size_t>(best_chip)] += w;
+          chip_of[static_cast<size_t>(v)] = best_chip;
+          load[static_cast<size_t>(c)] -= w;
+          load[static_cast<size_t>(best_chip)] += w;
           moved = true;
         }
       }
@@ -144,23 +555,111 @@ GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips) {
     }
   }
 
+  // Phase 2 -- surrogate-makespan hill climb (round 2): re-place single
+  // gates anywhere in their monotone window when the latency/throughput
+  // estimate of the whole schedule drops. Cut size may rise; the link is
+  // idle, so only the makespan matters. Weighted cut breaks ties so the
+  // search cannot wander at equal cost.
+  if (!true_model && opt.latency_aware && opt.bootstrap_latency > 0 &&
+      effective > 1 && n > 1) {
+    std::vector<int64_t> intervals = opt.chip_interval;
+    if (intervals.empty()) {
+      intervals.assign(static_cast<size_t>(num_chips),
+                       opt.bootstrap_interval > 0 ? opt.bootstrap_interval
+                                                  : opt.bootstrap_latency);
+    }
+    const auto estimate = [&] {
+      return estimate_partition_makespan(dag, chip_of, num_chips,
+                                         opt.bootstrap_latency, intervals,
+                                         opt.transfer_cycles);
+    };
+    int64_t best_est = estimate();
+    for (int pass = 0; pass < 8; ++pass) {
+      bool moved = false;
+      for (int v = 0; v < n; ++v) {
+        const GateDagNode& g = dag.gates[static_cast<size_t>(v)];
+        if (g.pin >= 0 && g.bootstraps == 0) continue; // snapped below
+        const int c = chip_of[static_cast<size_t>(v)];
+        int lo = 0, hi = effective - 1;
+        for (const int d : g.deps) {
+          lo = std::max(lo, chip_of[static_cast<size_t>(d)]);
+        }
+        for (const int u : users[static_cast<size_t>(v)]) {
+          hi = std::min(hi, chip_of[static_cast<size_t>(u)]);
+        }
+        int best_chip = c;
+        int64_t best_here = best_est;
+        for (int c2 = lo; c2 <= hi; ++c2) {
+          if (c2 == c) continue;
+          if (load[static_cast<size_t>(c2)] + g.bootstraps >
+              part.chip_load_cap[static_cast<size_t>(c2)])
+            continue;
+          chip_of[static_cast<size_t>(v)] = c2;
+          const int64_t est = estimate();
+          chip_of[static_cast<size_t>(v)] = c;
+          if (est < best_here) {
+            best_here = est;
+            best_chip = c2;
+          }
+        }
+        if (best_chip != c) {
+          chip_of[static_cast<size_t>(v)] = best_chip;
+          load[static_cast<size_t>(c)] -= g.bootstraps;
+          load[static_cast<size_t>(best_chip)] += g.bootstraps;
+          best_est = best_here;
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+  }
+
+  // Phase 3 -- wire-node anchoring: NOT/kFreeOr nodes ride with the
+  // rotation that feeds them, so their outputs never pay a transfer away
+  // from their anchor and multi-output bundles stay priced once.
+  if (opt.pin_wire_nodes) {
+    snap_pinned_nodes(dag, users, effective, chip_of, load);
+  }
+
+  part.chip_of = std::move(chip_of);
+  part.chip_bootstraps = std::move(load);
   part.cut_wires = count_cut(dag, part.chip_of);
+  std::vector<char> seen(static_cast<size_t>(num_chips), 0);
+  for (const int c : part.chip_of) seen[static_cast<size_t>(c)] = 1;
+  part.used_chips = static_cast<int>(
+      std::count(seen.begin(), seen.end(), static_cast<char>(1)));
   return part;
 }
 
-MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
-                                                    const GateDag& dag,
-                                                    const GateDagPartition& part,
-                                                    int pipelines,
-                                                    int64_t transfer_cycles) {
-  if (pipelines <= 0) {
-    throw std::invalid_argument(
-        "schedule_gate_dag_multichip: pipelines must be positive");
-  }
-  if (part.num_chips <= 0 ||
-      part.chip_of.size() != dag.gates.size()) {
+GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips) {
+  PartitionOptions pr4;
+  pr4.latency_aware = false;
+  pr4.pin_wire_nodes = false;
+  return partition_gate_dag(dag, num_chips, pr4);
+}
+
+MultiChipScheduleResult schedule_gate_dag_multichip(
+    const GateDag& dag, const GateDagPartition& part,
+    const std::vector<ChipResources>& chip_specs, int64_t transfer_cycles) {
+  if (part.num_chips <= 0 || part.chip_of.size() != dag.gates.size()) {
     throw std::invalid_argument(
         "schedule_gate_dag_multichip: partition does not match the DAG");
+  }
+  if (static_cast<int>(chip_specs.size()) != part.num_chips) {
+    throw std::invalid_argument(
+        "schedule_gate_dag_multichip: one ChipResources entry per chip");
+  }
+  size_t max_nodes = 0;
+  for (const ChipResources& spec : chip_specs) {
+    if (spec.pipelines <= 0) {
+      throw std::invalid_argument(
+          "schedule_gate_dag_multichip: pipelines must be positive");
+    }
+    if (spec.dfg == nullptr) {
+      throw std::invalid_argument(
+          "schedule_gate_dag_multichip: every chip needs a DFG");
+    }
+    max_nodes = std::max(max_nodes, spec.dfg->nodes.size());
   }
   if (transfer_cycles < 0) {
     throw std::invalid_argument(
@@ -170,13 +669,17 @@ MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
   MultiChipScheduleResult r;
   r.num_gates = static_cast<int>(dag.gates.size());
   r.num_chips = num_chips;
-  r.pipelines = pipelines;
+  r.chip_pipelines.reserve(chip_specs.size());
+  for (const ChipResources& spec : chip_specs) {
+    r.chip_pipelines.push_back(spec.pipelines);
+    r.pipelines = std::max(r.pipelines, spec.pipelines);
+  }
   r.gate_end.assign(dag.gates.size(), 0);
   r.cut_wires = count_cut(dag, part.chip_of);
   r.chip_occupancy.assign(static_cast<size_t>(num_chips), 0);
   r.chip_hbm_utilization.assign(static_cast<size_t>(num_chips), 0);
   r.chip_poly_utilization.assign(static_cast<size_t>(num_chips), 0);
-  if (dag.gates.empty() || gate_dfg.nodes.empty()) return r;
+  if (dag.gates.empty() || max_nodes == 0) return r;
 
   // Per-chip resources: private TGSW/EP pipelines with backfilling timelines
   // (a later gate's prologue may use idle windows behind an earlier gate's
@@ -188,14 +691,17 @@ MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
     std::vector<int64_t> pipe_avail;
   };
   std::vector<Chip> chips(static_cast<size_t>(num_chips));
-  for (auto& chip : chips) {
-    chip.tgsw.resize(static_cast<size_t>(pipelines));
-    chip.ep.resize(static_cast<size_t>(pipelines));
-    chip.pipe_avail.assign(static_cast<size_t>(pipelines), 0);
+  for (int c = 0; c < num_chips; ++c) {
+    const size_t p = static_cast<size_t>(chip_specs[static_cast<size_t>(c)].pipelines);
+    chips[static_cast<size_t>(c)].tgsw.resize(p);
+    chips[static_cast<size_t>(c)].ep.resize(p);
+    chips[static_cast<size_t>(c)].pipe_avail.assign(p, 0);
   }
   BackfillTimeline link;
   // Lazily-created transfer completions, one per (value, destination chip):
-  // every consumer on that chip waits on the same send.
+  // every consumer on that chip waits on the same send. A multi-output LUT
+  // bundle is one DAG node, hence one value -- its extra extractions never
+  // pay extra transfers.
   std::vector<int64_t> transfer_end(dag.gates.size() *
                                         static_cast<size_t>(num_chips),
                                     -1);
@@ -241,14 +747,17 @@ MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
     return ready;
   };
 
-  std::vector<int64_t> node_end(gate_dfg.nodes.size(), 0);
+  std::vector<int64_t> node_end(max_nodes, 0);
   int scheduled = 0;
   while (!queue.empty()) {
     const auto [ready, gi] = queue.top();
     queue.pop();
     ++scheduled;
     const GateDagNode& gate = dag.gates[gi];
-    Chip& chip = chips[static_cast<size_t>(part.chip_of[static_cast<size_t>(gi)])];
+    const int chip_id = part.chip_of[static_cast<size_t>(gi)];
+    Chip& chip = chips[static_cast<size_t>(chip_id)];
+    const Dfg& gate_dfg = *chip_specs[static_cast<size_t>(chip_id)].dfg;
+    const int pipelines = chip_specs[static_cast<size_t>(chip_id)].pipelines;
     int64_t end = ready;
     if (gate.bootstraps > 0) {
       // Greedy pipeline choice: the pair whose last placed gate ends
@@ -312,6 +821,7 @@ MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
   r.transfer_busy_cycles = link.busy();
   if (r.makespan > 0) {
     for (int c = 0; c < num_chips; ++c) {
+      const int pipelines = chip_specs[static_cast<size_t>(c)].pipelines;
       int64_t busy = 0;
       for (int p = 0; p < pipelines; ++p) {
         busy += chips[static_cast<size_t>(c)].tgsw[static_cast<size_t>(p)].busy() +
@@ -329,6 +839,25 @@ MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
     r.link_utilization = static_cast<double>(link.busy()) / r.makespan;
   }
   return r;
+}
+
+MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
+                                                    const GateDag& dag,
+                                                    const GateDagPartition& part,
+                                                    int pipelines,
+                                                    int64_t transfer_cycles) {
+  if (pipelines <= 0) {
+    throw std::invalid_argument(
+        "schedule_gate_dag_multichip: pipelines must be positive");
+  }
+  if (part.num_chips <= 0) {
+    throw std::invalid_argument(
+        "schedule_gate_dag_multichip: partition does not match the DAG");
+  }
+  const std::vector<ChipResources> chips(
+      static_cast<size_t>(part.num_chips),
+      ChipResources{pipelines, &gate_dfg});
+  return schedule_gate_dag_multichip(dag, part, chips, transfer_cycles);
 }
 
 GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,

@@ -7,13 +7,21 @@
 // key stream shared chip-wide. This is the honest chip-side view of
 // wavefront parallelism -- recording order never matters, only dependencies.
 //
-// Multi-chip: partition_gate_dag shards the DAG across several chips
-// (greedy KL-style refinement of a weight-balanced topological split,
-// minimizing the wire cut) and schedule_gate_dag_multichip gives every chip
-// its own pipelines, polynomial unit, and HBM channel; a wire whose producer
-// and consumer sit on different chips claims the shared inter-chip link for
-// a transfer before the consumer may issue (an HBM-like edge inserted into
-// the dependence graph).
+// Multi-chip: partition_gate_dag shards the DAG across several chips and
+// schedule_gate_dag_multichip gives every chip its own pipelines, polynomial
+// unit, and HBM channel; a wire whose producer and consumer sit on different
+// chips claims the shared inter-chip link for a transfer before the consumer
+// may issue (an HBM-like edge inserted into the dependence graph).
+//
+// Round 2 (batch-aware scheduling): the partition objective is *predicted
+// makespan*, not cut size -- the inter-chip link sits below 0.01% utilization
+// on every measured circuit, so cut wires are nearly free while chip idle
+// time is not. PartitionOptions selects the round-2 refinement (slack-
+// weighted cut costs + a surrogate-makespan hill climb over a latency/
+// throughput chip model) and carries heterogeneous per-chip capacities; the
+// plain two-argument partition_gate_dag keeps the PR-4 min-cut behavior as
+// the A/B baseline. sim/multichip_policy.h builds on this to pick
+// replicate-vs-shard placements per batch shape.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +44,12 @@ struct GateDagNode {
   /// on the chip, so it never adds schedule latency -- it is surfaced for
   /// activity accounting only.
   int extractions = 1;
+  /// Anchor affinity for zero-bootstrap wire nodes (NOT, kFreeOr): the dep
+  /// this node should share a chip with whenever the partition allows it.
+  /// A wire node placed away from every operand would pay transfers for all
+  /// of them, so the round-2 partitioner snaps pinned nodes next to their
+  /// anchor (see PartitionOptions::pin_wire_nodes). -1 = unpinned.
+  int pin = -1;
   std::vector<int> deps;
 };
 
@@ -48,6 +62,132 @@ struct GateDag {
   /// amount of pipelines can beat.
   int64_t critical_path_bootstraps() const;
 };
+
+/// `copies` disjoint instances of `circuit`, concatenated (copy k occupies
+/// indices [k*n, (k+1)*n)). The batch-DAG building block of the replicate-
+/// vs-shard policy: batch items are independent, so their DAGs share no
+/// edges and the scheduler interleaves them freely.
+GateDag replicate_gate_dag(const GateDag& circuit, int copies);
+
+/// A sharding of a GateDag across `num_chips` chips: every gate lives on
+/// exactly one chip, and chip ids are monotone along dependence edges
+/// (chip_of[dep] <= chip_of[gate]), so the chip-level quotient graph is
+/// acyclic by construction -- no transfer cycle can deadlock the schedule.
+struct GateDagPartition {
+  int num_chips = 1;
+  /// Chips that actually received at least one gate. Degenerate requests
+  /// (num_chips above the bootstrap-bearing node count, tiny DAGs) shrink to
+  /// fewer non-empty chips -- the extra chips stay valid but idle.
+  int used_chips = 1;
+  std::vector<int> chip_of;             ///< per gate
+  std::vector<int64_t> chip_bootstraps; ///< per-chip load (bootstraps)
+  std::vector<int64_t> chip_load_cap;   ///< cap the refinement enforced
+  int64_t cut_wires = 0; ///< dependence edges whose endpoints differ in chip
+};
+
+/// Per-chip resources for the heterogeneous scheduler: a pipeline count and
+/// the per-bootstrap DFG that chip executes (its own unroll m / clocking
+/// baked in by sim/dfg.h).
+struct ChipResources {
+  int pipelines = 1;
+  const Dfg* dfg = nullptr;
+};
+
+/// Round-2 partition knobs. Defaults reproduce the batch-aware objective
+/// (makespan-driven refinement, wire-node pinning); construct with
+/// latency_aware=false for the PR-4 pure min-cut baseline.
+struct PartitionOptions {
+  /// Relative per-chip throughput capacity (empty = homogeneous). Load caps
+  /// and balance targets scale by each chip's share, so a chip with twice
+  /// the pipelines absorbs twice the bootstraps.
+  std::vector<double> chip_capacity;
+  /// Makespan-driven refinement instead of PR-4 greedy-KL min-cut. With a
+  /// cycle model attached (`dfg`+`pipelines`, or `chips`), refinement is a
+  /// prefix-boundary coordinate descent plus single-gate polish against the
+  /// *true* multi-chip schedule -- cut size rises freely, only predicted
+  /// makespan matters. Without one it falls back to slack-weighted KL (cut
+  /// edges near the critical path cost more) plus a coarse analytic climb.
+  bool latency_aware = true;
+  /// Snap zero-bootstrap wire nodes (GateDagNode::pin) onto their anchor's
+  /// chip whenever edge monotonicity allows, so NOT/kFreeOr wires are never
+  /// separated from the rotation that feeds them.
+  bool pin_wire_nodes = true;
+  /// True cycle model for latency_aware refinement: the per-bootstrap DFG
+  /// and per-chip pipeline count every chip runs (homogeneous)...
+  const Dfg* dfg = nullptr;
+  int pipelines = 0;
+  /// ...or a full per-chip resource list (heterogeneous; overrides
+  /// dfg/pipelines when non-empty). Pointers must outlive the call.
+  std::vector<ChipResources> chips;
+  /// Analytic fallback model: cycles of one bootstrap alone, steady-state
+  /// cycles between bootstrap completions on one chip (optionally per chip).
+  /// Zero latency disables the fallback climb (slack-weighted KL still runs).
+  int64_t bootstrap_latency = 0;
+  int64_t bootstrap_interval = 0;
+  std::vector<int64_t> chip_interval;
+  int64_t transfer_cycles = 0;
+};
+
+/// Shard the DAG into `num_chips` parts. Seeds are chip-monotone by
+/// construction (weight-balanced topological prefix blocks, and -- round 2 --
+/// critical-depth bands); refinement moves single gates between chips
+/// without ever violating edge monotonicity or the per-chip load cap.
+/// Deterministic for a given DAG and options.
+GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips,
+                                    const PartitionOptions& opt);
+
+/// PR-4 baseline: greedy-KL cut minimization over a prefix seed (plus the
+/// degenerate-DAG fix). The A/B reference the round-2 options are measured
+/// against.
+GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips);
+
+/// Latency/throughput surrogate of the multi-chip schedule for a given
+/// partition: per chip, bootstraps complete no faster than one per
+/// `interval` cycles; a gate's first bootstrap pays the full `latency`; a
+/// cross-chip operand adds `transfer_cycles`. O(V+E) -- the refinement
+/// objective, and a useful sanity probe for tests.
+int64_t estimate_partition_makespan(const GateDag& dag,
+                                    const std::vector<int>& chip_of,
+                                    int num_chips, int64_t latency,
+                                    const std::vector<int64_t>& chip_interval,
+                                    int64_t transfer_cycles);
+
+struct MultiChipScheduleResult {
+  int num_gates = 0;
+  int num_chips = 1;
+  int pipelines = 0;             ///< per chip (max across chips if hetero)
+  std::vector<int> chip_pipelines; ///< per-chip pipeline counts
+  int64_t makespan = 0;          ///< circuit completion (cycles)
+  std::vector<int64_t> gate_end; ///< per-gate completion cycle
+  int64_t cut_wires = 0;         ///< dependence edges crossing chips
+  int64_t transfers = 0; ///< distinct (value, destination-chip) link sends
+  int64_t transfer_busy_cycles = 0; ///< inter-chip link busy cycles
+  double link_utilization = 0;
+  std::vector<double> chip_occupancy;       ///< per-chip TGSW+EP busy fraction
+  std::vector<double> chip_hbm_utilization; ///< per-chip HBM busy fraction
+  std::vector<double> chip_poly_utilization;
+};
+
+/// Multi-chip variant of schedule_gate_dag: every chip owns `pipelines`
+/// TGSW/EP pairs plus a private polynomial unit and HBM channel; gates run on
+/// the chip `part` assigns them. A value consumed on a different chip than
+/// it was produced on first claims the shared inter-chip link for
+/// `transfer_cycles` (earliest start at producer completion) -- one transfer
+/// per distinct (value, destination chip), reused by every consumer there; a
+/// multi-output LUT bundle is one value, so all its extractions cross in one
+/// send. With num_chips == 1 this reduces exactly to schedule_gate_dag.
+MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
+                                                    const GateDag& dag,
+                                                    const GateDagPartition& part,
+                                                    int pipelines,
+                                                    int64_t transfer_cycles);
+
+/// Heterogeneous-chip variant: chips[c] names chip c's pipeline count and
+/// per-bootstrap DFG (chips.size() == part.num_chips). The homogeneous
+/// overload above is this with every chip identical.
+MultiChipScheduleResult schedule_gate_dag_multichip(
+    const GateDag& dag, const GateDagPartition& part,
+    const std::vector<ChipResources>& chips, int64_t transfer_cycles);
 
 struct GateDagScheduleResult {
   int num_gates = 0;
@@ -69,52 +209,5 @@ struct GateDagScheduleResult {
 /// never spreads across pipelines.
 GateDagScheduleResult schedule_gate_dag(const Dfg& gate_dfg, const GateDag& dag,
                                         int pipelines);
-
-/// A sharding of a GateDag across `num_chips` chips: every gate lives on
-/// exactly one chip, and chip ids are monotone along dependence edges
-/// (chip_of[dep] <= chip_of[gate]), so the chip-level quotient graph is
-/// acyclic by construction -- no transfer cycle can deadlock the schedule.
-struct GateDagPartition {
-  int num_chips = 1;
-  std::vector<int> chip_of;             ///< per gate
-  std::vector<int64_t> chip_bootstraps; ///< per-chip load (bootstraps)
-  int64_t cut_wires = 0; ///< dependence edges whose endpoints differ in chip
-};
-
-/// Shard the DAG into `num_chips` parts: seed with a bootstrap-weight-
-/// balanced topological prefix split (gates arrive topologically sorted, so
-/// contiguous index blocks are chip-monotone), then greedy KL-style
-/// refinement -- repeated single-gate moves to an adjacent chip that strictly
-/// reduce the wire cut, constrained to preserve edge monotonicity and load
-/// balance. Deterministic for a given DAG.
-GateDagPartition partition_gate_dag(const GateDag& dag, int num_chips);
-
-struct MultiChipScheduleResult {
-  int num_gates = 0;
-  int num_chips = 1;
-  int pipelines = 0;             ///< per chip
-  int64_t makespan = 0;          ///< circuit completion (cycles)
-  std::vector<int64_t> gate_end; ///< per-gate completion cycle
-  int64_t cut_wires = 0;         ///< dependence edges crossing chips
-  int64_t transfers = 0; ///< distinct (value, destination-chip) link sends
-  int64_t transfer_busy_cycles = 0; ///< inter-chip link busy cycles
-  double link_utilization = 0;
-  std::vector<double> chip_occupancy;       ///< per-chip TGSW+EP busy fraction
-  std::vector<double> chip_hbm_utilization; ///< per-chip HBM busy fraction
-  std::vector<double> chip_poly_utilization;
-};
-
-/// Multi-chip variant of schedule_gate_dag: every chip owns `pipelines`
-/// TGSW/EP pairs plus a private polynomial unit and HBM channel; gates run on
-/// the chip `part` assigns them. A value consumed on a different chip than
-/// it was produced on first claims the shared inter-chip link for
-/// `transfer_cycles` (earliest start at producer completion) -- one transfer
-/// per distinct (value, destination chip), reused by every consumer there.
-/// With num_chips == 1 this reduces exactly to schedule_gate_dag.
-MultiChipScheduleResult schedule_gate_dag_multichip(const Dfg& gate_dfg,
-                                                    const GateDag& dag,
-                                                    const GateDagPartition& part,
-                                                    int pipelines,
-                                                    int64_t transfer_cycles);
 
 } // namespace matcha::sim

@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -26,6 +27,17 @@ ScheduleResult schedule(const Dfg& dfg) {
     r.busy[i] = timeline.busy(static_cast<Resource>(i));
   }
   return r;
+}
+
+BootstrapProfile profile_bootstrap(const Dfg& gate_dfg) {
+  const ScheduleResult s = schedule(gate_dfg);
+  BootstrapProfile p;
+  p.latency = s.makespan;
+  p.hbm_busy = s.busy[static_cast<int>(Resource::kHbm)];
+  p.poly_busy = s.busy[static_cast<int>(Resource::kPolyUnit)];
+  p.pipeline_busy = std::max(s.busy[static_cast<int>(Resource::kTgswCluster)],
+                             s.busy[static_cast<int>(Resource::kEpCore)]);
+  return p;
 }
 
 BatchScheduleResult schedule_batch(const Dfg& gate_dfg, int num_gates,

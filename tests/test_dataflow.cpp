@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "exec/batch_executor.h"
@@ -347,6 +348,224 @@ TEST(MultiChipFuzz, ScheduleRespectsDependenciesAndTransfers) {
         EXPECT_EQ(r.transfers, 0);
         EXPECT_EQ(r.transfer_busy_cycles, 0);
       }
+    }
+  }
+}
+
+TEST(MultiChipFuzz, HeterogeneousCapacityPartitionsRespectCaps) {
+  // Explicit per-chip capacity shares: the partitioner must honor the tight
+  // per-chip load caps it derives from them, on top of the usual invariants
+  // (completeness, chip-monotone edges, exact cut accounting).
+  Rng rng = test::test_rng(0x4E7C);
+  for (int trial = 0; trial < 60; ++trial) {
+    const sim::GateDag dag = random_dag(rng, 40);
+    const int chips = rng.uniform_below(2) ? 4 : 2;
+    sim::PartitionOptions opt;
+    for (int c = 0; c < chips; ++c) {
+      opt.chip_capacity.push_back(1.0 + rng.uniform_below(3)); // 1x..3x
+    }
+    const sim::GateDagPartition part =
+        sim::partition_gate_dag(dag, chips, opt);
+    ASSERT_EQ(part.num_chips, chips);
+    ASSERT_EQ(part.chip_of.size(), dag.gates.size());
+    ASSERT_EQ(part.chip_load_cap.size(), static_cast<size_t>(chips));
+    std::vector<int64_t> load(static_cast<size_t>(chips), 0);
+    int64_t cut = 0;
+    for (size_t i = 0; i < dag.gates.size(); ++i) {
+      ASSERT_GE(part.chip_of[i], 0);
+      ASSERT_LT(part.chip_of[i], chips);
+      load[static_cast<size_t>(part.chip_of[i])] += dag.gates[i].bootstraps;
+      for (const int d : dag.gates[i].deps) {
+        ASSERT_LE(part.chip_of[static_cast<size_t>(d)], part.chip_of[i])
+            << "trial " << trial;
+        cut += part.chip_of[static_cast<size_t>(d)] != part.chip_of[i];
+      }
+    }
+    ASSERT_EQ(load, part.chip_bootstraps);
+    ASSERT_EQ(cut, part.cut_wires);
+    for (int c = 0; c < chips; ++c) {
+      ASSERT_LE(part.chip_bootstraps[static_cast<size_t>(c)],
+                part.chip_load_cap[static_cast<size_t>(c)])
+          << "trial " << trial << " chip " << c;
+    }
+  }
+}
+
+TEST(MultiChipFuzz, DegenerateChipCountsShrinkToNonEmptyChips) {
+  // More chips than bootstrap-bearing gates: the partition must report fewer
+  // used chips rather than inventing empty shards that would stall the
+  // schedule, and every chip id must stay in range.
+  Rng rng = test::test_rng(0xDE6E);
+  for (int trial = 0; trial < 60; ++trial) {
+    const sim::GateDag dag = random_dag(rng, 6);
+    int64_t weighted = 0;
+    for (const auto& g : dag.gates) weighted += g.bootstraps > 0;
+    for (const int chips : {4, 8}) {
+      const sim::GateDagPartition part = sim::partition_gate_dag(dag, chips);
+      ASSERT_EQ(part.num_chips, chips);
+      int nonempty = 0;
+      for (int c = 0; c < chips; ++c) {
+        nonempty += part.chip_bootstraps[static_cast<size_t>(c)] > 0;
+      }
+      const int64_t expect_max = std::max<int64_t>(1, weighted);
+      EXPECT_LE(part.used_chips, expect_max) << "trial " << trial;
+      EXPECT_LE(nonempty, part.used_chips);
+      for (size_t i = 0; i < dag.gates.size(); ++i) {
+        ASSERT_GE(part.chip_of[i], 0);
+        ASSERT_LT(part.chip_of[i], chips);
+      }
+    }
+  }
+}
+
+TEST(MultiChipFuzz, PinnedWireNodesStayWithAnchorWhenWindowAllows) {
+  // Zero-bootstrap wire nodes carrying a pin must land on their anchor's
+  // chip unless edge monotonicity forbids it (a dep already sits on a later
+  // chip, or a consumer on an earlier one).
+  Rng rng = test::test_rng(0xF13D);
+  for (int trial = 0; trial < 60; ++trial) {
+    sim::GateDag dag = random_dag(rng, 40);
+    for (auto& g : dag.gates) {
+      if (g.bootstraps == 0 && !g.deps.empty() && rng.uniform_below(2)) {
+        g.pin = g.deps.front();
+      }
+    }
+    for (const int chips : {2, 4}) {
+      const sim::GateDagPartition part = sim::partition_gate_dag(
+          dag, chips, sim::PartitionOptions{});
+      // Consumer chip windows for the post-hoc check.
+      std::vector<int> min_user(dag.gates.size(), chips - 1);
+      for (size_t i = 0; i < dag.gates.size(); ++i) {
+        for (const int d : dag.gates[i].deps) {
+          auto& mu = min_user[static_cast<size_t>(d)];
+          mu = std::min(mu, part.chip_of[i]);
+        }
+      }
+      for (size_t i = 0; i < dag.gates.size(); ++i) {
+        const auto& g = dag.gates[i];
+        if (g.pin < 0) continue;
+        const int anchor = part.chip_of[static_cast<size_t>(g.pin)];
+        if (part.chip_of[i] == anchor) continue;
+        // Separation is only legal when co-location would break
+        // monotonicity against some neighbor of the wire node.
+        int max_dep = 0;
+        for (const int d : g.deps) {
+          max_dep = std::max(max_dep, part.chip_of[static_cast<size_t>(d)]);
+        }
+        EXPECT_TRUE(anchor < max_dep || anchor > min_user[i])
+            << "trial " << trial << " chips " << chips << " node " << i
+            << ": pinned wire node separated from its anchor";
+      }
+    }
+  }
+}
+
+TEST(MultiChipFuzz, ReplicateGateDagIsDisjointCopies) {
+  Rng rng = test::test_rng(0x4E91);
+  sim::GateDag c = random_dag(rng, 20);
+  c.gates.back().pin = 0;
+  const int n = static_cast<int>(c.gates.size());
+  const sim::GateDag batch = sim::replicate_gate_dag(c, 3);
+  ASSERT_EQ(batch.gates.size(), static_cast<size_t>(3 * n));
+  EXPECT_EQ(batch.total_bootstraps(), 3 * c.total_bootstraps());
+  // Depth is per item: independent copies never lengthen the critical path.
+  EXPECT_EQ(batch.critical_path_bootstraps(), c.critical_path_bootstraps());
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < n; ++i) {
+      const auto& src = c.gates[static_cast<size_t>(i)];
+      const auto& dst = batch.gates[static_cast<size_t>(k * n + i)];
+      EXPECT_EQ(dst.bootstraps, src.bootstraps);
+      EXPECT_EQ(dst.pin, src.pin < 0 ? -1 : src.pin + k * n);
+      ASSERT_EQ(dst.deps.size(), src.deps.size());
+      for (size_t j = 0; j < src.deps.size(); ++j) {
+        EXPECT_EQ(dst.deps[j], src.deps[j] + k * n); // stays inside copy k
+      }
+    }
+  }
+}
+
+TEST(MultiChip, BundleValueCrossesOncePerDestinationChip) {
+  // Three consumers of the same produced value on one remote chip (the
+  // multi-output LUT bundle shape after sim_bridge merges kLutOut nodes):
+  // three cut wires, ONE link transfer -- the value is sent once and reused.
+  sim::SimParams p;
+  p.tfhe = TfheParams::security110();
+  p.unroll_m = 1;
+  const sim::Dfg dfg = sim::build_bootstrap_dfg(p);
+
+  sim::GateDag dag;
+  dag.gates.resize(4);
+  dag.gates[1].deps = {0};
+  dag.gates[2].deps = {0};
+  dag.gates[3].deps = {0};
+  sim::GateDagPartition part;
+  part.num_chips = 2;
+  part.used_chips = 2;
+  part.chip_of = {0, 1, 1, 1};
+  part.chip_bootstraps = {1, 3};
+  part.chip_load_cap = {4, 4};
+  part.cut_wires = 3;
+  constexpr int64_t kTransfer = 1000;
+  const auto r = sim::schedule_gate_dag_multichip(dfg, dag, part,
+                                                  p.hw.pipelines, kTransfer);
+  EXPECT_EQ(r.cut_wires, 3);
+  EXPECT_EQ(r.transfers, 1);
+  EXPECT_EQ(r.transfer_busy_cycles, kTransfer);
+  // Every consumer still waits for the (single) transfer to land.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(r.gate_end[static_cast<size_t>(i)],
+              r.gate_end[0] + kTransfer);
+  }
+}
+
+TEST(MultiChipPolicy, VariantsBitIdenticalAndChosenIsMinimal) {
+  // Every replicate/shard/hybrid variant schedules the same replicated batch
+  // DAG, so bootstrap counts must be bit-identical across policies; the
+  // chosen plan must be the variant with the smallest true makespan; and a
+  // pure-replicate placement never touches the inter-chip link.
+  sim::SimParams p;
+  p.tfhe = TfheParams::security110();
+  p.unroll_m = 1;
+  const sim::Dfg dfg = sim::build_bootstrap_dfg(p);
+
+  Rng rng = test::test_rng(0xB17C);
+  for (int trial = 0; trial < 4; ++trial) {
+    const sim::GateDag circuit = random_dag(rng, 12);
+    const int n = static_cast<int>(circuit.gates.size());
+    constexpr std::pair<int, int> kShapes[] = {
+        {1, 2}, {2, 2}, {2, 4}, {3, 4}, {4, 4}};
+    for (const auto& [batch, chips] : kShapes) {
+      sim::BatchPlanRequest req;
+      req.dfg = &dfg;
+      req.circuit = &circuit;
+      req.batch = batch;
+      req.num_chips = chips;
+      req.pipelines = p.hw.pipelines;
+      req.transfer_cycles = 1000;
+      const sim::BatchPlan plan = sim::plan_batch_schedule(req);
+
+      ASSERT_EQ(plan.batch_dag.gates.size(),
+                static_cast<size_t>(batch) * static_cast<size_t>(n));
+      const int64_t expect_bs = batch * circuit.total_bootstraps();
+      ASSERT_FALSE(plan.considered.empty());
+      int64_t best = plan.considered.front().makespan;
+      for (const sim::BatchPlanVariant& v : plan.considered) {
+        EXPECT_EQ(v.total_bootstraps, expect_bs)
+            << "trial " << trial << " batch " << batch << " chips " << chips
+            << " G=" << v.replica_groups;
+        EXPECT_EQ(v.replica_groups * v.group_size, chips);
+        if (v.policy == sim::BatchPolicy::kReplicate && chips > 1) {
+          EXPECT_EQ(v.transfers, 0); // whole items per chip: link untouched
+        }
+        best = std::min(best, v.makespan);
+      }
+      EXPECT_EQ(plan.schedule.makespan, best)
+          << "trial " << trial << " batch " << batch << " chips " << chips;
+      // The chosen partition covers the whole batch DAG.
+      ASSERT_EQ(plan.partition.chip_of.size(), plan.batch_dag.gates.size());
+      int64_t placed = 0;
+      for (const int64_t l : plan.partition.chip_bootstraps) placed += l;
+      EXPECT_EQ(placed, expect_bs);
     }
   }
 }
