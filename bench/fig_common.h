@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "platform/platforms.h"
 
 namespace matcha::bench {
@@ -79,6 +80,14 @@ inline void write_host_header(JsonWriter& j) {
           static_cast<int64_t>(std::thread::hardware_concurrency()));
   const char* simd_env = std::getenv("MATCHA_SIMD");
   j.field("matcha_simd_env", simd_env != nullptr ? simd_env : "");
+  // The zero-overhead contract for the fault-injection layer: benches run
+  // with sites compiled in but INACTIVE, so the latency trend gates double
+  // as the "disabled sites are free" assertion. A bench accidentally run
+  // under MATCHA_FAULTS would corrupt the baseline -- the trend gate
+  // hard-fails when faults_active is true.
+  j.field("faults_compiled_in", static_cast<int64_t>(fault::compiled_in()));
+  j.field("faults_active",
+          static_cast<int64_t>(fault::Registry::instance().active()));
 }
 
 inline void print_platform_sweep(

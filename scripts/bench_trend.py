@@ -168,6 +168,21 @@ def compare_micro_kernels(prev, cur, failures):
               tolerance=SW_LATENCY_TOLERANCE)
 
 
+def check_fault_header(name, cur, failures):
+    # Zero-overhead contract of the fault-injection layer: benches run with
+    # the sites compiled in but INACTIVE, so the latency gates above double
+    # as the "disabled sites are free" assertion. A bench that ran under
+    # MATCHA_FAULTS measured the fault path, not the product -- reject the
+    # data point outright (checked even when there is no baseline yet).
+    if cur.get("faults_active"):
+        line = f"  {name}: bench ran with fault injection ACTIVE"
+        failures.append(line)
+        print(f"REGRESSION{line}")
+    elif "faults_compiled_in" in cur:
+        print(f"ok          {name}: faults compiled_in="
+              f"{cur['faults_compiled_in']} active=0")
+
+
 COMPARATORS = {
     "BENCH_batch_throughput.json": compare_batch_throughput,
     "BENCH_micro_kernels.json": compare_micro_kernels,
@@ -192,14 +207,15 @@ def main():
 
     for prev_file, cur_file, fn in pairs:
         try:
-            prev = load(prev_file)
-        except OSError:
-            print(f"no baseline at {prev_file}; skipped")
-            continue
-        try:
             cur = load(cur_file)
         except OSError:
             print(f"no current data at {cur_file}; skipped")
+            continue
+        check_fault_header(os.path.basename(cur_file), cur, failures)
+        try:
+            prev = load(prev_file)
+        except OSError:
+            print(f"no baseline at {prev_file}; skipped")
             continue
         print(f"-- {os.path.basename(cur_file)}")
         fn(prev, cur, failures)

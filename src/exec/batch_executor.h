@@ -34,6 +34,20 @@
 // Counters: each worker engine accumulates its EngineCounters privately
 // during a run; the executor merges them into one aggregate on batch
 // completion (see DESIGN.md "Batched execution subsystem").
+//
+// Fault isolation (DESIGN.md "Failure model and fault-injection contract"):
+// a fault in one item's cone -- an injected bit flip, an allocation failure,
+// a worker-task exception -- must never take down the batch. The executor
+// tracks per-(item, node) validity alongside the refcount schedule: a failed
+// task marks its items' outputs invalid and STILL decrements its consumers
+// (so the task space drains normally), and downstream tasks simply skip
+// items whose operands are invalid. After the pool run, a bounded retry
+// recomputes only the invalid nodes of each faulted item on the caller's
+// slot; items that stay faulted report a structured per-item Status in their
+// BatchResult while every other item completes bit-identically to a
+// fault-free run. A configurable deadline bounds the whole batch
+// (ThreadPool's cooperative watchdog); a tripped deadline reports
+// kDeadlineExceeded on the incomplete items instead of hanging.
 #pragma once
 
 #include <algorithm>
@@ -48,6 +62,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/status.h"
 #include "exec/gate_graph.h"
 #include "exec/thread_pool.h"
 #include "fft/engine_counters.h"
@@ -57,20 +73,36 @@
 
 namespace matcha::exec {
 
-/// All ciphertexts one execution produced, indexed by wire id.
+/// All ciphertexts one execution produced, indexed by wire id, plus the
+/// item's fault outcome: `status` is kOk when every node completed (possibly
+/// after retry); otherwise it carries the first failure and `value_ok` marks
+/// which node values are trustworthy.
 struct BatchResult {
   std::vector<LweSample> values;
+  /// Per-node validity: 1 iff values[i] was computed (or recomputed) without
+  /// a fault. Sized by the executor; empty in hand-built results.
+  std::vector<uint8_t> value_ok;
+  /// kOk, or the first structured failure this item hit and retry could not
+  /// repair.
+  Status status;
 
   /// `w` must be a wire of the executed graph -- in particular, reading an
   /// unmarked output through CompiledGraph::remap yields an invalid wire
   /// (its producer was dead-gate-eliminated). Throws instead of asserting:
   /// this is a cold per-output path and the misuse must surface in release
-  /// builds too.
+  /// builds too. Reading a value a fault invalidated throws the item's
+  /// Status rather than handing out a corrupt ciphertext.
   const LweSample& at(Wire w) const {
     if (!w.valid() || static_cast<size_t>(w.id) >= values.size()) {
       throw std::out_of_range(
           "BatchResult::at: wire absent from this result (dead-eliminated "
           "or from a different graph)");
+    }
+    if (!value_ok.empty() && !value_ok[static_cast<size_t>(w.id)]) {
+      throw StatusError(status.ok() ? internal_status(
+                                          "BatchResult::at: value invalidated "
+                                          "by a fault")
+                                    : status);
     }
     return values[static_cast<size_t>(w.id)];
   }
@@ -95,6 +127,11 @@ struct BatchStats {
   int workers = 0;         ///< worker slots that participated
   int64_t steals = 0;      ///< tasks executed off another worker's deque
   double sched_efficiency = 0; ///< busy worker-time / (workers * wall)
+  // Fault accounting for the last run.
+  int faulted_items = 0;  ///< items that hit at least one fault
+  int retried_items = 0;  ///< faulted items the bounded retry repaired
+  int retry_runs = 0;     ///< repair sweeps performed after the pool run
+  bool timed_out = false; ///< the batch deadline tripped (watchdog)
 };
 
 template <class Engine>
@@ -174,16 +211,33 @@ class BatchExecutor {
     std::vector<BatchResult> results(batch.size());
     for (int b = 0; b < items; ++b) {
       results[b].values.resize(num_nodes);
+      results[b].value_ok.assign(static_cast<size_t>(num_nodes), 0);
       for (int i = 0; i < g.num_inputs(); ++i) {
         results[b].values[g.inputs()[i]] = std::move(batch[b][i]);
+        results[b].value_ok[static_cast<size_t>(g.inputs()[i])] = 1;
       }
       for (int i = 0; i < num_nodes; ++i) {
         const GateNode& n = g.nodes()[i];
         if (n.is_const) {
           results[b].values[i] = constant_bit(bk_.n_lwe, mu_, n.const_value);
+          results[b].value_ok[static_cast<size_t>(i)] = 1;
         }
       }
     }
+
+    // Per-item fault ledger. Tasks of the same item can fault concurrently
+    // on different workers; the mutex keeps "first failure wins" exact.
+    // Validity flags themselves need no locking: each (item, node) value has
+    // exactly one writer (the task that owns the node for that group), and
+    // readers only reach it through the acquire side of the readiness
+    // refcount that writer released.
+    std::mutex fault_mu;
+    std::vector<Status> item_status(static_cast<size_t>(items));
+    const auto fail_item = [&](int b, Status st) {
+      std::lock_guard<std::mutex> lk(fault_mu);
+      auto& slot = item_status[static_cast<size_t>(b)];
+      if (slot.ok()) slot = std::move(st);
+    };
 
     // Task space: (item group x gate). All items of a group finish a gate in
     // the same task, so their consumers' operands complete together and one
@@ -223,7 +277,21 @@ class BatchExecutor {
         const int b1 = std::min(items, b0 + group_size);
         Worker& w = *workers_[static_cast<size_t>(sink.slot())];
         const auto g0 = std::chrono::steady_clock::now();
-        eval_gate_group(w, g, gate, b0, b1, results);
+        // A fault anywhere in the group must NOT escape to the pool: the
+        // group's items are marked failed (their outputs stay invalid) and
+        // the consumer decrements below still run, so the rest of the batch
+        // drains as if nothing happened -- that is the isolation contract.
+        try {
+          if (fault::should_fire(fault::kSiteTaskException)) {
+            throw fault::FaultInjected(
+                fault::kSiteTaskException,
+                unavailable_status("injected worker-task exception"));
+          }
+          eval_gate_group(w, g, gate, b0, b1, results, fail_item);
+        } catch (...) {
+          const Status st = status_from_exception();
+          for (int b = b0; b < b1; ++b) fail_item(b, st);
+        }
         w.busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
                          std::chrono::steady_clock::now() - g0)
                          .count();
@@ -234,16 +302,53 @@ class BatchExecutor {
           }
         }
       };
-      run_stats = pool_.run_tasks(seeds, total_tasks, task);
+      const auto deadline = deadline_.count() > 0
+                                ? t0 + deadline_
+                                : ThreadPool::kNoDeadline;
+      run_stats = pool_.run_tasks(seeds, total_tasks, task, 1 << 30, deadline);
     }
 
-    // Merge per-worker counters now that all workers are quiescent.
+    // Merge per-worker counters now that all workers are quiescent. The
+    // retry pass below runs AFTER the merge on purpose: repair work is not
+    // part of the batch's steady-state cost, and its counter deltas are
+    // discarded by the next run's per-worker reset.
     int64_t busy_ns = 0;
     for (auto& w : workers_) {
       merged_ += w->engine->counters();
       w->engine->counters().reset();
       busy_ns += w->busy_ns;
     }
+
+    // A tripped deadline leaves tasks unexecuted with no fault recorded;
+    // every incomplete item gets a deadline Status and no retry (more work
+    // is exactly what the deadline forbade).
+    stats_.timed_out = run_stats.timed_out;
+    for (int b = 0; b < items; ++b) {
+      if (!item_status[static_cast<size_t>(b)].ok()) continue;
+      if (!item_complete(g, results[static_cast<size_t>(b)])) {
+        item_status[static_cast<size_t>(b)] =
+            run_stats.timed_out
+                ? deadline_exceeded_status(
+                      "batch deadline tripped before this item completed")
+                : internal_status("batch drained with this item incomplete");
+      }
+    }
+
+    int faulted = 0;
+    for (const auto& st : item_status) faulted += st.ok() ? 0 : 1;
+    stats_.faulted_items = faulted;
+    stats_.retry_runs = 0;
+    if (faulted > 0 && !run_stats.timed_out && max_retries_ > 0) {
+      retry_failed_items(g, results, item_status, fail_item);
+    }
+    int still_failed = 0;
+    for (int b = 0; b < items; ++b) {
+      results[static_cast<size_t>(b)].status =
+          item_status[static_cast<size_t>(b)];
+      still_failed += item_status[static_cast<size_t>(b)].ok() ? 0 : 1;
+    }
+    stats_.retried_items = faulted - still_failed;
+
     stats_.items = items;
     stats_.gates = static_cast<int64_t>(g.num_gates()) * items;
     stats_.bootstraps = g.bootstrap_count() * items;
@@ -281,6 +386,15 @@ class BatchExecutor {
   void reset_counters() { merged_.reset(); }
   const BatchStats& last_stats() const { return stats_; }
 
+  /// Watchdog budget for one run_batch call (0 = no deadline). A tripped
+  /// deadline cancels outstanding tasks cooperatively; incomplete items
+  /// report kDeadlineExceeded instead of the batch hanging.
+  void set_deadline(std::chrono::milliseconds d) { deadline_ = d; }
+  /// Repair sweeps allowed after a faulted pool run (0 disables retry;
+  /// each sweep recomputes only the invalid nodes of still-failed items).
+  void set_max_retries(int n) { max_retries_ = std::max(0, n); }
+  int max_retries() const { return max_retries_; }
+
  private:
   struct Worker {
     std::unique_ptr<Engine> engine;
@@ -299,6 +413,8 @@ class BatchExecutor {
     std::vector<const LweSample*> ks_in;
     std::vector<LweSample*> ks_out;
     KeySwitchWorkspace ks_ws;
+    /// Live items of the current task (operands valid; see eval_gate_group).
+    std::vector<int> live;
 
     Worker(std::unique_ptr<Engine> eng, const GadgetParams& gadget)
         : engine(std::move(eng)), ws(*engine, gadget) {}
@@ -313,23 +429,126 @@ class BatchExecutor {
     return std::max(1, std::min(kKsGroupTarget, items / pool_.num_threads()));
   }
 
-  /// Evaluate gate `id` for batch items [b0, b1): stage every item's
-  /// pre-bootstrap linear combination, run ONE group-major blind-rotation
-  /// flush for the whole group (the spectral bootstrapping key streams from
-  /// DRAM once per group of items instead of once per item; MUX flushes its
-  /// 2x branch bootstraps in the same pass), then one batched keyswitch
-  /// flush into the items' result slots. Per-item math is unchanged, so the
-  /// result is bit-identical to the sequential lowering.
+  /// True iff every gate node of `r` holds a valid value.
+  static bool item_complete(const GateGraph& g, const BatchResult& r) {
+    for (size_t i = 0; i < r.value_ok.size(); ++i) {
+      if (g.nodes()[i].is_gate() && !r.value_ok[i]) return false;
+    }
+    return true;
+  }
+
+  /// Injected-bit-flip site shared by both keyswitch tails. The model is a
+  /// physical upset the runtime's integrity check traps: the victim's fresh
+  /// ciphertext is corrupted AND detected, so the value is invalidated and
+  /// the item reports kDataLoss (retry recomputes it) -- never a wrong
+  /// plaintext presented as success.
+  template <class FailFn>
+  void maybe_flip_keyswitch_output(Worker& w, int wire,
+                                   std::vector<BatchResult>& results,
+                                   const FailFn& fail_item) {
+    if (w.live.empty() ||
+        !fault::should_fire(fault::kSiteKeyswitchBitflip)) {
+      return;
+    }
+    const int victim = w.live.front();
+    auto& r = results[static_cast<size_t>(victim)];
+    auto& c = r.values[static_cast<size_t>(wire)];
+    if (!c.a.empty()) c.a[0] ^= 1u << 30;
+    r.value_ok[static_cast<size_t>(wire)] = 0;
+    fail_item(victim,
+              data_loss_status("post-keyswitch ciphertext failed its "
+                               "integrity check (injected bit flip)"));
+  }
+
+  /// Bounded repair: recompute only the invalid nodes of each failed item,
+  /// on the caller's slot (slot 0 -- the caller IS pool slot 0, so engine
+  /// and workspace affinity are preserved). Node order is topological, so a
+  /// single in-order sweep per item rebuilds its cone; a fresh fault during
+  /// a sweep stops that item (partial progress survives in value_ok) and
+  /// the next sweep continues from there, up to max_retries_ sweeps.
+  template <class FailFn>
+  void retry_failed_items(const GateGraph& g, std::vector<BatchResult>& results,
+                          std::vector<Status>& item_status,
+                          const FailFn& fail_item) {
+    Worker& w0 = *workers_.front();
+    for (int pass = 0; pass < max_retries_; ++pass) {
+      ++stats_.retry_runs;
+      bool any_failed = false;
+      for (int b = 0; b < static_cast<int>(item_status.size()); ++b) {
+        if (item_status[static_cast<size_t>(b)].ok()) continue;
+        item_status[static_cast<size_t>(b)] = Status(); // this pass's verdict
+        auto& r = results[static_cast<size_t>(b)];
+        for (int i = 0; i < g.num_nodes(); ++i) {
+          const GateNode& n = g.nodes()[static_cast<size_t>(i)];
+          if (!n.is_gate() || r.value_ok[static_cast<size_t>(i)]) continue;
+          // An invalid kLutOut means its parent LUT is stuck (the parent's
+          // recompute writes every live output); nothing below it can run.
+          if (n.kind == GateKind::kLutOut) break;
+          bool operands_ok = true;
+          for (int j = 0; j < n.fan_in(); ++j) {
+            operands_ok =
+                operands_ok && r.value_ok[static_cast<size_t>(n.in[j])] != 0;
+          }
+          if (!operands_ok) break;
+          try {
+            eval_gate_group(w0, g, i, b, b + 1, results, fail_item);
+          } catch (...) {
+            fail_item(b, status_from_exception());
+          }
+          if (!r.value_ok[static_cast<size_t>(i)]) break; // fresh fault
+        }
+        if (!item_complete(g, r)) {
+          if (item_status[static_cast<size_t>(b)].ok()) {
+            item_status[static_cast<size_t>(b)] = unavailable_status(
+                "item incomplete after a repair sweep");
+          }
+          any_failed = true;
+        }
+      }
+      if (!any_failed) return;
+    }
+  }
+
+  /// Evaluate gate `id` for the *live* batch items of [b0, b1) -- items
+  /// whose operands are all valid; items a fault already sidelined are
+  /// skipped (their failure was recorded when the operand's producer
+  /// faulted). For the live set: stage every item's pre-bootstrap linear
+  /// combination, run ONE group-major blind-rotation flush (the spectral
+  /// bootstrapping key streams from DRAM once per group of items instead of
+  /// once per item; MUX flushes its 2x branch bootstraps in the same pass),
+  /// then one batched keyswitch flush into the items' result slots. Per-item
+  /// math is unchanged, so the result is bit-identical to the sequential
+  /// lowering -- whatever subset of the group is live.
+  template <class FailFn>
   void eval_gate_group(Worker& w, const GateGraph& g, int id, int b0, int b1,
-                       std::vector<BatchResult>& results) {
+                       std::vector<BatchResult>& results,
+                       const FailFn& fail_item) {
     const GateNode& n = g.nodes()[static_cast<size_t>(id)];
+    if (n.kind == GateKind::kLutOut) {
+      // The parent kLut task already extracted and key-switched this output
+      // into our result slot (it runs first: this node's readiness refcount
+      // counts the parent as an operand). Nothing to compute.
+      return;
+    }
+    w.live.clear();
+    for (int b = b0; b < b1; ++b) {
+      const auto& ok = results[static_cast<size_t>(b)].value_ok;
+      bool operands_ok = true;
+      for (int j = 0; j < n.fan_in(); ++j) {
+        operands_ok = operands_ok && ok[static_cast<size_t>(n.in[j])] != 0;
+      }
+      if (operands_ok) w.live.push_back(b);
+    }
+    const int count = static_cast<int>(w.live.size());
+    if (count == 0) return;
     const Engine& eng = *w.engine;
     if (n.kind == GateKind::kNot) {
-      for (int b = b0; b < b1; ++b) {
-        auto& v = results[static_cast<size_t>(b)].values;
-        LweSample r = v[n.in[0]];
+      for (int k = 0; k < count; ++k) {
+        auto& res = results[static_cast<size_t>(w.live[k])];
+        LweSample r = res.values[n.in[0]];
         r.negate();
-        v[static_cast<size_t>(id)] = std::move(r);
+        res.values[static_cast<size_t>(id)] = std::move(r);
+        res.value_ok[static_cast<size_t>(id)] = 1;
       }
       return;
     }
@@ -337,30 +556,42 @@ class BatchExecutor {
       // Disjoint OR of two ciphertexts: a plain addition plus the trivial
       // +mu offset (both-false sums to -mu, exactly-one-true to +mu; the
       // compiler guarantees both-true is unreachable). No bootstrap.
-      for (int b = b0; b < b1; ++b) {
-        auto& v = results[static_cast<size_t>(b)].values;
-        LweSample r = v[n.in[0]];
-        r += v[n.in[1]];
+      for (int k = 0; k < count; ++k) {
+        auto& res = results[static_cast<size_t>(w.live[k])];
+        LweSample r = res.values[n.in[0]];
+        r += res.values[n.in[1]];
         r.b += mu_;
-        v[static_cast<size_t>(id)] = std::move(r);
+        res.values[static_cast<size_t>(id)] = std::move(r);
+        res.value_ok[static_cast<size_t>(id)] = 1;
       }
       return;
     }
-    if (n.kind == GateKind::kLutOut) {
-      // The parent kLut task already extracted and key-switched this output
-      // into our result slot (it runs first: this node's readiness refcount
-      // counts the parent as an operand). Nothing to compute.
-      return;
-    }
-    const int count = b1 - b0;
     const size_t nflush = static_cast<size_t>(
         n.kind == GateKind::kMux ? 2 * count : count);
+    if (fault::should_fire(fault::kSiteArenaAllocFail)) {
+      throw fault::FaultInjected(
+          fault::kSiteArenaAllocFail,
+          resource_exhausted_status(
+              "worker staging arena allocation failed (injected)"));
+    }
     if (w.stage.size() < static_cast<size_t>(count)) {
       w.stage.resize(static_cast<size_t>(count));
     }
     if (w.combo.size() < nflush) w.combo.resize(nflush);
     w.bs_in.resize(nflush);
     w.bs_out.resize(nflush);
+    // The bootstrapping key is shared read-only; a corrupted row cannot be
+    // written into it. The modeled failure is a *detected* corruption of the
+    // streamed row (ECC/checksum trap in hardware terms): the whole flush is
+    // abandoned before rotation, the group's items retry.
+    const auto check_bsk_stream = [] {
+      if (fault::should_fire(fault::kSiteBskRowCorrupt)) {
+        throw fault::FaultInjected(
+            fault::kSiteBskRowCorrupt,
+            data_loss_status("bootstrap-key row failed its stream integrity "
+                             "check (injected corruption)"));
+      }
+    };
     switch (n.kind) {
       case GateKind::kMux: {
         // Both branch bootstraps of every item ride one flush: slots
@@ -373,7 +604,7 @@ class BatchExecutor {
         const LweSample neg =
             LweSample::trivial(bk_.n_lwe, static_cast<Torus32>(-mu_));
         for (int k = 0; k < count; ++k) {
-          const auto& v = results[static_cast<size_t>(b0 + k)].values;
+          const auto& v = results[static_cast<size_t>(w.live[k])].values;
           const LweSample& sel = v[n.in[0]];
           w.combo[static_cast<size_t>(k)] = neg + sel + v[n.in[1]];
           LweSample nsel = sel;
@@ -384,6 +615,7 @@ class BatchExecutor {
               &w.mux2[static_cast<size_t>(k)];
         }
         for (size_t k = 0; k < nflush; ++k) w.bs_in[k] = &w.combo[k];
+        check_bsk_stream();
         bootstrap_wo_keyswitch_batch(eng, bk_, mu_, w.bs_in.data(),
                                      w.bs_out.data(), static_cast<int>(nflush),
                                      w.ws, mode_);
@@ -400,7 +632,7 @@ class BatchExecutor {
         // live output's ring coefficient; the dead outputs (their kLutOut
         // node was eliminated) cost nothing.
         for (int k = 0; k < count; ++k) {
-          const auto& v = results[static_cast<size_t>(b0 + k)].values;
+          const auto& v = results[static_cast<size_t>(w.live[k])].values;
           std::array<const LweSample*, 4> ins{};
           for (int j = 0; j < n.fan_in(); ++j) {
             ins[static_cast<size_t>(j)] = &v[n.in[j]];
@@ -418,6 +650,7 @@ class BatchExecutor {
             w.bs_out[static_cast<size_t>(k)] =
                 &w.stage[static_cast<size_t>(k)];
           }
+          check_bsk_stream();
           functional_bootstrap_wo_keyswitch_batch(eng, bk_, tv, w.bs_in.data(),
                                                   w.bs_out.data(), count, w.ws,
                                                   mode_);
@@ -449,6 +682,7 @@ class BatchExecutor {
                 &w.stage[static_cast<size_t>(j * count + k)];
           }
         }
+        check_bsk_stream();
         functional_bootstrap_multi_wo_keyswitch_batch(
             eng, bk_, tv, w.bs_in.data(), w.bs_out.data(), offsets.data(),
             n_live, count, w.ws, mode_);
@@ -461,23 +695,32 @@ class BatchExecutor {
           for (int k = 0; k < count; ++k) {
             const size_t s = static_cast<size_t>(j * count + k);
             w.ks_in[s] = &w.stage[s];
-            w.ks_out[s] = &results[static_cast<size_t>(b0 + k)]
+            w.ks_out[s] = &results[static_cast<size_t>(w.live[k])]
                                .values[static_cast<size_t>(
                                    wires[static_cast<size_t>(j)])];
           }
         }
         key_switch_batch(ks_, w.ks_in.data(), w.ks_out.data(),
                          static_cast<int>(nstage), w.ks_ws);
+        for (int j = 0; j < n_live; ++j) {
+          for (int k = 0; k < count; ++k) {
+            results[static_cast<size_t>(w.live[k])]
+                .value_ok[static_cast<size_t>(wires[static_cast<size_t>(j)])] =
+                1;
+          }
+        }
+        maybe_flip_keyswitch_output(w, wires[0], results, fail_item);
         return;
       }
       default: {
         for (int k = 0; k < count; ++k) {
-          const auto& v = results[static_cast<size_t>(b0 + k)].values;
+          const auto& v = results[static_cast<size_t>(w.live[k])].values;
           w.combo[static_cast<size_t>(k)] = binary_gate_input(
               n.kind, v[n.in[0]], v[n.in[1]], mu_, bk_.n_lwe);
           w.bs_in[static_cast<size_t>(k)] = &w.combo[static_cast<size_t>(k)];
           w.bs_out[static_cast<size_t>(k)] = &w.stage[static_cast<size_t>(k)];
         }
+        check_bsk_stream();
         bootstrap_wo_keyswitch_batch(eng, bk_, mu_, w.bs_in.data(),
                                      w.bs_out.data(), count, w.ws, mode_);
       }
@@ -490,9 +733,15 @@ class BatchExecutor {
     for (int k = 0; k < count; ++k) {
       w.ks_in[static_cast<size_t>(k)] = &w.stage[static_cast<size_t>(k)];
       w.ks_out[static_cast<size_t>(k)] =
-          &results[static_cast<size_t>(b0 + k)].values[static_cast<size_t>(id)];
+          &results[static_cast<size_t>(w.live[k])]
+               .values[static_cast<size_t>(id)];
     }
     key_switch_batch(ks_, w.ks_in.data(), w.ks_out.data(), count, w.ks_ws);
+    for (int k = 0; k < count; ++k) {
+      results[static_cast<size_t>(w.live[k])]
+          .value_ok[static_cast<size_t>(id)] = 1;
+    }
+    maybe_flip_keyswitch_output(w, id, results, fail_item);
   }
 
   /// Resolve (building on demand) the LUT test vectors the graph needs, plus
@@ -549,6 +798,8 @@ class BatchExecutor {
   const KeySwitchKey& ks_;
   Torus32 mu_;
   BlindRotateMode mode_;
+  std::chrono::milliseconds deadline_{0};
+  int max_retries_ = 4;
   ThreadPool pool_;
   std::vector<std::unique_ptr<Worker>> workers_;
   EngineCounters merged_;

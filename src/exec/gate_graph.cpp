@@ -3,9 +3,22 @@
 #include <cassert>
 #include <cstddef>
 
+#include "common/status.h"
 #include "exec/circuit_builder.h"
 
 namespace matcha::exec {
+
+namespace {
+
+// Graph construction consumes payloads that may come from outside the
+// process (deserialized circuits, user-built LutSpecs), so malformed input
+// must fail in release builds too -- a structured throw, not an assert that
+// NDEBUG compiles away into silent memory corruption.
+void require(bool cond, const char* msg) {
+  if (!cond) throw StatusError(invalid_argument_status(msg));
+}
+
+} // namespace
 
 Wire GateGraph::add_input() {
   GateNode n;
@@ -28,16 +41,15 @@ Wire GateGraph::add_const(bool value) {
 }
 
 Wire GateGraph::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
-  assert(kind != GateKind::kLut && "LUT nodes carry a payload; use add_lut");
-  assert(kind != GateKind::kLutOut &&
-         "secondary LUT outputs carry an index; use add_lut_output");
+  require(kind != GateKind::kLut, "LUT nodes carry a payload; use add_lut");
+  require(kind != GateKind::kLutOut,
+          "secondary LUT outputs carry an index; use add_lut_output");
   GateNode n;
   n.kind = kind;
   n.in = {a.id, b.id, c.id, -1};
   const int id = num_nodes();
   for (int i = 0; i < n.fan_in(); ++i) {
-    assert(n.in[i] >= 0 && n.in[i] < id && "gate consumes an unknown wire");
-    (void)id;
+    require(n.in[i] >= 0 && n.in[i] < id, "gate consumes an unknown wire");
   }
   nodes_.push_back(n);
   ++num_gates_;
@@ -45,15 +57,17 @@ Wire GateGraph::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
 }
 
 Wire GateGraph::add_lut(std::span<const Wire> ins, const LutSpec& spec) {
-  assert(spec.k >= 1 && spec.k <= kLutMaxFanIn &&
-         static_cast<size_t>(spec.k) == ins.size() &&
-         "LUT fan-in must match its spec");
+  if (const Status st = validate_lut_spec(spec); !st.ok()) {
+    throw StatusError(st);
+  }
+  require(static_cast<size_t>(spec.k) == ins.size(),
+          "LUT fan-in must match its spec");
   GateNode n;
   n.kind = GateKind::kLut;
   n.lut = spec;
   const int id = num_nodes();
   for (size_t i = 0; i < ins.size(); ++i) {
-    assert(ins[i].id >= 0 && ins[i].id < id && "LUT consumes an unknown wire");
+    require(ins[i].id >= 0 && ins[i].id < id, "LUT consumes an unknown wire");
     n.in[i] = ins[i].id;
   }
   nodes_.push_back(n);
@@ -62,14 +76,13 @@ Wire GateGraph::add_lut(std::span<const Wire> ins, const LutSpec& spec) {
 }
 
 Wire GateGraph::add_lut_output(Wire parent, int out_index) {
-  assert(parent.valid() && parent.id < num_nodes() &&
-         "LUT output of an unknown wire");
+  require(parent.valid() && parent.id < num_nodes(),
+          "LUT output of an unknown wire");
   const GateNode& p = nodes_[static_cast<size_t>(parent.id)];
-  assert(p.kind == GateKind::kLut && p.is_gate() &&
-         "add_lut_output wants a kLut parent");
-  assert(out_index >= 1 && out_index < p.lut.n_out &&
-         "LUT output index out of the spec's range");
-  (void)p;
+  require(p.kind == GateKind::kLut && p.is_gate(),
+          "add_lut_output wants a kLut parent");
+  require(out_index >= 1 && out_index < p.lut.n_out,
+          "LUT output index out of the spec's range");
   GateNode n;
   n.kind = GateKind::kLutOut;
   n.in[0] = parent.id;
@@ -99,7 +112,7 @@ Wire GateGraph::clone_gate(const GateNode& proto, std::span<const int> ins) {
 }
 
 void GateGraph::mark_output(Wire w) {
-  assert(w.valid() && w.id < num_nodes() && "output marks an unknown wire");
+  require(w.valid() && w.id < num_nodes(), "output marks an unknown wire");
   outputs_.push_back(w.id);
 }
 

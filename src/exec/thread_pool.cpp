@@ -4,6 +4,8 @@
 #include <atomic>
 #include <deque>
 
+#include "common/fault_injection.h"
+
 namespace matcha::exec {
 
 ThreadPool::ThreadPool(int num_threads)
@@ -102,8 +104,9 @@ struct ThreadPool::TaskSink::State {
   explicit State(int workers) : deques(workers) {}
 
   std::vector<WorkerDeque> deques;
-  std::atomic<int64_t> remaining{0}; ///< tasks not yet executed
-  std::atomic<bool> abort{false};    ///< a task threw; drain and bail
+  std::atomic<int64_t> remaining{0};  ///< tasks not yet executed
+  std::atomic<bool> abort{false};     ///< a task threw; drain and bail
+  std::atomic<bool> timed_out{false}; ///< the watchdog tripped; drain and bail
   std::atomic<int64_t> steals{0};
 
   // Idle coordination. `epoch` ticks on every push so a worker that scanned
@@ -144,10 +147,9 @@ void ThreadPool::TaskSink::push(uint64_t task) {
   state_.announce_work();
 }
 
-ThreadPool::TaskRunStats ThreadPool::run_tasks(std::span<const uint64_t> seeds,
-                                               int64_t total_tasks,
-                                               const TaskFn& fn,
-                                               int max_workers) {
+ThreadPool::TaskRunStats ThreadPool::run_tasks(
+    std::span<const uint64_t> seeds, int64_t total_tasks, const TaskFn& fn,
+    int max_workers, std::chrono::steady_clock::time_point deadline) {
   TaskRunStats stats;
   if (total_tasks <= 0) {
     stats.workers = 0; // nothing dispatched, nobody participated
@@ -200,9 +202,18 @@ ThreadPool::TaskRunStats ThreadPool::run_tasks(std::span<const uint64_t> seeds,
       }
       return false;
     };
+    const bool watched = deadline != kNoDeadline;
     for (;;) {
       if (state.remaining.load(std::memory_order_acquire) <= 0 ||
-          state.abort.load(std::memory_order_relaxed)) {
+          state.abort.load(std::memory_order_relaxed) ||
+          state.timed_out.load(std::memory_order_relaxed)) {
+        return;
+      }
+      // One clock read per task (tasks are ms-scale bootstraps; the read is
+      // noise). The announce wakes idle workers so they observe the trip.
+      if (watched && std::chrono::steady_clock::now() >= deadline) {
+        state.timed_out.store(true, std::memory_order_relaxed);
+        state.announce_done();
         return;
       }
       uint64_t task = 0;
@@ -222,16 +233,31 @@ ThreadPool::TaskRunStats ThreadPool::run_tasks(std::span<const uint64_t> seeds,
         if (!got) {
           std::unique_lock<std::mutex> lk(state.idle_mu);
           ++state.idlers;
-          state.idle_cv.wait(lk, [&] {
+          const auto ready = [&] {
             return state.epoch != seen ||
                    state.remaining.load(std::memory_order_acquire) <= 0 ||
-                   state.abort.load(std::memory_order_relaxed);
-          });
+                   state.abort.load(std::memory_order_relaxed) ||
+                   state.timed_out.load(std::memory_order_relaxed);
+          };
+          // A watched idle wait is bounded by the deadline: waking on the
+          // timeout loops back to the deadline check above, so a run can
+          // never sleep past its budget waiting for work that will not come.
+          if (watched) {
+            state.idle_cv.wait_until(lk, deadline, ready);
+          } else {
+            state.idle_cv.wait(lk, ready);
+          }
           --state.idlers;
           continue;
         }
       }
       if (stolen) state.steals.fetch_add(1, std::memory_order_relaxed);
+      if (fault::should_fire(fault::kSitePoolStall)) {
+        // A straggler worker, not a failure: the task still runs after a
+        // bounded stall. Under chaos this perturbs scheduling order and
+        // exercises the steal/idle paths without changing any result.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
       try {
         fn(sink, task);
       } catch (...) {
@@ -250,6 +276,7 @@ ThreadPool::TaskRunStats ThreadPool::run_tasks(std::span<const uint64_t> seeds,
 
   run(worker, participants);
   stats.steals = state.steals.load(std::memory_order_relaxed);
+  stats.timed_out = state.timed_out.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -13,6 +13,7 @@
 // helpers, which observe the cap and re-sleep without running.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -66,9 +67,14 @@ class ThreadPool {
   using TaskFn = std::function<void(TaskSink&, uint64_t)>;
 
   struct TaskRunStats {
-    int workers = 1;    ///< slots that participated
-    int64_t steals = 0; ///< tasks executed off another worker's deque
+    int workers = 1;       ///< slots that participated
+    int64_t steals = 0;    ///< tasks executed off another worker's deque
+    bool timed_out = false; ///< the run hit its deadline before draining
   };
+
+  /// "No deadline": run_tasks never watches the clock.
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
 
   /// Dataflow dispatch: seed `seeds` across the participating workers'
   /// deques, then run fn(sink, task) for every task until exactly
@@ -83,8 +89,18 @@ class ThreadPool {
   /// min(num_threads, max_workers, total_tasks). The first exception thrown
   /// by a task aborts the run (remaining queued tasks are dropped) and is
   /// rethrown on the caller.
+  ///
+  /// Watchdog: with a `deadline`, the run is abandoned cooperatively once
+  /// steady_clock passes it -- workers finish the task they are on, drop
+  /// everything still queued, and return with stats.timed_out = true (no
+  /// exception: the caller decides what an incomplete run means). A task
+  /// that never returns still wedges its own worker; the deadline bounds
+  /// every *scheduling* wait, which is the hang mode a lost wakeup or a
+  /// dependency cycle in the caller's refcounts would produce.
   TaskRunStats run_tasks(std::span<const uint64_t> seeds, int64_t total_tasks,
-                         const TaskFn& fn, int max_workers = 1 << 30);
+                         const TaskFn& fn, int max_workers = 1 << 30,
+                         std::chrono::steady_clock::time_point deadline =
+                             kNoDeadline);
 
   /// Steal-locality group width (slots per core complex). Matches the common
   /// 4-core CCX/cluster granularity; a wrong guess only reorders steal

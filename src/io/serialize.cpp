@@ -1,9 +1,11 @@
 #include "io/serialize.h"
 
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+
+#include "common/fault_injection.h"
 
 namespace matcha::io {
 
@@ -12,68 +14,175 @@ namespace {
 // v2: KeySwitchKey switched from an LweSample table (with placeholder rows)
 // to the planar SoA arenas of tfhe/keyswitch.h -- t_used plus two raw
 // Torus32 planes on the wire, a straight memcpy of the in-memory layout.
-constexpr uint32_t kVersion = 2;
+// v3: every object gains a trailing FNV-1a-64 checksum of the bytes it wrote
+// itself (nested objects are self-checked), and readers bounds-check every
+// decoded dimension before it sizes an allocation or indexes a buffer.
+constexpr uint32_t kVersion = 3;
 
-void put_raw(std::ostream& os, const void* p, size_t n) {
-  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
-  if (!os) throw std::runtime_error("matcha::io: write failed");
+// Sanity bounds on decoded dimensions. Far above every shipped parameter
+// set, far below anything that could overflow a size computation or force
+// an absurd allocation on behalf of a hostile blob.
+constexpr int64_t kMaxLweDim = 1 << 22;
+constexpr int64_t kMaxRingN = 1 << 20;
+constexpr int64_t kMaxRingK = 64;
+constexpr int64_t kMaxGadgetL = 64;
+constexpr int64_t kMaxUnroll = 8;
+constexpr int64_t kMaxTgswRows = 1 << 16;
+constexpr uint64_t kMaxVecElems = 1ULL << 28;
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+uint64_t fnv_update(uint64_t h, const void* p, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (size_t i = 0; i < n; ++i) h = (h ^ bytes[i]) * kFnvPrime;
+  return h;
 }
 
-void get_raw(std::istream& is, void* p, size_t n) {
-  is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-  if (!is) throw std::runtime_error("matcha::io: read failed / truncated");
-}
+[[noreturn]] void fail(Status st) { throw StatusError(std::move(st)); }
 
-template <class T>
-void put(std::ostream& os, T v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  put_raw(os, &v, sizeof(v));
-}
-
-template <class T>
-T get(std::istream& is) {
-  T v;
-  get_raw(is, &v, sizeof(v));
-  return v;
-}
-
-void put_header(std::ostream& os, uint32_t magic) {
-  put(os, magic);
-  put(os, kVersion);
-}
-
-void check_header(std::istream& is, uint32_t magic, const char* what) {
-  if (get<uint32_t>(is) != magic) {
-    throw std::runtime_error(std::string("matcha::io: bad magic for ") + what);
-  }
-  if (get<uint32_t>(is) != kVersion) {
-    throw std::runtime_error(std::string("matcha::io: version skew for ") + what);
+/// Bounds check for a decoded dimension: structured failure, never UB.
+void check_range(int64_t v, int64_t lo, int64_t hi, const char* what) {
+  if (v < lo || v > hi) {
+    fail(out_of_range_status(std::string("matcha::io: ") + what + " = " +
+                             std::to_string(v) + " outside [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]"));
   }
 }
 
-template <class T, class A>
-void put_vec(std::ostream& os, const std::vector<T, A>& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  put(os, static_cast<uint64_t>(v.size()));
-  if (!v.empty()) put_raw(os, v.data(), v.size() * sizeof(T));
+void check_sigma(double v, const char* what) {
+  if (!std::isfinite(v) || v < 0 || v >= 0.5) {
+    fail(out_of_range_status(std::string("matcha::io: ") + what +
+                             " is not a plausible noise stddev"));
+  }
 }
 
-/// Read into an existing vector (any allocator -- the keyswitch arenas are
-/// AlignedVectors and must keep their 64B-aligned storage).
-template <class T, class A>
-void get_vec_into(std::istream& is, std::vector<T, A>& v) {
-  const uint64_t n = get<uint64_t>(is);
-  if (n > (1ULL << 32)) throw std::runtime_error("matcha::io: absurd length");
-  v.resize(n);
-  if (n) get_raw(is, v.data(), n * sizeof(T));
+void check_pow2(int64_t v, const char* what) {
+  if (v < 2 || (v & (v - 1)) != 0) {
+    fail(out_of_range_status(std::string("matcha::io: ") + what +
+                             " must be a power of two >= 2"));
+  }
 }
 
-template <class T>
-std::vector<T> get_vec(std::istream& is) {
-  std::vector<T> v;
-  get_vec_into(is, v);
-  return v;
-}
+/// Byte sink for one object: hashes everything written through it so the
+/// object can end with finish() -- the payload checksum.
+struct Sink {
+  std::ostream& os;
+  uint64_t h = kFnvOffset;
+
+  void raw(const void* p, size_t n) {
+    h = fnv_update(h, p, n);
+    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    if (!os) fail(data_loss_status("matcha::io: write failed"));
+  }
+
+  template <class T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof(v));
+  }
+
+  template <class T, class A>
+  void put_vec(const std::vector<T, A>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<uint64_t>(v.size()));
+    if (!v.empty()) raw(v.data(), v.size() * sizeof(T));
+  }
+
+  void header(uint32_t magic) {
+    put(magic);
+    put(kVersion);
+  }
+
+  /// Trailing checksum of everything this Sink wrote. Not itself hashed.
+  void finish() {
+    const uint64_t sum = h;
+    os.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    if (!os) fail(data_loss_status("matcha::io: write failed"));
+  }
+};
+
+/// Byte source for one object, mirroring Sink: hashes everything read so
+/// verify_checksum() can compare against the stored trailer. Also hosts the
+/// io fault-injection sites -- both armed-only, since a fired fault here is
+/// surfaced to the caller, not masked.
+struct Source {
+  std::istream& is;
+  uint64_t h = kFnvOffset;
+
+  void raw(void* p, size_t n) {
+    if (fault::should_fire(fault::kSiteIoTruncate, fault::Scope::kArmedOnly)) {
+      throw fault::FaultInjected(
+          fault::kSiteIoTruncate,
+          data_loss_status("matcha::io: read failed / truncated (injected)"));
+    }
+    is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (!is) fail(data_loss_status("matcha::io: read failed / truncated"));
+    if (n > 0 &&
+        fault::should_fire(fault::kSiteIoGarble, fault::Scope::kArmedOnly)) {
+      // Model a garbled stream: the flipped bit is hashed like any other
+      // payload byte, so the object's stored checksum cannot match.
+      static_cast<unsigned char*>(p)[0] ^= 0x10;
+    }
+    h = fnv_update(h, p, n);
+  }
+
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+
+  void check_header(uint32_t magic, const char* what) {
+    if (get<uint32_t>() != magic) {
+      fail(invalid_argument_status(
+          std::string("matcha::io: bad magic for ") + what));
+    }
+    if (get<uint32_t>() != kVersion) {
+      fail(failed_precondition_status(
+          std::string("matcha::io: version skew for ") + what));
+    }
+  }
+
+  /// Read into an existing vector (any allocator -- the keyswitch arenas are
+  /// AlignedVectors and must keep their 64B-aligned storage). The declared
+  /// length is capped before the resize; callers with an exact expected
+  /// length check it after the read.
+  template <class T, class A>
+  void get_vec_into(std::vector<T, A>& v, uint64_t max_elems,
+                    const char* what) {
+    const uint64_t n = get<uint64_t>();
+    if (n > max_elems) {
+      fail(out_of_range_status(std::string("matcha::io: ") + what +
+                               " length " + std::to_string(n) +
+                               " exceeds cap " + std::to_string(max_elems)));
+    }
+    v.resize(n);
+    if (n) raw(v.data(), n * sizeof(T));
+  }
+
+  template <class T>
+  std::vector<T> get_vec(uint64_t max_elems, const char* what) {
+    std::vector<T> v;
+    get_vec_into(v, max_elems, what);
+    return v;
+  }
+
+  /// Compare the running hash against the stored trailer (read unhashed).
+  void verify_checksum(const char* what) {
+    const uint64_t want = h;
+    uint64_t stored;
+    is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!is) fail(data_loss_status("matcha::io: read failed / truncated"));
+    if (stored != want) {
+      fail(data_loss_status(std::string("matcha::io: checksum mismatch for ") +
+                            what + " (corrupted or garbled stream)"));
+    }
+  }
+};
 
 constexpr uint32_t kMagicParams = 0x4D504152; // "MPAR"
 constexpr uint32_t kMagicLwe = 0x4D4C5745;    // "MLWE"
@@ -85,190 +194,366 @@ constexpr uint32_t kMagicBk = 0x4D424B31;
 constexpr uint32_t kMagicSecret = 0x4D534B53;
 constexpr uint32_t kMagicCloud = 0x4D434B53;
 
-void put_tlwe(std::ostream& os, const TLweSample& s) {
-  put_vec(os, s.a.coeffs);
-  put_vec(os, s.b.coeffs);
+void put_tlwe(Sink& s, const TLweSample& t) {
+  s.put_vec(t.a.coeffs);
+  s.put_vec(t.b.coeffs);
 }
 
-TLweSample get_tlwe(std::istream& is) {
-  TLweSample s;
-  s.a.coeffs = get_vec<Torus32>(is);
-  s.b.coeffs = get_vec<Torus32>(is);
+/// Read one TLWE row. n_ring > 0: polynomials must have exactly that many
+/// coeffs; n_ring < 0: only the global cap applies (a and b must still agree).
+TLweSample get_tlwe(Source& src, int64_t n_ring) {
+  const uint64_t cap =
+      n_ring > 0 ? static_cast<uint64_t>(n_ring) : static_cast<uint64_t>(kMaxRingN);
+  TLweSample t;
+  src.get_vec_into(t.a.coeffs, cap, "TLwe a");
+  src.get_vec_into(t.b.coeffs, cap, "TLwe b");
+  if (t.a.coeffs.size() != t.b.coeffs.size() ||
+      (n_ring > 0 && t.a.coeffs.size() != static_cast<size_t>(n_ring))) {
+    fail(out_of_range_status(
+        "matcha::io: TLwe polynomial length disagrees with its ring"));
+  }
+  return t;
+}
+
+void check_binary(const std::vector<int32_t>& s, const char* what) {
+  for (const int32_t b : s) {
+    if (b != 0 && b != 1) {
+      fail(out_of_range_status(std::string("matcha::io: ") + what +
+                               " secret is not binary"));
+    }
+  }
+}
+
+TfheParams read_params_impl(Source& src) {
+  src.check_header(kMagicParams, "TfheParams");
+  TfheParams p;
+  p.lwe.n = src.get<int32_t>();
+  p.lwe.sigma = src.get<double>();
+  p.ring.n_ring = src.get<int32_t>();
+  p.ring.k = src.get<int32_t>();
+  p.ring.sigma = src.get<double>();
+  p.gadget.bg_bits = src.get<int32_t>();
+  p.gadget.l = src.get<int32_t>();
+  p.ks.basebit = src.get<int32_t>();
+  p.ks.t = src.get<int32_t>();
+  p.ks.sigma = src.get<double>();
+  src.verify_checksum("TfheParams");
+  check_range(p.lwe.n, 1, kMaxLweDim, "TfheParams.lwe.n");
+  check_sigma(p.lwe.sigma, "TfheParams.lwe.sigma");
+  check_range(p.ring.n_ring, 2, kMaxRingN, "TfheParams.ring.n_ring");
+  check_pow2(p.ring.n_ring, "TfheParams.ring.n_ring");
+  check_range(p.ring.k, 1, kMaxRingK, "TfheParams.ring.k");
+  check_sigma(p.ring.sigma, "TfheParams.ring.sigma");
+  check_range(p.gadget.bg_bits, 1, 31, "TfheParams.gadget.bg_bits");
+  check_range(p.gadget.l, 1, kMaxGadgetL, "TfheParams.gadget.l");
+  check_range(p.ks.basebit, 1, 31, "TfheParams.ks.basebit");
+  check_range(p.ks.t, 0, 64, "TfheParams.ks.t");
+  check_sigma(p.ks.sigma, "TfheParams.ks.sigma");
+  return p;
+}
+
+void write_params_impl(Sink& s, const TfheParams& p) {
+  s.header(kMagicParams);
+  s.put(static_cast<int32_t>(p.lwe.n));
+  s.put(p.lwe.sigma);
+  s.put(static_cast<int32_t>(p.ring.n_ring));
+  s.put(static_cast<int32_t>(p.ring.k));
+  s.put(p.ring.sigma);
+  s.put(static_cast<int32_t>(p.gadget.bg_bits));
+  s.put(static_cast<int32_t>(p.gadget.l));
+  s.put(static_cast<int32_t>(p.ks.basebit));
+  s.put(static_cast<int32_t>(p.ks.t));
+  s.put(p.ks.sigma);
+  s.finish();
+}
+
+LweSample read_lwe_sample_impl(Source& src) {
+  src.check_header(kMagicLwe, "LweSample");
+  LweSample c;
+  src.get_vec_into(c.a, static_cast<uint64_t>(kMaxLweDim), "LweSample.a");
+  c.b = src.get<Torus32>();
+  src.verify_checksum("LweSample");
+  return c;
+}
+
+LweKey read_lwe_key_impl(Source& src) {
+  src.check_header(kMagicLweKey, "LweKey");
+  LweKey k;
+  k.params.n = src.get<int32_t>();
+  k.params.sigma = src.get<double>();
+  check_range(k.params.n, 1, kMaxLweDim, "LweKey.n");
+  check_sigma(k.params.sigma, "LweKey.sigma");
+  src.get_vec_into(k.s, static_cast<uint64_t>(k.params.n), "LweKey.s");
+  src.verify_checksum("LweKey");
+  if (k.s.size() != static_cast<size_t>(k.params.n)) {
+    fail(out_of_range_status(
+        "matcha::io: LweKey secret length disagrees with its dimension"));
+  }
+  check_binary(k.s, "LweKey");
+  return k;
+}
+
+TLweKey read_tlwe_key_impl(Source& src) {
+  src.check_header(kMagicTlweKey, "TLweKey");
+  TLweKey k;
+  k.params.n_ring = src.get<int32_t>();
+  k.params.k = src.get<int32_t>();
+  k.params.sigma = src.get<double>();
+  check_range(k.params.n_ring, 2, kMaxRingN, "TLweKey.n_ring");
+  check_pow2(k.params.n_ring, "TLweKey.n_ring");
+  check_range(k.params.k, 1, kMaxRingK, "TLweKey.k");
+  check_sigma(k.params.sigma, "TLweKey.sigma");
+  src.get_vec_into(k.s.coeffs, static_cast<uint64_t>(k.params.n_ring),
+                   "TLweKey.s");
+  src.verify_checksum("TLweKey");
+  if (k.s.coeffs.size() != static_cast<size_t>(k.params.n_ring)) {
+    fail(out_of_range_status(
+        "matcha::io: TLweKey secret length disagrees with its ring"));
+  }
+  check_binary(k.s.coeffs, "TLweKey");
+  return k;
+}
+
+/// TGSW rows with a caller-imposed ring size (-1: infer from row 0, bounded).
+TGswSample read_tgsw_impl(Source& src, int64_t n_ring) {
+  src.check_header(kMagicTgsw, "TGswSample");
+  TGswSample s;
+  const uint32_t rows = src.get<uint32_t>();
+  check_range(rows, 0, kMaxTgswRows, "TGswSample.rows");
+  s.rows.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    if (i == 0 && n_ring < 0) {
+      // Standalone read: row 0 sets the ring, bounded like any other dim.
+      TLweSample first = get_tlwe(src, -1);
+      check_range(first.a.size(), 2, kMaxRingN, "TGswSample ring");
+      check_pow2(first.a.size(), "TGswSample ring");
+      n_ring = first.a.size();
+      s.rows.push_back(std::move(first));
+      continue;
+    }
+    s.rows.push_back(get_tlwe(src, n_ring));
+  }
+  src.verify_checksum("TGswSample");
   return s;
+}
+
+KeySwitchKey read_keyswitch_key_impl(Source& src) {
+  src.check_header(kMagicKs, "KeySwitchKey");
+  KeySwitchKey k;
+  k.params.basebit = src.get<int32_t>();
+  k.params.t = src.get<int32_t>();
+  k.params.sigma = src.get<double>();
+  k.n_in = src.get<int32_t>();
+  k.n_out = src.get<int32_t>();
+  k.t_used = src.get<int32_t>();
+  check_range(k.params.basebit, 1, 31, "KeySwitchKey.basebit");
+  check_range(k.params.t, 1, 64, "KeySwitchKey.t");
+  check_sigma(k.params.sigma, "KeySwitchKey.sigma");
+  check_range(k.n_in, 1, kMaxLweDim, "KeySwitchKey.n_in");
+  check_range(k.n_out, 1, kMaxLweDim, "KeySwitchKey.n_out");
+  check_range(k.t_used, 0, k.params.t, "KeySwitchKey.t_used");
+  // Exact 64-bit arena arithmetic: every factor is already range-checked, so
+  // the products below cannot overflow (2^22 * 64 * 2^31 < 2^59), and the
+  // element cap rejects hostile sizes before any allocation.
+  const uint64_t rows = static_cast<uint64_t>(k.n_in) *
+                        static_cast<uint64_t>(k.t_used) *
+                        (static_cast<uint64_t>(k.params.base()) - 1);
+  if (rows > kMaxVecElems ||
+      rows * static_cast<uint64_t>(k.n_out) > kMaxVecElems) {
+    fail(out_of_range_status(
+        "matcha::io: KeySwitchKey arena dimensions exceed cap"));
+  }
+  src.get_vec_into(k.a_plane, kMaxVecElems, "KeySwitchKey.a_plane");
+  src.get_vec_into(k.b_plane, kMaxVecElems, "KeySwitchKey.b_plane");
+  src.verify_checksum("KeySwitchKey");
+  if (k.b_plane.size() != rows ||
+      k.a_plane.size() != rows * static_cast<uint64_t>(k.n_out)) {
+    fail(out_of_range_status(
+        "matcha::io: KeySwitchKey arena size disagrees with its dimensions"));
+  }
+  return k;
+}
+
+UnrolledBootstrapKey read_bootstrap_key_impl(Source& src) {
+  src.check_header(kMagicBk, "UnrolledBootstrapKey");
+  UnrolledBootstrapKey k;
+  k.unroll_m = src.get<int32_t>();
+  k.n_lwe = src.get<int32_t>();
+  k.ring.n_ring = src.get<int32_t>();
+  k.ring.k = src.get<int32_t>();
+  k.ring.sigma = src.get<double>();
+  k.gadget.bg_bits = src.get<int32_t>();
+  k.gadget.l = src.get<int32_t>();
+  check_range(k.unroll_m, 1, kMaxUnroll, "UnrolledBootstrapKey.unroll_m");
+  check_range(k.n_lwe, 1, kMaxLweDim, "UnrolledBootstrapKey.n_lwe");
+  check_range(k.ring.n_ring, 2, kMaxRingN, "UnrolledBootstrapKey.n_ring");
+  check_pow2(k.ring.n_ring, "UnrolledBootstrapKey.n_ring");
+  check_range(k.ring.k, 1, kMaxRingK, "UnrolledBootstrapKey.ring.k");
+  check_sigma(k.ring.sigma, "UnrolledBootstrapKey.ring.sigma");
+  check_range(k.gadget.bg_bits, 1, 31, "UnrolledBootstrapKey.bg_bits");
+  check_range(k.gadget.l, 1, kMaxGadgetL, "UnrolledBootstrapKey.l");
+  const uint32_t groups = src.get<uint32_t>();
+  // ceil(n_lwe / m) groups; equality keeps the blind-rotation loop bounds
+  // honest downstream.
+  const int64_t want_groups =
+      (static_cast<int64_t>(k.n_lwe) + k.unroll_m - 1) / k.unroll_m;
+  if (groups != static_cast<uint64_t>(want_groups)) {
+    fail(out_of_range_status(
+        "matcha::io: UnrolledBootstrapKey group count disagrees with "
+        "n_lwe / unroll_m"));
+  }
+  // Each group holds at most 2^m - 1 TGSWs (the nonempty subsets of its
+  // secret-key bits), each of exactly (k+1)*l rows on this ring.
+  const int64_t max_per_group = (int64_t{1} << k.unroll_m) - 1;
+  const int64_t want_rows =
+      (static_cast<int64_t>(k.ring.k) + 1) * k.gadget.l;
+  k.groups.resize(groups);
+  for (auto& grp : k.groups) {
+    const uint32_t count = src.get<uint32_t>();
+    check_range(count, 0, max_per_group, "UnrolledBootstrapKey group size");
+    grp.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      // Nested TGSWs are self-checked objects (the writer used a fresh sink),
+      // so their bytes stay out of the outer object's checksum.
+      Source nested{src.is};
+      TGswSample t = read_tgsw_impl(nested, k.ring.n_ring);
+      if (t.rows_count() != want_rows) {
+        fail(out_of_range_status(
+            "matcha::io: bootstrap-key TGSW row count disagrees with "
+            "(k+1)*l"));
+      }
+      grp.push_back(std::move(t));
+    }
+  }
+  src.verify_checksum("UnrolledBootstrapKey");
+  return k;
 }
 
 } // namespace
 
 void write_params(std::ostream& os, const TfheParams& p) {
-  put_header(os, kMagicParams);
-  put(os, static_cast<int32_t>(p.lwe.n));
-  put(os, p.lwe.sigma);
-  put(os, static_cast<int32_t>(p.ring.n_ring));
-  put(os, static_cast<int32_t>(p.ring.k));
-  put(os, p.ring.sigma);
-  put(os, static_cast<int32_t>(p.gadget.bg_bits));
-  put(os, static_cast<int32_t>(p.gadget.l));
-  put(os, static_cast<int32_t>(p.ks.basebit));
-  put(os, static_cast<int32_t>(p.ks.t));
-  put(os, p.ks.sigma);
+  Sink s{os};
+  write_params_impl(s, p);
 }
 
 TfheParams read_params(std::istream& is) {
-  check_header(is, kMagicParams, "TfheParams");
-  TfheParams p;
-  p.lwe.n = get<int32_t>(is);
-  p.lwe.sigma = get<double>(is);
-  p.ring.n_ring = get<int32_t>(is);
-  p.ring.k = get<int32_t>(is);
-  p.ring.sigma = get<double>(is);
-  p.gadget.bg_bits = get<int32_t>(is);
-  p.gadget.l = get<int32_t>(is);
-  p.ks.basebit = get<int32_t>(is);
-  p.ks.t = get<int32_t>(is);
-  p.ks.sigma = get<double>(is);
-  return p;
+  Source src{is};
+  return read_params_impl(src);
 }
 
 void write_lwe_sample(std::ostream& os, const LweSample& c) {
-  put_header(os, kMagicLwe);
-  put_vec(os, c.a);
-  put(os, c.b);
+  Sink s{os};
+  s.header(kMagicLwe);
+  s.put_vec(c.a);
+  s.put(c.b);
+  s.finish();
 }
 
 LweSample read_lwe_sample(std::istream& is) {
-  check_header(is, kMagicLwe, "LweSample");
-  LweSample c;
-  c.a = get_vec<Torus32>(is);
-  c.b = get<Torus32>(is);
-  return c;
+  Source src{is};
+  return read_lwe_sample_impl(src);
 }
 
 void write_lwe_key(std::ostream& os, const LweKey& k) {
-  put_header(os, kMagicLweKey);
-  put(os, static_cast<int32_t>(k.params.n));
-  put(os, k.params.sigma);
-  put_vec(os, k.s);
+  Sink s{os};
+  s.header(kMagicLweKey);
+  s.put(static_cast<int32_t>(k.params.n));
+  s.put(k.params.sigma);
+  s.put_vec(k.s);
+  s.finish();
 }
 
 LweKey read_lwe_key(std::istream& is) {
-  check_header(is, kMagicLweKey, "LweKey");
-  LweKey k;
-  k.params.n = get<int32_t>(is);
-  k.params.sigma = get<double>(is);
-  k.s = get_vec<int32_t>(is);
-  return k;
+  Source src{is};
+  return read_lwe_key_impl(src);
 }
 
 void write_tlwe_key(std::ostream& os, const TLweKey& k) {
-  put_header(os, kMagicTlweKey);
-  put(os, static_cast<int32_t>(k.params.n_ring));
-  put(os, static_cast<int32_t>(k.params.k));
-  put(os, k.params.sigma);
-  put_vec(os, k.s.coeffs);
+  Sink s{os};
+  s.header(kMagicTlweKey);
+  s.put(static_cast<int32_t>(k.params.n_ring));
+  s.put(static_cast<int32_t>(k.params.k));
+  s.put(k.params.sigma);
+  s.put_vec(k.s.coeffs);
+  s.finish();
 }
 
 TLweKey read_tlwe_key(std::istream& is) {
-  check_header(is, kMagicTlweKey, "TLweKey");
-  TLweKey k;
-  k.params.n_ring = get<int32_t>(is);
-  k.params.k = get<int32_t>(is);
-  k.params.sigma = get<double>(is);
-  k.s.coeffs = get_vec<int32_t>(is);
-  return k;
+  Source src{is};
+  return read_tlwe_key_impl(src);
 }
 
-void write_tgsw(std::ostream& os, const TGswSample& s) {
-  put_header(os, kMagicTgsw);
-  put(os, static_cast<uint32_t>(s.rows.size()));
-  for (const auto& row : s.rows) put_tlwe(os, row);
+void write_tgsw(std::ostream& os, const TGswSample& t) {
+  Sink s{os};
+  s.header(kMagicTgsw);
+  s.put(static_cast<uint32_t>(t.rows.size()));
+  for (const auto& row : t.rows) put_tlwe(s, row);
+  s.finish();
 }
 
 TGswSample read_tgsw(std::istream& is) {
-  check_header(is, kMagicTgsw, "TGswSample");
-  TGswSample s;
-  const uint32_t rows = get<uint32_t>(is);
-  s.rows.reserve(rows);
-  for (uint32_t i = 0; i < rows; ++i) s.rows.push_back(get_tlwe(is));
-  return s;
+  Source src{is};
+  return read_tgsw_impl(src, -1);
 }
 
 void write_keyswitch_key(std::ostream& os, const KeySwitchKey& k) {
-  put_header(os, kMagicKs);
-  put(os, static_cast<int32_t>(k.params.basebit));
-  put(os, static_cast<int32_t>(k.params.t));
-  put(os, k.params.sigma);
-  put(os, static_cast<int32_t>(k.n_in));
-  put(os, static_cast<int32_t>(k.n_out));
-  put(os, static_cast<int32_t>(k.t_used));
-  put_vec(os, k.a_plane);
-  put_vec(os, k.b_plane);
+  Sink s{os};
+  s.header(kMagicKs);
+  s.put(static_cast<int32_t>(k.params.basebit));
+  s.put(static_cast<int32_t>(k.params.t));
+  s.put(k.params.sigma);
+  s.put(static_cast<int32_t>(k.n_in));
+  s.put(static_cast<int32_t>(k.n_out));
+  s.put(static_cast<int32_t>(k.t_used));
+  s.put_vec(k.a_plane);
+  s.put_vec(k.b_plane);
+  s.finish();
 }
 
 KeySwitchKey read_keyswitch_key(std::istream& is) {
-  check_header(is, kMagicKs, "KeySwitchKey");
-  KeySwitchKey k;
-  k.params.basebit = get<int32_t>(is);
-  k.params.t = get<int32_t>(is);
-  k.params.sigma = get<double>(is);
-  k.n_in = get<int32_t>(is);
-  k.n_out = get<int32_t>(is);
-  k.t_used = get<int32_t>(is);
-  get_vec_into(is, k.a_plane);
-  get_vec_into(is, k.b_plane);
-  const size_t rows =
-      static_cast<size_t>(k.n_in) * k.t_used * (k.params.base() - 1);
-  if (k.b_plane.size() != rows ||
-      k.a_plane.size() != rows * static_cast<size_t>(k.n_out)) {
-    throw std::runtime_error("matcha::io: KeySwitchKey arena size mismatch");
-  }
-  return k;
+  Source src{is};
+  return read_keyswitch_key_impl(src);
 }
 
 void write_bootstrap_key(std::ostream& os, const UnrolledBootstrapKey& k) {
-  put_header(os, kMagicBk);
-  put(os, static_cast<int32_t>(k.unroll_m));
-  put(os, static_cast<int32_t>(k.n_lwe));
-  put(os, static_cast<int32_t>(k.ring.n_ring));
-  put(os, static_cast<int32_t>(k.ring.k));
-  put(os, k.ring.sigma);
-  put(os, static_cast<int32_t>(k.gadget.bg_bits));
-  put(os, static_cast<int32_t>(k.gadget.l));
-  put(os, static_cast<uint32_t>(k.groups.size()));
+  Sink s{os};
+  s.header(kMagicBk);
+  s.put(static_cast<int32_t>(k.unroll_m));
+  s.put(static_cast<int32_t>(k.n_lwe));
+  s.put(static_cast<int32_t>(k.ring.n_ring));
+  s.put(static_cast<int32_t>(k.ring.k));
+  s.put(k.ring.sigma);
+  s.put(static_cast<int32_t>(k.gadget.bg_bits));
+  s.put(static_cast<int32_t>(k.gadget.l));
+  s.put(static_cast<uint32_t>(k.groups.size()));
   for (const auto& grp : k.groups) {
-    put(os, static_cast<uint32_t>(grp.size()));
-    for (const auto& tgsw : grp) write_tgsw(os, tgsw);
+    s.put(static_cast<uint32_t>(grp.size()));
+    for (const auto& tgsw : grp) {
+      // Nested objects self-check; write through a fresh sink.
+      write_tgsw(os, tgsw);
+    }
   }
+  s.finish();
 }
 
 UnrolledBootstrapKey read_bootstrap_key(std::istream& is) {
-  check_header(is, kMagicBk, "UnrolledBootstrapKey");
-  UnrolledBootstrapKey k;
-  k.unroll_m = get<int32_t>(is);
-  k.n_lwe = get<int32_t>(is);
-  k.ring.n_ring = get<int32_t>(is);
-  k.ring.k = get<int32_t>(is);
-  k.ring.sigma = get<double>(is);
-  k.gadget.bg_bits = get<int32_t>(is);
-  k.gadget.l = get<int32_t>(is);
-  const uint32_t groups = get<uint32_t>(is);
-  k.groups.resize(groups);
-  for (auto& grp : k.groups) {
-    const uint32_t count = get<uint32_t>(is);
-    grp.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) grp.push_back(read_tgsw(is));
-  }
-  return k;
+  Source src{is};
+  return read_bootstrap_key_impl(src);
 }
 
 void write_secret_keyset(std::ostream& os, const SecretKeyset& sk) {
-  put_header(os, kMagicSecret);
+  Sink s{os};
+  s.header(kMagicSecret);
+  s.finish();
   write_params(os, sk.params);
   write_lwe_key(os, sk.lwe);
   write_tlwe_key(os, sk.tlwe);
 }
 
 SecretKeyset read_secret_keyset(std::istream& is) {
-  check_header(is, kMagicSecret, "SecretKeyset");
+  Source src{is};
+  src.check_header(kMagicSecret, "SecretKeyset");
+  src.verify_checksum("SecretKeyset");
   SecretKeyset sk;
   sk.params = read_params(is);
   sk.lwe = read_lwe_key(is);
@@ -278,19 +563,53 @@ SecretKeyset read_secret_keyset(std::istream& is) {
 }
 
 void write_cloud_keyset(std::ostream& os, const CloudKeyset& ck) {
-  put_header(os, kMagicCloud);
+  Sink s{os};
+  s.header(kMagicCloud);
+  s.finish();
   write_params(os, ck.params);
   write_bootstrap_key(os, ck.bk);
   write_keyswitch_key(os, ck.ks);
 }
 
 CloudKeyset read_cloud_keyset(std::istream& is) {
-  check_header(is, kMagicCloud, "CloudKeyset");
+  Source src{is};
+  src.check_header(kMagicCloud, "CloudKeyset");
+  src.verify_checksum("CloudKeyset");
   CloudKeyset ck;
   ck.params = read_params(is);
   ck.bk = read_bootstrap_key(is);
   ck.ks = read_keyswitch_key(is);
+  // Cross-object consistency: the keys must belong to the parameter set they
+  // arrived with, or downstream kernels index out of bounds.
+  if (ck.bk.n_lwe != ck.params.lwe.n ||
+      ck.bk.ring.n_ring != ck.params.ring.n_ring ||
+      ck.ks.n_out != ck.params.lwe.n ||
+      ck.ks.n_in != ck.params.ring.n_ring * ck.params.ring.k) {
+    fail(out_of_range_status(
+        "matcha::io: CloudKeyset keys disagree with its parameter set"));
+  }
   return ck;
 }
+
+#define MATCHA_IO_TRY(T, name)                        \
+  StatusOr<T> try_##name(std::istream& is) {          \
+    try {                                             \
+      return name(is);                                \
+    } catch (...) {                                   \
+      return status_from_exception(StatusCode::kInternal); \
+    }                                                 \
+  }
+
+MATCHA_IO_TRY(TfheParams, read_params)
+MATCHA_IO_TRY(LweSample, read_lwe_sample)
+MATCHA_IO_TRY(LweKey, read_lwe_key)
+MATCHA_IO_TRY(TLweKey, read_tlwe_key)
+MATCHA_IO_TRY(TGswSample, read_tgsw)
+MATCHA_IO_TRY(KeySwitchKey, read_keyswitch_key)
+MATCHA_IO_TRY(UnrolledBootstrapKey, read_bootstrap_key)
+MATCHA_IO_TRY(SecretKeyset, read_secret_keyset)
+MATCHA_IO_TRY(CloudKeyset, read_cloud_keyset)
+
+#undef MATCHA_IO_TRY
 
 } // namespace matcha::io

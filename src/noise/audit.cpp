@@ -1,0 +1,85 @@
+#include "noise/audit.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "noise/model.h"
+#include "tfhe/params.h"
+
+namespace matcha::noise {
+
+struct MarginAudit::Impl {
+  mutable std::mutex mu;
+  Summary sum;
+};
+
+MarginAudit::MarginAudit() : impl_(new Impl) {}
+
+MarginAudit& MarginAudit::instance() {
+  static MarginAudit* audit = [] {
+    auto* a = new MarginAudit();
+#ifndef NDEBUG
+    a->enabled_ = true;
+#endif
+    const char* env = std::getenv("MATCHA_NOISE_AUDIT");
+    if (env != nullptr && *env != '\0' && *env != '0') a->enabled_ = true;
+    return a;
+  }();
+  return *audit;
+}
+
+void MarginAudit::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  __atomic_store_n(&enabled_, on, __ATOMIC_RELAXED);
+}
+
+void MarginAudit::record(const DecodeAudit& a) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  Summary& s = impl_->sum;
+  ++s.decodes;
+  s.suspect += a.suspect ? 1 : 0;
+  s.max_distance = std::max(s.max_distance, a.distance);
+  s.min_margin = std::min(s.min_margin, a.margin());
+}
+
+MarginAudit::Summary MarginAudit::summary() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->sum;
+}
+
+void MarginAudit::reset() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->sum = Summary{};
+}
+
+Status check_margins_against_model(const MarginAudit::Summary& s,
+                                   const TfheParams& params, int unroll_m,
+                                   double z_sigma) {
+  if (s.decodes == 0) {
+    return failed_precondition_status(
+        "noise margin audit: no decodes recorded (auditing off, or the "
+        "workload never decrypted)");
+  }
+  const BootstrapNoise predicted = predict(params, unroll_m);
+  const double budget = z_sigma * predicted.total_std;
+  if (s.max_distance > budget) {
+    return data_loss_status(
+        "noise margin audit: observed phase distance " +
+        std::to_string(s.max_distance) + " exceeds " +
+        std::to_string(z_sigma) + " sigma of the model's " +
+        std::to_string(predicted.total_std) +
+        " -- noise is outside its budget");
+  }
+  if (s.suspect > 0) {
+    return data_loss_status(
+        "noise margin audit: " + std::to_string(s.suspect) + " of " +
+        std::to_string(s.decodes) +
+        " decodes landed inside the guard band -- margins are collapsing "
+        "even though every decode still read correctly");
+  }
+  return Status();
+}
+
+} // namespace matcha::noise

@@ -1,0 +1,65 @@
+// Runtime noise-margin auditing: a process-wide, thread-safe accumulator of
+// DecodeAudit observations (tfhe/functional.h) that the decrypt paths feed
+// when auditing is on. The accumulator answers two questions the noise
+// budget model can only predict: how close did real decodes come to the
+// decision boundary, and did any decode land inside the guard band? In
+// audit runs, check_margins_against_model closes the loop by comparing the
+// observed worst case against noise::predict's phase stddev.
+//
+// Enablement: off by default (one relaxed atomic load per decode). Turn on
+// programmatically (set_enabled) or by setting MATCHA_NOISE_AUDIT=1 in the
+// environment (read once at first use). Debug builds (NDEBUG unset) also
+// enable it by default -- margins are cheap there and regressions should
+// not need a flag to surface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "tfhe/functional.h"
+
+namespace matcha {
+struct TfheParams; // tfhe/params.h
+} // namespace matcha
+
+namespace matcha::noise {
+
+class MarginAudit {
+ public:
+  static MarginAudit& instance();
+
+  bool enabled() const {
+    return __atomic_load_n(&enabled_, __ATOMIC_RELAXED);
+  }
+  void set_enabled(bool on);
+
+  /// Fold one audited decode into the running summary. Thread-safe; callers
+  /// gate on enabled() so the disabled path costs one relaxed load.
+  void record(const DecodeAudit& a);
+
+  struct Summary {
+    int64_t decodes = 0;
+    int64_t suspect = 0;      ///< decodes inside the guard band
+    double max_distance = 0;  ///< worst circular distance observed
+    double min_margin = 1.0;  ///< worst normalized margin observed
+  };
+  Summary summary() const;
+  void reset();
+
+ private:
+  MarginAudit();
+  mutable bool enabled_ = false; // written under mu_, read relaxed
+  struct Impl;
+  Impl* impl_; // intentionally leaked singleton state
+};
+
+/// Cross-check observed decode margins against the noise budget model:
+/// kOk when the worst observed phase distance stays within z_sigma standard
+/// deviations of the model's predicted bootstrap output noise (and no decode
+/// was suspect); otherwise a structured failure naming the excess. Call at
+/// the end of an audit run, after the workload's decodes.
+Status check_margins_against_model(const MarginAudit::Summary& s,
+                                   const TfheParams& params, int unroll_m,
+                                   double z_sigma = 6.0);
+
+} // namespace matcha::noise

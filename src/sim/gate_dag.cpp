@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "sim/cycle_sim.h"
 
 namespace matcha::sim {
@@ -739,6 +740,14 @@ MultiChipScheduleResult schedule_gate_dag_multichip(
         if (sent < 0) {
           sent = link.claim(t, transfer_cycles);
           ++r.transfers;
+          if (fault::should_fire(fault::kSiteInterchipDrop,
+                                 fault::Scope::kArmedOnly)) {
+            // Dropped on the wire: the send consumed link cycles but the
+            // value never arrived -- retransmit after the failed send.
+            sent = link.claim(sent, transfer_cycles);
+            ++r.transfers;
+            ++r.dropped_transfers;
+          }
         }
         t = sent;
       }

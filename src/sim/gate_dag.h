@@ -161,6 +161,7 @@ struct MultiChipScheduleResult {
   std::vector<int64_t> gate_end; ///< per-gate completion cycle
   int64_t cut_wires = 0;         ///< dependence edges crossing chips
   int64_t transfers = 0; ///< distinct (value, destination-chip) link sends
+  int64_t dropped_transfers = 0; ///< injected link drops (each retransmitted)
   int64_t transfer_busy_cycles = 0; ///< inter-chip link busy cycles
   double link_utilization = 0;
   std::vector<double> chip_occupancy;       ///< per-chip TGSW+EP busy fraction

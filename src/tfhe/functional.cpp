@@ -5,6 +5,7 @@
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
 #include "fft/simd_fft.h"
+#include "noise/audit.h"
 
 namespace matcha {
 
@@ -30,7 +31,21 @@ LweSample encrypt_message(const LweKey& key, int value, int slots, double sigma,
 }
 
 int decrypt_message(const LweKey& key, const LweSample& c, int slots) {
+  auto& audit = noise::MarginAudit::instance();
+  if (audit.enabled()) {
+    const DecodeAudit a = decode_message_audited(lwe_phase(key, c), slots);
+    audit.record(a);
+    return a.value;
+  }
   return decode_message(lwe_phase(key, c), slots);
+}
+
+DecodeAudit decrypt_message_audited(const LweKey& key, const LweSample& c,
+                                    int slots) {
+  const DecodeAudit a = decode_message_audited(lwe_phase(key, c), slots);
+  auto& audit = noise::MarginAudit::instance();
+  if (audit.enabled()) audit.record(a);
+  return a;
 }
 
 template LweSample functional_bootstrap<DoubleFftEngine>(

@@ -23,24 +23,67 @@ inline Torus32 encode_message(int value, int slots) {
   return torus_fraction(2 * value + 1, 4 * slots);
 }
 
+/// Outcome of one audited decode: the decoded value plus how close the noisy
+/// phase came to the decision boundary (the runtime noise-margin signal --
+/// DESIGN.md "Failure model and fault-injection contract").
+struct DecodeAudit {
+  int value = 0;
+  double distance = 0;       ///< circular torus distance to the chosen center
+  double cell_halfwidth = 0; ///< distance at which the decode would flip
+  bool suspect = false;      ///< decode landed inside the guard band
+
+  /// Normalized safety margin in (-inf, 1]: 1 = phase dead on its center,
+  /// 0 = on the decision boundary (beyond 0 the decode already flipped).
+  double margin() const {
+    return cell_halfwidth > 0 ? 1.0 - distance / cell_halfwidth : 0.0;
+  }
+};
+
+/// Fraction of the decode cell treated as the guard band: a decode whose
+/// distance exceeds (1 - kDecodeGuardFraction) * cell_halfwidth is flagged
+/// suspect -- it decoded correctly but with so little margin that the noise
+/// budget is clearly not holding.
+inline constexpr double kDecodeGuardFraction = 0.25;
+
 /// Nearest-slot decode of a (noisy) phase, by CIRCULAR distance: the phase
 /// lives on the torus, so a top-slot phase whose noise carries it past 1/2
 /// (or a slot-0 phase dipping below 0) wraps around numerically but is still
 /// nearest its own slot going the short way round. fabs alone would hand it
-/// to the slot on the far end of the number line.
-inline int decode_message(Torus32 phase, int slots) {
-  const double p = torus32_to_double(phase);
-  int best = 0;
-  double best_d = 1.0;
+/// to the slot on the far end of the number line. The audited variant
+/// surfaces that distance and flags guard-band decodes.
+inline DecodeAudit decode_message_audited(
+    Torus32 phase, int slots, double guard_fraction = kDecodeGuardFraction) {
+  DecodeAudit a;
+  a.cell_halfwidth = 1.0 / (4.0 * slots); // centers are 1/(2*slots) apart
+  a.distance = 1.0;
   for (int i = 0; i < slots; ++i) {
-    const double raw = std::fabs(p - (2.0 * i + 1.0) / (4.0 * slots));
-    const double d = std::min(raw, 1.0 - raw); // circular distance
-    if (d < best_d) {
-      best_d = d;
-      best = i;
+    const double d = torus_distance(phase, encode_message(i, slots));
+    if (d < a.distance) {
+      a.distance = d;
+      a.value = i;
     }
   }
-  return best;
+  a.suspect = a.distance > (1.0 - guard_fraction) * a.cell_halfwidth;
+  return a;
+}
+
+inline int decode_message(Torus32 phase, int slots) {
+  return decode_message_audited(phase, slots).value;
+}
+
+/// Audited sign decode of a gate-level phase (message +-mu). The decision
+/// boundaries are 0 and 1/2, so the margin cell is min(mu, 1/2 - mu) wide --
+/// 1/8 for the standard gate amplitude.
+inline DecodeAudit decode_bit_audited(
+    Torus32 phase, Torus32 mu, double guard_fraction = kDecodeGuardFraction) {
+  DecodeAudit a;
+  a.value = static_cast<int32_t>(phase) > 0 ? 1 : 0;
+  const Torus32 center = a.value ? mu : static_cast<Torus32>(-mu);
+  a.distance = torus_distance(phase, center);
+  const double m = std::fabs(torus32_to_double(mu));
+  a.cell_halfwidth = std::min(m, 0.5 - m);
+  a.suspect = a.distance > (1.0 - guard_fraction) * a.cell_halfwidth;
+  return a;
 }
 
 /// Build the LUT test vector: slot i of the half-torus maps to `values[i]`.
@@ -154,5 +197,9 @@ inline LweSample lut_cone_input(const LutSpec& spec,
 LweSample encrypt_message(const LweKey& key, int value, int slots, double sigma,
                           Rng& rng);
 int decrypt_message(const LweKey& key, const LweSample& c, int slots);
+/// Decode with the noise margin surfaced (and recorded when the process-wide
+/// margin audit -- noise/audit.h -- is enabled; decrypt_message records too).
+DecodeAudit decrypt_message_audited(const LweKey& key, const LweSample& c,
+                                    int slots);
 
 } // namespace matcha

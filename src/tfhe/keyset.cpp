@@ -3,6 +3,7 @@
 #include "fft/double_fft.h"
 #include "fft/lift_fft.h"
 #include "fft/simd_fft.h"
+#include "noise/audit.h"
 
 namespace matcha {
 
@@ -20,7 +21,20 @@ LweSample SecretKeyset::encrypt_bit(int bit, Rng& rng) const {
 }
 
 int SecretKeyset::decrypt_bit(const LweSample& c) const {
+  auto& audit = noise::MarginAudit::instance();
+  if (audit.enabled()) {
+    const DecodeAudit a = decode_bit_audited(lwe_phase(lwe, c), params.mu());
+    audit.record(a);
+    return a.value;
+  }
   return lwe_decrypt_bit(lwe, c);
+}
+
+DecodeAudit SecretKeyset::decrypt_bit_audited(const LweSample& c) const {
+  const DecodeAudit a = decode_bit_audited(lwe_phase(lwe, c), params.mu());
+  auto& audit = noise::MarginAudit::instance();
+  if (audit.enabled()) audit.record(a);
+  return a;
 }
 
 CloudKeyset make_cloud_keyset(const SecretKeyset& sk, int unroll_m, Rng& rng) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "bku/unrolled_key.h"
+#include "tfhe/functional.h"
 #include "tfhe/gates.h"
 #include "tfhe/keyswitch.h"
 #include "tfhe/params.h"
@@ -20,9 +21,12 @@ struct SecretKeyset {
 
   static SecretKeyset generate(const TfheParams& p, Rng& rng);
 
-  /// Encrypt / decrypt one bit at the gate level.
+  /// Encrypt / decrypt one bit at the gate level. decrypt_bit feeds the
+  /// noise-margin audit (noise/audit.h) when auditing is enabled; the
+  /// audited variant also hands the margin back to the caller.
   LweSample encrypt_bit(int bit, Rng& rng) const;
   int decrypt_bit(const LweSample& c) const;
+  DecodeAudit decrypt_bit_audited(const LweSample& c) const;
 };
 
 struct CloudKeyset {

@@ -225,4 +225,57 @@ std::vector<Torus32> lut_slot_values(const LutSpec& spec) {
   return values;
 }
 
+Status validate_lut_spec(const LutSpec& spec) {
+  if (spec.k < 1 || spec.k > kLutMaxFanIn) {
+    return invalid_argument_status("LutSpec fan-in out of range");
+  }
+  if (spec.grid_log < kLutMinGridLog || spec.grid_log > kLutMaxGridLog) {
+    return invalid_argument_status("LutSpec grid_log out of range");
+  }
+  if (spec.n_out < 1 || spec.n_out > kLutMaxOutputs) {
+    return invalid_argument_status("LutSpec output count out of range");
+  }
+  const int combos = 1 << spec.k;
+  if (combos < 16 && ((spec.table >> combos) != 0 ||
+                      (spec.dc_mask >> combos) != 0)) {
+    return invalid_argument_status(
+        "LutSpec truth table touches unreachable input combinations");
+  }
+  int norm = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int8_t w = spec.w[static_cast<size_t>(i)];
+    if (i >= spec.k) {
+      if (w != 0) {
+        return invalid_argument_status("LutSpec weight beyond its fan-in");
+      }
+      continue;
+    }
+    if (w == 0) return invalid_argument_status("LutSpec has a zero weight");
+    const int8_t amp = spec.in_amp_log[static_cast<size_t>(i)];
+    if (amp < kLutMinGridLog || amp > spec.grid_log) {
+      return invalid_argument_status(
+          "LutSpec input amplitude incompatible with its grid");
+    }
+    norm += w * w;
+  }
+  if (norm > kLutMaxWeightNorm) {
+    return invalid_argument_status("LutSpec weight norm exceeds the hard cap");
+  }
+  for (int j = 0; j < spec.n_out; ++j) {
+    const LutOutput out = spec.output(j);
+    if (out.amp_log < kLutMinGridLog || out.amp_log > kLutMaxGridLog) {
+      return invalid_argument_status("LutSpec output amplitude out of range");
+    }
+    if (out.slot_shift < 0 || out.slot_shift >= spec.slots()) {
+      return invalid_argument_status(
+          "LutSpec slot shift outside the test vector");
+    }
+    if (combos < 16 && (out.table >> combos) != 0) {
+      return invalid_argument_status(
+          "LutSpec truth table touches unreachable input combinations");
+    }
+  }
+  return Status::ok_status();
+}
+
 } // namespace matcha

@@ -35,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace matcha {
@@ -93,6 +94,14 @@ struct LutSpec {
     return extra[static_cast<size_t>(j - 1)];
   }
 };
+
+/// Structural legality of an (untrusted) LutSpec payload: fan-in, grid, and
+/// amplitude ranges, truth tables / dc_mask confined to the 2^k reachable
+/// combinations, slot shifts inside the test vector, and the hard weight-norm
+/// cap every solver-produced spec satisfies (sum w_i^2 <= kLutMaxWeightNorm).
+/// A spec that fails here would index out of the encoding grid or silently
+/// corrupt phases downstream; graph construction rejects it with this Status.
+Status validate_lut_spec(const LutSpec& spec);
 
 /// Truth-table lookup: output bit for the input combination `idx`.
 inline bool lut_eval(uint16_t table, unsigned idx) {

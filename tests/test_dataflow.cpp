@@ -11,10 +11,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "exec/batch_executor.h"
 #include "exec/circuit_builder.h"
 #include "exec/thread_pool.h"
@@ -108,6 +111,30 @@ TEST(ThreadPool, RunTasksPropagatesExceptions) {
   std::atomic<int> ok{0};
   pool.run([&](int) { ++ok; });
   EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, WatchdogDeadlineStopsARunawayRunInsteadOfHanging) {
+  ThreadPool pool(4);
+  const std::vector<uint64_t> seeds{0, 1, 2, 3};
+  std::atomic<int> executed{0};
+  // Tasks that re-enqueue themselves forever: without the watchdog this run
+  // never terminates. The deadline must stop it and say so in the stats.
+  const auto stats = pool.run_tasks(
+      seeds, 1000,
+      [&](ThreadPool::TaskSink& sink, uint64_t t) {
+        ++executed;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        sink.push(t + 1000);
+      },
+      /*max_workers=*/1 << 30,
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30));
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_GT(executed.load(), 0);
+  EXPECT_LT(executed.load(), 1000);
+  // The pool survives a timed-out run.
+  std::atomic<int> alive{0};
+  pool.run([&](int) { ++alive; });
+  EXPECT_EQ(alive.load(), 4);
 }
 
 // ---------------------------------------------------------------------------
@@ -516,6 +543,53 @@ TEST(MultiChip, BundleValueCrossesOncePerDestinationChip) {
     EXPECT_GE(r.gate_end[static_cast<size_t>(i)],
               r.gate_end[0] + kTransfer);
   }
+}
+
+TEST(MultiChip, DroppedTransferIsRetransmittedAndAccounted) {
+  // An injected inter-chip link drop (fault::kSiteInterchipDrop, armed-only)
+  // models a lost send: the link cycles are spent, the value never arrives,
+  // and the schedule pays a full retransmission before any consumer starts.
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  sim::SimParams p;
+  p.tfhe = TfheParams::security110();
+  p.unroll_m = 1;
+  const sim::Dfg dfg = sim::build_bootstrap_dfg(p);
+
+  sim::GateDag dag;
+  dag.gates.resize(4);
+  dag.gates[1].deps = {0};
+  dag.gates[2].deps = {0};
+  dag.gates[3].deps = {0};
+  sim::GateDagPartition part;
+  part.num_chips = 2;
+  part.used_chips = 2;
+  part.chip_of = {0, 1, 1, 1};
+  part.chip_bootstraps = {1, 3};
+  part.chip_load_cap = {4, 4};
+  part.cut_wires = 3;
+  constexpr int64_t kTransfer = 1000;
+
+  fault::Registry::instance().reset();
+  const auto clean = sim::schedule_gate_dag_multichip(dfg, dag, part,
+                                                      p.hw.pipelines, kTransfer);
+  ASSERT_EQ(clean.dropped_transfers, 0);
+
+  fault::Registry::instance().arm(fault::kSiteInterchipDrop);
+  const auto dropped = sim::schedule_gate_dag_multichip(
+      dfg, dag, part, p.hw.pipelines, kTransfer);
+  fault::Registry::instance().reset();
+
+  EXPECT_EQ(dropped.dropped_transfers, 1);
+  EXPECT_EQ(dropped.transfers, clean.transfers + 1);
+  EXPECT_EQ(dropped.transfer_busy_cycles, clean.transfer_busy_cycles + kTransfer);
+  // Consumers see the value only after the retransmission lands.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(dropped.gate_end[static_cast<size_t>(i)],
+              clean.gate_end[static_cast<size_t>(i)] + kTransfer);
+  }
+  EXPECT_GE(dropped.makespan, clean.makespan + kTransfer);
 }
 
 TEST(MultiChipPolicy, VariantsBitIdenticalAndChosenIsMinimal) {

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "circuits/word.h"
+#include "common/fault_injection.h"
 #include "exec/batch_executor.h"
 #include "exec/circuit_builder.h"
 #include "test_util.h"
@@ -293,6 +294,211 @@ TEST(EngineCounters, PerThreadCountersMergeLosslessly) {
 
   par.reset_counters();
   EXPECT_EQ(par.counters().to_spectral_calls, 0);
+}
+
+// ------------------------------------------------------- fault isolation --
+// Per-item failure containment under injected faults: a faulted item carries
+// a structured Status, its batch siblings complete bit-identically to a
+// clean run, and the bounded retry repairs transient faults in place.
+
+/// Leaves the process-wide fault registry clean on both sides of a test.
+struct FaultGuard {
+  FaultGuard() { fault::Registry::instance().reset(); }
+  ~FaultGuard() { fault::Registry::instance().reset(); }
+};
+
+// Tests that arm a site are meaningless when the sites are compiled out
+// (-DMATCHA_FAULT_INJECTION=OFF): skip, don't fail.
+#define SKIP_IF_FAULTS_COMPILED_OUT() \
+  if (!fault::compiled_in()) GTEST_SKIP() << "fault injection compiled out"
+
+struct FaultFixture {
+  const AdderCmpCircuit c;
+  std::vector<std::pair<uint64_t, uint64_t>> cases{{2, 13}, {8, 8}, {15, 1}};
+
+  std::vector<std::vector<LweSample>> make_batch() const {
+    std::vector<std::vector<LweSample>> batch;
+    for (size_t i = 0; i < cases.size(); ++i) {
+      Rng rng = test::test_rng(900 + i);
+      batch.push_back(
+          c.encrypt_inputs(cases[i].first, cases[i].second, rng));
+    }
+    return batch;
+  }
+};
+
+TEST(FaultIsolation, TaskExceptionIsRepairedByBoundedRetry) {
+  SKIP_IF_FAULTS_COMPILED_OUT();
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const FaultFixture f;
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+
+  FaultGuard guard;
+  const std::vector<BatchResult> clean = ex.run_batch(f.c.b.graph(), f.make_batch());
+
+  fault::Registry::instance().arm(fault::kSiteTaskException);
+  const std::vector<BatchResult> faulted = ex.run_batch(f.c.b.graph(), f.make_batch());
+
+  EXPECT_GE(ex.last_stats().faulted_items, 1);
+  EXPECT_EQ(ex.last_stats().retried_items, ex.last_stats().faulted_items);
+  EXPECT_GE(ex.last_stats().retry_runs, 1);
+  ASSERT_EQ(faulted.size(), clean.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_TRUE(faulted[i].status.ok()) << faulted[i].status.to_string();
+    ASSERT_EQ(faulted[i].values.size(), clean[i].values.size());
+    for (size_t w = 0; w < clean[i].values.size(); ++w) {
+      ASSERT_TRUE(same_sample(faulted[i].values[w], clean[i].values[w]))
+          << "item " << i << " wire " << w;
+    }
+  }
+}
+
+TEST(FaultIsolation, WithoutRetryTheFaultStaysOnItsItem) {
+  SKIP_IF_FAULTS_COMPILED_OUT();
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const FaultFixture f;
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+
+  FaultGuard guard;
+  const std::vector<BatchResult> clean = ex.run_batch(f.c.b.graph(), f.make_batch());
+
+  ex.set_max_retries(0);
+  fault::Registry::instance().arm(fault::kSiteTaskException);
+  const std::vector<BatchResult> faulted = ex.run_batch(f.c.b.graph(), f.make_batch());
+
+  ASSERT_EQ(faulted.size(), clean.size());
+  int bad = 0;
+  for (size_t i = 0; i < faulted.size(); ++i) {
+    if (!faulted[i].status.ok()) {
+      ++bad;
+      // The faulted item's downstream cone is invalidated, and reading an
+      // invalidated wire surfaces the structured Status, not stale bytes.
+      size_t invalid_gates = 0;
+      for (size_t w = 0; w < faulted[i].value_ok.size(); ++w) {
+        if (f.c.b.graph().nodes()[w].is_gate() && !faulted[i].value_ok[w]) {
+          ++invalid_gates;
+          EXPECT_THROW((void)faulted[i].at(Wire{static_cast<int>(w)}),
+                       StatusError);
+        }
+      }
+      EXPECT_GE(invalid_gates, 1u);
+    } else {
+      // Siblings of the faulted item are bit-identical to the clean run.
+      for (size_t w = 0; w < clean[i].values.size(); ++w) {
+        ASSERT_TRUE(same_sample(faulted[i].values[w], clean[i].values[w]))
+            << "item " << i << " wire " << w;
+      }
+      EXPECT_EQ(f.c.decrypt_sum(faulted[i]),
+                f.cases[i].first + f.cases[i].second);
+    }
+  }
+  EXPECT_GE(bad, 1);
+  EXPECT_EQ(ex.last_stats().faulted_items, bad);
+  EXPECT_EQ(ex.last_stats().retried_items, 0);
+}
+
+TEST(FaultIsolation, DataPathFaultSitesAreRepairedInPlace) {
+  SKIP_IF_FAULTS_COMPILED_OUT();
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const FaultFixture f;
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+
+  FaultGuard guard;
+  const std::vector<BatchResult> clean = ex.run_batch(f.c.b.graph(), f.make_batch());
+
+  for (const char* site : {fault::kSiteArenaAllocFail,
+                           fault::kSiteBskRowCorrupt,
+                           fault::kSiteKeyswitchBitflip}) {
+    fault::Registry::instance().reset();
+    fault::Registry::instance().arm(site);
+    const std::vector<BatchResult> faulted =
+        ex.run_batch(f.c.b.graph(), f.make_batch());
+    EXPECT_GE(ex.last_stats().faulted_items, 1) << site;
+    ASSERT_EQ(faulted.size(), clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+      EXPECT_TRUE(faulted[i].status.ok())
+          << site << ": " << faulted[i].status.to_string();
+      for (size_t w = 0; w < clean[i].values.size(); ++w) {
+        ASSERT_TRUE(same_sample(faulted[i].values[w], clean[i].values[w]))
+            << site << " item " << i << " wire " << w;
+      }
+    }
+  }
+}
+
+TEST(FaultIsolation, DeadlineTripsAsStructuredTimeout) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const FaultFixture f;
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 2);
+
+  FaultGuard guard;
+  ex.set_deadline(std::chrono::milliseconds(1));
+  const std::vector<BatchResult> r = ex.run_batch(f.c.b.graph(), f.make_batch());
+  EXPECT_TRUE(ex.last_stats().timed_out);
+  int timed_out_items = 0;
+  for (const BatchResult& item : r) {
+    if (!item.status.ok()) {
+      EXPECT_EQ(item.status.code(), StatusCode::kDeadlineExceeded)
+          << item.status.to_string();
+      ++timed_out_items;
+    }
+  }
+  EXPECT_GE(timed_out_items, 1);
+}
+
+TEST(FaultIsolation, ChaosNeverReportsAWrongAnswerAsSuccess) {
+  const auto& K = shared_keys();
+  const auto dk = load_device_keyset(K.deng, K.ck2);
+  const FaultFixture f;
+  BatchExecutor<DoubleFftEngine> ex(make_engine, dk.bk, *dk.ks, K.params.mu(), 4);
+
+  FaultGuard guard;
+  fault::Registry::instance().enable_chaos(/*seed=*/20260807, /*rate=*/0.02);
+  const std::vector<BatchResult> r = ex.run_batch(f.c.b.graph(), f.make_batch());
+  ASSERT_EQ(r.size(), f.cases.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (r[i].status.ok()) {
+      EXPECT_EQ(f.c.decrypt_sum(r[i]), f.cases[i].first + f.cases[i].second)
+          << "item " << i << " reported success with a wrong plaintext";
+    }
+    // A non-OK item is acceptable under chaos -- the contract is a
+    // structured per-item Status, never a crash, hang, or silent corruption.
+  }
+}
+
+TEST(GateGraph, RejectsMalformedPayloadsWithStructuredErrors) {
+  exec::GateGraph g;
+  const Wire a = g.add_input();
+  const Wire b = g.add_input();
+
+  // Unknown operand wires, wrong construction entry points, and out-of-spec
+  // LutSpec payloads all fail with a structured throw in release builds.
+  EXPECT_THROW(g.add_gate(GateKind::kAnd, a, Wire{99}), StatusError);
+  EXPECT_THROW(g.add_gate(GateKind::kLut, a, b), StatusError);
+  EXPECT_THROW(g.add_gate(GateKind::kLutOut, a), StatusError);
+  EXPECT_THROW(g.mark_output(Wire{99}), StatusError);
+  EXPECT_THROW(g.add_lut_output(a, 1), StatusError);
+
+  LutSpec bad;
+  bad.k = 2;
+  bad.w = {1, 0, 0, 0}; // zero weight inside the fan-in
+  const std::array<Wire, 2> ins{a, b};
+  EXPECT_THROW(g.add_lut(std::span<const Wire>(ins), bad), StatusError);
+  EXPECT_EQ(validate_lut_spec(bad).code(), StatusCode::kInvalidArgument);
+
+  LutSpec xor2 = *solve_lut_cone(2, 0b0110);
+  EXPECT_TRUE(validate_lut_spec(xor2).ok());
+  xor2.grid_log = 7; // outside the representable grid range
+  EXPECT_FALSE(validate_lut_spec(xor2).ok());
+
+  // The graph is still usable after rejected additions.
+  const Wire ok = g.add_gate(GateKind::kAnd, a, b);
+  g.mark_output(ok);
+  EXPECT_EQ(g.num_gates(), 1);
 }
 
 TEST(GateGraph, LevelizeRespectsDependencies) {

@@ -102,5 +102,120 @@ TEST(Io, WrongObjectTypeThrows) {
   EXPECT_THROW(read_lwe_sample(ss), std::runtime_error);
 }
 
+// ------------------------------------------------------------ fuzz sweeps --
+// Exhaustive adversarial-input sweeps over the wire format: every single-bit
+// corruption and every truncation point must come back as a clean non-OK
+// Status from the try_read_* entry points -- no crash, no UB, no absurd
+// allocation, and never a silently-wrong object (the trailing payload
+// checksum makes any byte change detectable).
+
+/// Every prefix of `bytes` (stride 1 up to `limit` positions, then the tail
+/// sampled) fails `reader` cleanly.
+template <class Reader>
+void expect_all_truncations_fail(const std::string& bytes, Reader reader,
+                                 size_t stride = 1) {
+  for (size_t cut = 0; cut < bytes.size(); cut += stride) {
+    std::stringstream ss(bytes.substr(0, cut));
+    const auto r = reader(ss);
+    EXPECT_FALSE(r.ok()) << "truncation at byte " << cut << " parsed";
+    if (r.ok()) return; // one detailed failure is enough
+    EXPECT_FALSE(r.status().message().empty());
+  }
+}
+
+/// Every single-bit flip in `bytes` (stride bytes apart) fails `reader`.
+template <class Reader>
+void expect_all_bitflips_fail(const std::string& bytes, Reader reader,
+                              size_t stride = 1) {
+  for (size_t pos = 0; pos < bytes.size(); pos += stride) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1u << (pos % 8)));
+    std::stringstream ss(mutated);
+    const auto r = reader(ss);
+    EXPECT_FALSE(r.ok()) << "bit flip at byte " << pos << " went undetected";
+    if (r.ok()) return;
+  }
+}
+
+TEST(IoFuzz, ParamsSurviveEveryTruncationAndBitFlip) {
+  std::stringstream ss;
+  write_params(ss, TfheParams::test_small());
+  const std::string bytes = ss.str();
+  const auto reader = [](std::istream& is) { return try_read_params(is); };
+  expect_all_truncations_fail(bytes, reader);
+  expect_all_bitflips_fail(bytes, reader);
+}
+
+TEST(IoFuzz, LweSampleSurvivesEveryTruncationAndBitFlip) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(5);
+  std::stringstream ss;
+  write_lwe_sample(ss, K.sk.encrypt_bit(1, rng));
+  const std::string bytes = ss.str();
+  const auto reader = [](std::istream& is) { return try_read_lwe_sample(is); };
+  expect_all_truncations_fail(bytes, reader);
+  expect_all_bitflips_fail(bytes, reader);
+}
+
+TEST(IoFuzz, TgswSurvivesSampledTruncationAndEveryHeaderByte) {
+  const auto& K = shared_keys();
+  std::stringstream ss;
+  write_tgsw(ss, K.ck2.bk.groups[0][0]);
+  const std::string bytes = ss.str();
+  const auto reader = [](std::istream& is) { return try_read_tgsw(is); };
+  // Dense sweep through the header region, sampled through the payload and
+  // dense again over the trailing checksum.
+  expect_all_truncations_fail(bytes.substr(0, 64), reader);
+  expect_all_truncations_fail(bytes, reader, 97);
+  expect_all_bitflips_fail(bytes, reader, 101);
+  for (size_t cut = bytes.size() - 9; cut < bytes.size(); ++cut) {
+    std::stringstream cut_ss(bytes.substr(0, cut));
+    EXPECT_FALSE(try_read_tgsw(cut_ss).ok()) << "checksum cut " << cut;
+  }
+}
+
+TEST(IoFuzz, CloudKeysetSurvivesSampledCorruption) {
+  const auto& K = shared_keys();
+  std::stringstream ss;
+  write_cloud_keyset(ss, K.ck1);
+  const std::string bytes = ss.str();
+  const auto reader = [](std::istream& is) { return try_read_cloud_keyset(is); };
+  expect_all_truncations_fail(bytes.substr(0, 64), reader);
+  expect_all_truncations_fail(bytes, reader, bytes.size() / 173 + 1);
+  expect_all_bitflips_fail(bytes, reader, bytes.size() / 131 + 1);
+}
+
+TEST(IoFuzz, HeaderFieldMutationsAreRejectedWithStructuredCodes) {
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(6);
+  std::stringstream ss;
+  write_lwe_sample(ss, K.sk.encrypt_bit(0, rng));
+  const std::string bytes = ss.str();
+
+  // Byte 0..3: magic -> kInvalidArgument (wrong object / garbage).
+  std::string m = bytes;
+  m[0] = 'X';
+  std::stringstream s1(m);
+  EXPECT_EQ(try_read_lwe_sample(s1).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Byte 4..7: format version -> kFailedPrecondition (version skew).
+  m = bytes;
+  m[4] = static_cast<char>(m[4] ^ 0x40);
+  std::stringstream s2(m);
+  EXPECT_EQ(try_read_lwe_sample(s2).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // An absurd vector length must bounce off the bounds check, not allocate.
+  m = bytes;
+  m[11] = static_cast<char>(0x7F); // high byte of the little-endian length
+  std::stringstream s3(m);
+  const auto r = try_read_lwe_sample(s3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().code() == StatusCode::kOutOfRange ||
+              r.status().code() == StatusCode::kDataLoss)
+      << r.status().to_string();
+}
+
 } // namespace
 } // namespace matcha::io

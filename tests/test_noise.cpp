@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "noise/audit.h"
 #include "noise/measure.h"
 #include "noise/model.h"
 #include "test_util.h"
@@ -118,6 +119,78 @@ TEST(NoiseMeasured, CrudeLowPrecisionEngineIsNoisier) {
   auto evl = dkl.make_evaluator(K.leng, K.params.mu());
   const auto sl = noise::measure_gate_noise(K.sk, evl, 30, rng);
   EXPECT_GT(sc.stddev, sl.stddev * 3.0);
+}
+
+// --------------------------------------------------------- margin auditing --
+
+TEST(MarginAudit, DecodeAuditSurfacesDistanceAndGuardBand) {
+  // Dead-center phase: zero distance, full margin, never suspect.
+  const int slots = 4;
+  const Torus32 center = encode_message(2, slots);
+  const DecodeAudit exact = decode_message_audited(center, slots);
+  EXPECT_EQ(exact.value, 2);
+  EXPECT_NEAR(exact.distance, 0.0, 1e-12);
+  EXPECT_NEAR(exact.margin(), 1.0, 1e-9);
+  EXPECT_FALSE(exact.suspect);
+
+  // Nudge the phase most of the way to the decision boundary: decode still
+  // lands on the right value but the guard band flags it.
+  const double halfwidth = 1.0 / (4.0 * slots);
+  const Torus32 nudge = static_cast<Torus32>(
+      0.9 * halfwidth * 4294967296.0);
+  const DecodeAudit close = decode_message_audited(center + nudge, slots);
+  EXPECT_EQ(close.value, 2);
+  EXPECT_TRUE(close.suspect);
+  EXPECT_LT(close.margin(), kDecodeGuardFraction + 1e-9);
+
+  // Gate-level sign decode: +-mu with a near-boundary phase.
+  const Torus32 mu = torus_fraction(1, 8);
+  const DecodeAudit bit = decode_bit_audited(mu, mu);
+  EXPECT_EQ(bit.value, 1);
+  EXPECT_FALSE(bit.suspect);
+  const DecodeAudit risky = decode_bit_audited(torus_fraction(1, 1000), mu);
+  EXPECT_EQ(risky.value, 1);
+  EXPECT_TRUE(risky.suspect);
+}
+
+TEST(MarginAudit, RecordsAndCrossChecksAgainstTheBudgetModel) {
+  auto& audit = noise::MarginAudit::instance();
+  const bool was_enabled = audit.enabled();
+  audit.set_enabled(true);
+  audit.reset();
+
+  // A real encrypted workload's decodes all stay inside the model's band.
+  const auto& K = shared_keys();
+  Rng rng = test::test_rng(77);
+  for (int bit = 0; bit < 8; ++bit) {
+    const LweSample c = K.sk.encrypt_bit(bit & 1, rng);
+    EXPECT_EQ(K.sk.decrypt_bit(c), bit & 1);
+    const DecodeAudit a = K.sk.decrypt_bit_audited(c);
+    EXPECT_FALSE(a.suspect);
+  }
+  const auto s = audit.summary();
+  EXPECT_GE(s.decodes, 8);
+  EXPECT_EQ(s.suspect, 0);
+  EXPECT_GT(s.min_margin, 0.0);
+  EXPECT_TRUE(noise::check_margins_against_model(s, K.params, 1).ok());
+
+  // No decodes at all is a precondition failure, not a silent pass.
+  noise::MarginAudit::Summary empty;
+  EXPECT_EQ(noise::check_margins_against_model(empty, K.params, 1).code(),
+            StatusCode::kFailedPrecondition);
+
+  // A guard-band decode (or an observed distance far beyond the predicted
+  // stddev) turns the audit into a structured data-loss verdict.
+  noise::MarginAudit::Summary bad;
+  bad.decodes = 1;
+  bad.suspect = 1;
+  bad.max_distance = 0.12;
+  bad.min_margin = 0.01;
+  EXPECT_EQ(noise::check_margins_against_model(bad, K.params, 1).code(),
+            StatusCode::kDataLoss);
+
+  audit.reset();
+  audit.set_enabled(was_enabled);
 }
 
 } // namespace
